@@ -1,0 +1,165 @@
+package rix
+
+// Benchmark harness: one testing.B benchmark per paper table/figure, plus
+// micro-benchmarks of the core mechanisms. The figure benchmarks run the
+// same code paths as `rixbench` on a reduced workload subset so that
+// `go test -bench=.` completes in minutes; run `rixbench -suite all` for
+// the full-suite numbers recorded in EXPERIMENTS.md.
+
+import (
+	"sync"
+	"testing"
+
+	"rix/internal/core"
+	"rix/internal/emu"
+	"rix/internal/experiments"
+	"rix/internal/pipeline"
+	"rix/internal/prog"
+	"rix/internal/regfile"
+	"rix/internal/sim"
+	"rix/internal/stats"
+	"rix/internal/workload"
+)
+
+// benchSubset keeps `go test -bench=.` affordable; one benchmark per
+// workload class.
+var benchSubset = []string{"gzip", "crafty", "vortex", "mcf"}
+
+var (
+	cacheOnce sync.Once
+	benchC    *experiments.Cache
+)
+
+func benchCache(b *testing.B) *experiments.Cache {
+	b.Helper()
+	cacheOnce.Do(func() {
+		c, err := experiments.NewCache(benchSubset)
+		if err != nil {
+			panic(err)
+		}
+		benchC = c
+	})
+	return benchC
+}
+
+func runFigure(b *testing.B, f func(*experiments.Cache) ([]*stats.Table, error)) {
+	c := benchCache(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the primary result (extension impact).
+func BenchmarkFigure4(b *testing.B) { runFigure(b, experiments.Figure4) }
+
+// BenchmarkFigure5 regenerates the integration stream breakdowns.
+func BenchmarkFigure5(b *testing.B) { runFigure(b, experiments.Figure5) }
+
+// BenchmarkFigure6 regenerates the IT associativity/size study.
+func BenchmarkFigure6(b *testing.B) { runFigure(b, experiments.Figure6) }
+
+// BenchmarkFigure7 regenerates the reduced-complexity core study.
+func BenchmarkFigure7(b *testing.B) { runFigure(b, experiments.Figure7) }
+
+// BenchmarkDiagnostics regenerates the §3.2/§3.5 scalar diagnostics.
+func BenchmarkDiagnostics(b *testing.B) { runFigure(b, experiments.Diagnostics) }
+
+// BenchmarkAblations regenerates the design-choice ablations.
+func BenchmarkAblations(b *testing.B) { runFigure(b, experiments.Ablations) }
+
+// BenchmarkPipeline measures raw simulation throughput (simulated
+// instructions per second) for the full +reverse machine.
+func BenchmarkPipeline(b *testing.B) {
+	for _, name := range []string{"gzip", "crafty"} {
+		for _, integ := range []string{sim.IntNone, sim.IntReverse} {
+			b.Run(name+"/"+integ, func(b *testing.B) {
+				bench, _ := workload.ByName(name)
+				p, trace, err := bench.Build()
+				if err != nil {
+					b.Fatal(err)
+				}
+				o := sim.Options{Integration: integ}
+				cfg, err := o.Config()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				var retired uint64
+				for i := 0; i < b.N; i++ {
+					st, err := pipeline.New(cfg, p, trace).Run()
+					if err != nil {
+						b.Fatal(err)
+					}
+					retired += st.Retired
+				}
+				b.ReportMetric(float64(retired)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+			})
+		}
+	}
+}
+
+// BenchmarkEmulator measures functional-emulation throughput.
+func BenchmarkEmulator(b *testing.B) {
+	bench, _ := workload.ByName("gzip")
+	p, err := buildProg(bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var n uint64
+	for i := 0; i < b.N; i++ {
+		e := emu.New(p)
+		if err := e.Run(workload.MaxInstrs); err != nil {
+			b.Fatal(err)
+		}
+		n += e.Count
+	}
+	b.ReportMetric(float64(n)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+func buildProg(bench workload.Benchmark) (*prog.Program, error) {
+	p, _, err := bench.Build()
+	return p, err
+}
+
+// BenchmarkIntegrationTable measures IT lookup+insert throughput (the
+// rename-stage critical loop of the paper).
+func BenchmarkIntegrationTable(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		m    core.IndexMode
+	}{{"pc", core.IndexPC}, {"opcode", core.IndexOpcode}} {
+		b.Run(mode.name, func(b *testing.B) {
+			t := core.NewTable(core.TableConfig{Entries: 1024, Assoc: 4, Mode: mode.m, UseCallDepth: true})
+			for i := 0; i < b.N; i++ {
+				k := core.Key{PC: uint64(0x1000 + (i%512)*4), Op: 17, Imm: int64(i % 64), Depth: i % 8}
+				if t.Match(k, regfile.PReg(i%1024), uint8(i%16), regfile.NoReg, 0) == nil {
+					t.Insert(k, core.Entry{})
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRegfile measures the reference-counting state vector.
+func BenchmarkRegfile(b *testing.B) {
+	f := regfile.New(regfile.Config{NumRegs: 1024, GenBits: 4, RefBits: 4, GeneralMode: true})
+	var live []regfile.PReg
+	for i := 0; i < b.N; i++ {
+		if len(live) < 512 {
+			p, ok := f.Alloc()
+			if !ok {
+				b.Fatal("exhausted")
+			}
+			f.SetReady(p, uint64(i))
+			live = append(live, p)
+		} else {
+			p := live[0]
+			live = live[1:]
+			f.Release(p, regfile.CauseShadow)
+		}
+	}
+}

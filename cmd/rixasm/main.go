@@ -1,0 +1,73 @@
+// rixasm assembles, disassembles and lints rix assembly.
+//
+// Usage:
+//
+//	rixasm prog.s                 # assemble, report size and symbols
+//	rixasm -d prog.s              # assemble and print a disassembly listing
+//	rixasm -bench gzip -d         # disassemble a built-in workload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rix/internal/asm"
+	"rix/internal/isa"
+	"rix/internal/prog"
+	"rix/internal/workload"
+)
+
+func main() {
+	disasm := flag.Bool("d", false, "print a disassembly listing")
+	bench := flag.String("bench", "", "disassemble a built-in workload instead of a file")
+	flag.Parse()
+
+	var p *prog.Program
+	var err error
+	switch {
+	case *bench != "":
+		b, ok := workload.ByName(*bench)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *bench))
+		}
+		p, err = asm.Assemble(b.Name+".s", b.Source)
+	case flag.NArg() == 1:
+		var src []byte
+		src, err = os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		p, err = asm.Assemble(flag.Arg(0), string(src))
+	default:
+		fatal(fmt.Errorf("usage: rixasm [-d] file.s | rixasm -bench name -d"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s: %d instructions, %d data bytes, entry %#x\n",
+		p.Name, len(p.Code), len(p.Data), p.Entry)
+	if !*disasm {
+		for _, name := range p.SortedSymbols() {
+			fmt.Printf("  %-16s %#x\n", name, p.Symbols[name])
+		}
+		return
+	}
+	labels := map[uint64]string{}
+	for name, addr := range p.Symbols {
+		labels[addr] = name
+	}
+	for i, in := range p.Code {
+		pc := p.PCOf(i)
+		if l, ok := labels[pc]; ok {
+			fmt.Printf("%s:\n", l)
+		}
+		fmt.Printf("  %#06x  %016x  %s\n", pc, isa.Encode(in), isa.Disasm(in, pc))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rixasm:", err)
+	os.Exit(1)
+}

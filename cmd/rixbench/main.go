@@ -1,0 +1,80 @@
+// rixbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	rixbench -suite fig4            # Figure 4: extension impact
+//	rixbench -suite fig5            # Figure 5: integration stream analysis
+//	rixbench -suite fig6            # Figure 6: IT associativity and size
+//	rixbench -suite fig7            # Figure 7: reduced-complexity cores
+//	rixbench -suite diag            # §3.2/§3.5 scalar diagnostics
+//	rixbench -suite ablate          # design-choice ablations
+//	rixbench -suite all
+//	rixbench -suite fig4 -bench gzip,crafty -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rix/internal/experiments"
+	"rix/internal/stats"
+)
+
+func main() {
+	suite := flag.String("suite", "all", "fig4|fig5|fig6|fig7|diag|ablate|all")
+	benches := flag.String("bench", "", "comma-separated workload subset (default: full paper suite)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	parallel := flag.Int("j", 0, "max parallel simulations (default: NumCPU)")
+	flag.Parse()
+
+	var names []string
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+	cache, err := experiments.NewCache(names)
+	if err != nil {
+		fatal(err)
+	}
+	if *parallel > 0 {
+		cache.Parallel = *parallel
+	}
+
+	runners := map[string]func(*experiments.Cache) ([]*stats.Table, error){
+		"fig4":   experiments.Figure4,
+		"fig5":   experiments.Figure5,
+		"fig6":   experiments.Figure6,
+		"fig7":   experiments.Figure7,
+		"diag":   experiments.Diagnostics,
+		"ablate": experiments.Ablations,
+	}
+	order := []string{"fig4", "fig5", "fig6", "fig7", "diag", "ablate"}
+
+	selected := strings.Split(*suite, ",")
+	if *suite == "all" {
+		selected = order
+	}
+	for _, s := range selected {
+		run, ok := runners[s]
+		if !ok {
+			fatal(fmt.Errorf("unknown suite %q", s))
+		}
+		tables, err := run(cache)
+		if err != nil {
+			fatal(err)
+		}
+		for _, t := range tables {
+			if *csv {
+				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rixbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+// rixsim runs one workload under one machine configuration and prints the
+// full statistics block.
+//
+// Usage:
+//
+//	rixsim -bench crafty                          # base machine, no integration
+//	rixsim -bench crafty -int +reverse            # full paper configuration
+//	rixsim -bench gap -int +general -suppress oracle -core iw+rs
+//	rixsim -file prog.s -int +reverse             # assemble and run a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rix/internal/asm"
+	"rix/internal/emu"
+	"rix/internal/pipeline"
+	"rix/internal/prog"
+	"rix/internal/sim"
+	"rix/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "workload name (see -list)")
+	file := flag.String("file", "", "assembly file to run instead of a named workload")
+	integ := flag.String("int", "none", "integration preset: none|squash|+general|+opcode|+reverse")
+	suppress := flag.String("suppress", "lisp", "mis-integration suppression: lisp|oracle|off")
+	coreV := flag.String("core", "base", "core variant: base|rs|iw|iw+rs")
+	itEntries := flag.Int("it", 1024, "integration table entries")
+	itAssoc := flag.Int("assoc", 4, "integration table associativity (-1 = full)")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, b := range workload.All() {
+			fmt.Printf("%-8s %-12s %s\n", b.Name, b.Class, b.Description)
+		}
+		return
+	}
+
+	var p *prog.Program
+	var trace []emu.TraceRec
+	var err error
+	switch {
+	case *file != "":
+		src, rerr := os.ReadFile(*file)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		p, err = asm.Assemble(*file, string(src))
+		if err == nil {
+			trace, _, err = emu.Trace(p, workload.MaxInstrs)
+		}
+	case *bench != "":
+		b, ok := workload.ByName(*bench)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q (try -list)", *bench))
+		}
+		p, trace, err = b.Build()
+	default:
+		fatal(fmt.Errorf("one of -bench or -file is required"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	o := sim.Options{
+		Integration: *integ,
+		Suppression: *suppress,
+		Core:        *coreV,
+		ITEntries:   *itEntries,
+		ITAssoc:     *itAssoc,
+	}
+	st, err := sim.Run(p, trace, o)
+	if err != nil {
+		fatal(err)
+	}
+	printStats(p.Name, st)
+}
+
+func printStats(name string, st *pipeline.Stats) {
+	fmt.Printf("workload            %s\n", name)
+	fmt.Printf("retired             %d\n", st.Retired)
+	fmt.Printf("cycles              %d\n", st.Cycles)
+	fmt.Printf("IPC                 %.3f\n", st.IPC())
+	fmt.Printf("fetched             %d (%.1f%% wrong path)\n", st.Fetched,
+		100*float64(st.FetchedWrongPath)/float64(st.Fetched))
+	fmt.Printf("executed            %d (%.1f%% of retired bypassed execution)\n",
+		st.Executed, 100*(1-float64(st.Executed)/float64(st.Retired)))
+	fmt.Printf("integration rate    %.2f%% (direct %.2f%%, reverse %.2f%%)\n",
+		100*st.IntegrationRate(),
+		100*float64(st.IntegratedDirect)/float64(max64(st.Retired, 1)),
+		100*st.ReverseRate())
+	fmt.Printf("  by type           sp-load %d, load %d, alu %d, branch %d, fp %d\n",
+		st.IntType[0], st.IntType[1], st.IntType[2], st.IntType[3], st.IntType[4])
+	fmt.Printf("  load int rate     %.1f%% (sp loads %.1f%%)\n",
+		100*st.LoadIntegrationRate(), 100*st.SPLoadIntegrationRate())
+	fmt.Printf("mis-integrations    %d (%.0f/M; loads %d, regs %d)\n",
+		st.MisIntegrations, st.MisIntPerMillion(), st.MisIntLoads, st.MisIntRegs)
+	fmt.Printf("branches            %d cond (%.2f%% mispredict), resolution %.1f cycles\n",
+		st.CondBranches,
+		100*float64(st.CondMispredicts)/float64(max64(st.CondBranches, 1)),
+		st.MispredictResolutionAvg())
+	fmt.Printf("loads               %d retired, %d forwarded, %d order violations\n",
+		st.LoadsRetired, st.LoadsForwarded, st.LoadViolations)
+	fmt.Printf("RS occupancy        %.1f avg\n", st.AvgRSOccupancy())
+	fmt.Printf("squashes            %d (%d DIVA flushes)\n", st.Squashes, st.DIVAFlushes)
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rixsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// rixtrace functionally executes a workload on the golden emulator and
+// reports its dynamic profile: instruction mix, call-depth distribution,
+// save/restore density, and program output.
+//
+// Usage:
+//
+//	rixtrace -bench vortex
+//	rixtrace -file prog.s -mix
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rix/internal/asm"
+	"rix/internal/emu"
+	"rix/internal/isa"
+	"rix/internal/prog"
+	"rix/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "", "workload name")
+	file := flag.String("file", "", "assembly file")
+	flag.Parse()
+
+	var p *prog.Program
+	var err error
+	switch {
+	case *bench != "":
+		b, ok := workload.ByName(*bench)
+		if !ok {
+			fatal(fmt.Errorf("unknown workload %q", *bench))
+		}
+		p, err = asm.Assemble(b.Name+".s", b.Source)
+	case *file != "":
+		var src []byte
+		src, err = os.ReadFile(*file)
+		if err != nil {
+			fatal(err)
+		}
+		p, err = asm.Assemble(*file, string(src))
+	default:
+		fatal(fmt.Errorf("one of -bench or -file is required"))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	trace, e, err := emu.Trace(p, workload.MaxInstrs)
+	if err != nil {
+		fatal(err)
+	}
+
+	var loads, stores, branches, taken, calls, rets, alu, fp, spStores, spLoads uint64
+	depth, maxDepth := 0, 0
+	depthSum := uint64(0)
+	for _, r := range trace {
+		in := p.Code[r.CodeIdx]
+		switch in.Op.ClassOf() {
+		case isa.ClassLoad:
+			loads++
+			if in.IsSPLoad() {
+				spLoads++
+			}
+		case isa.ClassStore:
+			stores++
+			if in.IsSPStore() {
+				spStores++
+			}
+		case isa.ClassBranch:
+			branches++
+			if r.Value == 1 {
+				taken++
+			}
+		case isa.ClassCallDirect, isa.ClassCallIndirect:
+			calls++
+			depth++
+			if depth > maxDepth {
+				maxDepth = depth
+			}
+		case isa.ClassRet:
+			rets++
+			if depth > 0 {
+				depth--
+			}
+		case isa.ClassFP:
+			fp++
+		default:
+			alu++
+		}
+		depthSum += uint64(depth)
+	}
+	n := uint64(len(trace))
+	pc := func(v uint64) string { return fmt.Sprintf("%5.1f%%", 100*float64(v)/float64(n)) }
+
+	fmt.Printf("workload     %s\n", p.Name)
+	fmt.Printf("dynamic      %d instructions, exit %d\n", n, e.ExitCode)
+	fmt.Printf("loads        %8d %s  (sp: %d)\n", loads, pc(loads), spLoads)
+	fmt.Printf("stores       %8d %s  (sp: %d)\n", stores, pc(stores), spStores)
+	fmt.Printf("branches     %8d %s  (%.1f%% taken)\n", branches, pc(branches),
+		100*float64(taken)/float64(maxU(branches, 1)))
+	fmt.Printf("calls/rets   %8d %s  / %d\n", calls, pc(calls), rets)
+	fmt.Printf("fp           %8d %s\n", fp, pc(fp))
+	fmt.Printf("alu/other    %8d %s\n", alu, pc(alu))
+	fmt.Printf("call depth   avg %.2f, max %d\n", float64(depthSum)/float64(n), maxDepth)
+	if len(e.Output) > 0 {
+		fmt.Printf("output       %q\n", e.Output)
+	}
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rixtrace:", err)
+	os.Exit(1)
+}

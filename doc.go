@@ -1,0 +1,32 @@
+// Package rix is a from-scratch reproduction of "Three Extensions to
+// Register Integration" (Roth, Bracy, Petric — University of Pennsylvania
+// TR MS-CIS-02-22, 2002): a cycle-level, execution-driven, out-of-order
+// superscalar simulator whose register-rename stage implements register
+// integration, plus the paper's three extensions — general reuse via
+// physical-register reference counting, opcode/call-depth integration
+// table indexing, and reverse integration (speculative memory bypassing
+// for stack saves and restores).
+//
+// Layout:
+//
+//	internal/isa          Alpha-flavoured 64-bit RISC ISA
+//	internal/asm          two-pass assembler
+//	internal/emu          architectural emulator (golden model / DIVA)
+//	internal/bpred        hybrid branch predictor, BTB, RAS, CHT
+//	internal/memsys       caches, TLBs, MSHRs, write buffer, buses
+//	internal/regfile      reference-counted physical register file
+//	internal/rename       pointer-based map table
+//	internal/core         the paper's contribution: IT, LISP, logic
+//	internal/pipeline     13-stage 4-way out-of-order core
+//	internal/sim          named configuration presets
+//	internal/workload     16 synthetic SPEC2000int stand-ins
+//	internal/experiments  per-figure result regeneration
+//	cmd/rixsim            single-run simulator driver
+//	cmd/rixbench          figure/table reproduction harness
+//	cmd/rixasm            assembler / disassembler
+//	cmd/rixtrace          functional profiler
+//	examples/             quickstart, membypass, complexity, customworkload
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
+// results against the paper.
+package rix

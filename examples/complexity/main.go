@@ -1,0 +1,61 @@
+// The complexity example reproduces the paper's §3.5 trade-off on one
+// workload: integration as a low-complexity substitute for execution
+// bandwidth and issue buffering. It compares the base core against cores
+// with half the reservation stations (RS), reduced issue width (IW), and
+// both (IW+RS), each with and without integration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rix/internal/sim"
+	"rix/internal/workload"
+)
+
+func main() {
+	bench := "vortex"
+	b, ok := workload.ByName(bench)
+	if !ok {
+		log.Fatalf("unknown workload %s", bench)
+	}
+	p, trace, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload: %s (%s), %d dynamic instructions\n\n",
+		b.Name, b.Description, len(trace))
+
+	cores := []struct {
+		name, core string
+	}{
+		{"base: 4-way issue, 40 RS", sim.CoreBase},
+		{"RS:   4-way issue, 20 RS", sim.CoreRS},
+		{"IW:   3-way issue, 1 ld/st port", sim.CoreIW},
+		{"IW+RS: both reductions", sim.CoreIWRS},
+	}
+
+	baseStats, err := sim.Run(p, trace, sim.Options{Core: sim.CoreBase, Integration: sim.IntNone})
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseIPC := baseStats.IPC()
+	fmt.Printf("%-34s %10s %12s %14s\n", "core", "plain", "+integration", "int. recovers")
+	for _, c := range cores {
+		plain, err := sim.Run(p, trace, sim.Options{Core: c.core, Integration: sim.IntNone})
+		if err != nil {
+			log.Fatal(err)
+		}
+		integ, err := sim.Run(p, trace, sim.Options{Core: c.core, Integration: sim.IntReverse})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dPlain := 100 * (plain.IPC()/baseIPC - 1)
+		dInteg := 100 * (integ.IPC()/baseIPC - 1)
+		fmt.Printf("%-34s %+9.1f%% %+11.1f%% %13.1f%%\n",
+			c.name, dPlain, dInteg, dInteg-dPlain)
+	}
+	fmt.Println("\n(percentages are IPC deltas vs the un-integrated base core;")
+	fmt.Println(" the paper's claim: integration compensates for a 25% issue-width")
+	fmt.Println(" or 50% issue-buffer reduction)")
+}

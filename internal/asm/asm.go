@@ -1,0 +1,419 @@
+// Package asm implements a two-pass assembler for the rix ISA. It is the
+// tool with which the synthetic SPEC2000-like workloads are written.
+//
+// Syntax overview:
+//
+//	; comment        # comment
+//	        .text
+//	main:   lda   sp, -32(sp)        ; stack-frame open
+//	        stq   ra, 0(sp)          ; save
+//	        ldiq  t0, 1000           ; pseudo: load 32-bit immediate
+//	loop:   addqi t0, t0, -1
+//	        bne   t0, loop
+//	        ldq   ra, 0(sp)
+//	        lda   sp, 32(sp)
+//	        ret
+//	        .data
+//	tbl:    .word 1, 2, 3
+//	buf:    .space 4096
+//	        .equ  N, 64
+//
+// Pseudo-instructions: mov, clr, ldiq, negq, call, ret (bare), and
+// automatic immediate-form selection (addq rd, ra, 5 becomes addqi).
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rix/internal/isa"
+	"rix/internal/prog"
+)
+
+// Error is an assembly diagnostic with source position.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg)
+}
+
+// ErrorList is the set of diagnostics from one assembly.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	var b strings.Builder
+	for i, e := range l {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+		if i == 9 && len(l) > 10 {
+			fmt.Fprintf(&b, "\n... and %d more errors", len(l)-10)
+			break
+		}
+	}
+	return b.String()
+}
+
+// immKind distinguishes how a symbolic immediate is resolved.
+type immKind uint8
+
+const (
+	immNone   immKind = iota
+	immAbs            // absolute address/value of symbol + addend
+	immBranch         // PC-relative displacement to symbol
+)
+
+// slot is one instruction position awaiting symbol resolution.
+type slot struct {
+	line   int
+	in     isa.Instr
+	kind   immKind
+	sym    string
+	addend int64
+}
+
+// dataPatch records a .word referencing a symbol.
+type dataPatch struct {
+	line   int
+	offset int // byte offset in data segment
+	sym    string
+	addend int64
+}
+
+type assembler struct {
+	file     string
+	codeBase uint64
+	dataBase uint64
+
+	slots   []slot
+	lines   []int
+	data    []byte
+	patches []dataPatch
+
+	symbols map[string]uint64
+	equs    map[string]int64
+	entry   string
+	inData  bool
+	errs    ErrorList
+}
+
+// Assemble assembles source text into a validated program image.
+func Assemble(name, text string) (*prog.Program, error) {
+	a := &assembler{
+		file:     name,
+		codeBase: prog.DefaultCodeBase,
+		dataBase: prog.DefaultDataBase,
+		symbols:  make(map[string]uint64),
+		equs:     make(map[string]int64),
+	}
+	a.pass1(text)
+	p := a.pass2()
+	if len(a.errs) > 0 {
+		return nil, a.errs
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (a *assembler) errorf(line int, format string, args ...interface{}) {
+	a.errs = append(a.errs, &Error{a.file, line, fmt.Sprintf(format, args...)})
+}
+
+func (a *assembler) pass1(text string) {
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := stripComment(raw)
+		// Peel off labels. Multiple labels per line are allowed.
+		for {
+			trimmed := strings.TrimSpace(line)
+			if trimmed == "" {
+				line = ""
+				break
+			}
+			colon := strings.Index(trimmed, ":")
+			if colon < 0 || !isIdent(trimmed[:colon]) {
+				line = trimmed
+				break
+			}
+			a.defineLabel(lineNo+1, trimmed[:colon])
+			line = trimmed[colon+1:]
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ".") {
+			a.directive(lineNo+1, line)
+			continue
+		}
+		if a.inData {
+			a.errorf(lineNo+1, "instruction in .data section: %q", line)
+			continue
+		}
+		a.instruction(lineNo+1, line)
+	}
+}
+
+func (a *assembler) defineLabel(line int, name string) {
+	if _, dup := a.symbols[name]; dup {
+		a.errorf(line, "duplicate label %q", name)
+		return
+	}
+	if a.inData {
+		a.symbols[name] = a.dataBase + uint64(len(a.data))
+	} else {
+		a.symbols[name] = a.codeBase + uint64(len(a.slots))*isa.InstrBytes
+	}
+}
+
+func (a *assembler) directive(line int, text string) {
+	fields := splitOperands(text)
+	dir := fields[0]
+	args := fields[1:]
+	switch dir {
+	case ".text":
+		a.inData = false
+	case ".data":
+		a.inData = true
+	case ".globl", ".global":
+		// Accepted for compatibility; all symbols are global.
+	case ".entry":
+		if len(args) != 1 {
+			a.errorf(line, ".entry wants one symbol")
+			return
+		}
+		a.entry = args[0]
+	case ".equ":
+		if len(args) != 2 {
+			a.errorf(line, ".equ wants name, value")
+			return
+		}
+		v, ok := a.constValue(line, args[1])
+		if !ok {
+			return
+		}
+		a.equs[args[0]] = v
+	case ".word":
+		if !a.inData {
+			a.errorf(line, ".word outside .data")
+			return
+		}
+		for _, arg := range args {
+			if v, err := parseInt(arg); err == nil {
+				a.emitWord(uint64(v))
+				continue
+			}
+			sym, addend, ok := parseSymExpr(arg)
+			if !ok {
+				a.errorf(line, "bad .word operand %q", arg)
+				continue
+			}
+			a.patches = append(a.patches, dataPatch{line, len(a.data), sym, addend})
+			a.emitWord(0)
+		}
+	case ".space":
+		if !a.inData {
+			a.errorf(line, ".space outside .data")
+			return
+		}
+		if len(args) != 1 {
+			a.errorf(line, ".space wants a size")
+			return
+		}
+		n, ok := a.constValue(line, args[0])
+		if !ok || n < 0 || n > 1<<28 {
+			a.errorf(line, "bad .space size %q", args[0])
+			return
+		}
+		a.data = append(a.data, make([]byte, n)...)
+	case ".align":
+		if !a.inData {
+			return // text is always instruction-aligned
+		}
+		if len(args) != 1 {
+			a.errorf(line, ".align wants a boundary")
+			return
+		}
+		n, ok := a.constValue(line, args[0])
+		if !ok || n <= 0 || n&(n-1) != 0 {
+			a.errorf(line, "bad .align boundary %q", args[0])
+			return
+		}
+		for uint64(len(a.data))%uint64(n) != 0 {
+			a.data = append(a.data, 0)
+		}
+	default:
+		a.errorf(line, "unknown directive %q", dir)
+	}
+}
+
+func (a *assembler) emitWord(v uint64) {
+	for i := 0; i < 8; i++ {
+		a.data = append(a.data, byte(v>>(8*i)))
+	}
+}
+
+// constValue resolves an integer literal or .equ constant.
+func (a *assembler) constValue(line int, s string) (int64, bool) {
+	if v, err := parseInt(s); err == nil {
+		return v, true
+	}
+	if v, ok := a.equs[s]; ok {
+		return v, true
+	}
+	a.errorf(line, "expected constant, got %q", s)
+	return 0, false
+}
+
+func (a *assembler) pass2() *prog.Program {
+	p := &prog.Program{
+		Name:     a.file,
+		CodeBase: a.codeBase,
+		DataBase: a.dataBase,
+		StackTop: prog.DefaultStackTop,
+		Data:     a.data,
+		Symbols:  a.symbols,
+		Lines:    a.lines,
+	}
+	p.Code = make([]isa.Instr, len(a.slots))
+	for i, s := range a.slots {
+		in := s.in
+		if s.kind != immNone {
+			target, ok := a.resolve(s.sym)
+			if !ok {
+				a.errorf(s.line, "undefined symbol %q", s.sym)
+				continue
+			}
+			v := target + s.addend
+			if s.kind == immBranch {
+				pc := int64(a.codeBase) + int64(i)*isa.InstrBytes
+				v = v - (pc + isa.InstrBytes)
+			}
+			if !isa.FitsImm(v) {
+				a.errorf(s.line, "immediate %d out of range", v)
+				continue
+			}
+			in.Imm = v
+		}
+		p.Code[i] = in
+	}
+	// Apply data patches.
+	for _, pt := range a.patches {
+		v, ok := a.resolve(pt.sym)
+		if !ok {
+			a.errorf(pt.line, "undefined symbol %q", pt.sym)
+			continue
+		}
+		u := uint64(v + pt.addend)
+		for i := 0; i < 8; i++ {
+			a.data[pt.offset+i] = byte(u >> (8 * i))
+		}
+	}
+	// Entry point: .entry, else "main", else first instruction.
+	entry := a.codeBase
+	switch {
+	case a.entry != "":
+		v, ok := a.symbols[a.entry]
+		if !ok {
+			a.errorf(0, "entry symbol %q undefined", a.entry)
+		} else {
+			entry = v
+		}
+	default:
+		if v, ok := a.symbols["main"]; ok {
+			entry = v
+		}
+	}
+	p.Entry = entry
+	return p
+}
+
+func (a *assembler) resolve(sym string) (int64, bool) {
+	if v, ok := a.symbols[sym]; ok {
+		return int64(v), true
+	}
+	if v, ok := a.equs[sym]; ok {
+		return v, true
+	}
+	return 0, false
+}
+
+func stripComment(s string) string {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ';', '#':
+			return s[:i]
+		case '/':
+			if i+1 < len(s) && s[i+1] == '/' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == '.' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// splitOperands splits "op a, b, c" into ["op", "a", "b", "c"].
+func splitOperands(line string) []string {
+	line = strings.TrimSpace(line)
+	sp := strings.IndexAny(line, " \t")
+	if sp < 0 {
+		return []string{line}
+	}
+	out := []string{line[:sp]}
+	for _, f := range strings.Split(line[sp+1:], ",") {
+		out = append(out, strings.TrimSpace(f))
+	}
+	return out
+}
+
+func parseInt(s string) (int64, error) {
+	if len(s) == 3 && s[0] == '\'' && s[2] == '\'' {
+		return int64(s[1]), nil
+	}
+	return strconv.ParseInt(s, 0, 64)
+}
+
+// parseSymExpr parses "sym", "sym+4", "sym-8".
+func parseSymExpr(s string) (sym string, addend int64, ok bool) {
+	idx := strings.IndexAny(s, "+-")
+	if idx <= 0 {
+		if isIdent(s) {
+			return s, 0, true
+		}
+		return "", 0, false
+	}
+	sym = strings.TrimSpace(s[:idx])
+	if !isIdent(sym) {
+		return "", 0, false
+	}
+	v, err := parseInt(strings.TrimSpace(s[idx:]))
+	if err != nil {
+		return "", 0, false
+	}
+	return sym, v, true
+}

@@ -1,0 +1,324 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"rix/internal/isa"
+	"rix/internal/prog"
+)
+
+func mustAssemble(t *testing.T, src string) *prog.Program {
+	t.Helper()
+	p, err := Assemble("test.s", src)
+	if err != nil {
+		t.Fatalf("Assemble: %v", err)
+	}
+	return p
+}
+
+func TestBasicProgram(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   addqi t0, zero, 5
+loop:   addqi t0, t0, -1
+        bne   t0, loop
+        clr   v0
+        syscall
+`)
+	if len(p.Code) != 5 {
+		t.Fatalf("code len = %d, want 5", len(p.Code))
+	}
+	if p.Entry != p.CodeBase {
+		t.Errorf("entry = %#x, want %#x", p.Entry, p.CodeBase)
+	}
+	// bne target: loop is at index 1, bne at index 2.
+	bne := p.Code[2]
+	if bne.Op != isa.BNE || bne.Target(p.PCOf(2)) != p.PCOf(1) {
+		t.Errorf("bne mis-assembled: %+v", bne)
+	}
+}
+
+func TestLabelsAndEntry(t *testing.T) {
+	p := mustAssemble(t, `
+        .entry start
+        .text
+helper: ret
+start:  bsr ra, helper
+        syscall
+`)
+	if p.Entry != p.PCOf(1) {
+		t.Errorf("entry = %#x, want %#x", p.Entry, p.PCOf(1))
+	}
+	bsr := p.Code[1]
+	if bsr.Op != isa.BSR || bsr.Rd != isa.RegRA || bsr.Target(p.PCOf(1)) != p.PCOf(0) {
+		t.Errorf("bsr mis-assembled: %+v", bsr)
+	}
+}
+
+func TestMemoryOperands(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   ldq  t0, 8(sp)
+        stq  t0, -16(sp)
+        ldq  t1, tbl
+        ldq  t2, tbl+8
+        stl  t0, tbl+16(gp)
+        lda  sp, -32(sp)
+        syscall
+        .data
+tbl:    .word 1, 2, 3
+`)
+	ld := p.Code[0]
+	if ld.Op != isa.LDQ || ld.Rd != 1 || ld.Ra != isa.RegSP || ld.Imm != 8 {
+		t.Errorf("ldq: %+v", ld)
+	}
+	st := p.Code[1]
+	if st.Op != isa.STQ || st.Rb != 1 || st.Ra != isa.RegSP || st.Imm != -16 {
+		t.Errorf("stq: %+v", st)
+	}
+	tbl := int64(p.Symbols["tbl"])
+	if p.Code[2].Imm != tbl || p.Code[2].Ra != isa.RegZero {
+		t.Errorf("ldq sym: %+v, want imm %d", p.Code[2], tbl)
+	}
+	if p.Code[3].Imm != tbl+8 {
+		t.Errorf("ldq sym+8: %+v", p.Code[3])
+	}
+	if p.Code[4].Op != isa.STL || p.Code[4].Imm != tbl+16 || p.Code[4].Ra != isa.RegGP {
+		t.Errorf("stl sym(gp): %+v", p.Code[4])
+	}
+	if p.Code[5].Op != isa.LDA || p.Code[5].Rd != isa.RegSP || p.Code[5].Imm != -32 {
+		t.Errorf("lda: %+v", p.Code[5])
+	}
+}
+
+func TestDataSegment(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   syscall
+        .data
+a:      .word 0x1122334455667788
+b:      .space 16
+        .align 8
+c:      .word -1
+d:      .word a
+`)
+	if p.Symbols["a"] != p.DataBase {
+		t.Errorf("a = %#x", p.Symbols["a"])
+	}
+	if p.Symbols["b"] != p.DataBase+8 {
+		t.Errorf("b = %#x", p.Symbols["b"])
+	}
+	if p.Symbols["c"] != p.DataBase+24 {
+		t.Errorf("c = %#x", p.Symbols["c"])
+	}
+	// a's bytes, little-endian.
+	if p.Data[0] != 0x88 || p.Data[7] != 0x11 {
+		t.Errorf("word bytes: % x", p.Data[:8])
+	}
+	// d holds a's address.
+	var d uint64
+	for i := 0; i < 8; i++ {
+		d |= uint64(p.Data[32+i]) << (8 * i)
+	}
+	if d != p.Symbols["a"] {
+		t.Errorf("d = %#x, want %#x", d, p.Symbols["a"])
+	}
+}
+
+func TestEquAndLdiq(t *testing.T) {
+	p := mustAssemble(t, `
+        .equ N, 64
+        .equ NEG, -8
+        .text
+main:   ldiq t0, N
+        ldiq t1, 0x1234
+        addqi t2, t0, NEG
+        ldiq t3, main
+        syscall
+`)
+	if p.Code[0].Op != isa.LDA || p.Code[0].Imm != 64 || p.Code[0].Ra != isa.RegZero {
+		t.Errorf("ldiq N: %+v", p.Code[0])
+	}
+	if p.Code[1].Imm != 0x1234 {
+		t.Errorf("ldiq hex: %+v", p.Code[1])
+	}
+	if p.Code[2].Imm != -8 {
+		t.Errorf("equ NEG: %+v", p.Code[2])
+	}
+	if p.Code[3].Imm != int64(p.CodeBase) {
+		t.Errorf("ldiq main: %+v", p.Code[3])
+	}
+}
+
+func TestPseudos(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   mov  t0, t1
+        clr  t2
+        negq t3, t4
+        call f
+        ret
+f:      ret (t5)
+        syscall
+`)
+	if p.Code[0].Op != isa.BIS || p.Code[0].Rd != 1 || p.Code[0].Ra != 2 || p.Code[0].Rb != isa.RegZero {
+		t.Errorf("mov: %+v", p.Code[0])
+	}
+	if p.Code[1].Op != isa.BIS || p.Code[1].Ra != isa.RegZero || p.Code[1].Rb != isa.RegZero {
+		t.Errorf("clr: %+v", p.Code[1])
+	}
+	if p.Code[2].Op != isa.SUBQ || p.Code[2].Ra != isa.RegZero || p.Code[2].Rb != 5 {
+		t.Errorf("negq: %+v", p.Code[2])
+	}
+	if p.Code[3].Op != isa.BSR || p.Code[3].Rd != isa.RegRA {
+		t.Errorf("call: %+v", p.Code[3])
+	}
+	if p.Code[4].Op != isa.RET || p.Code[4].Rb != isa.RegRA {
+		t.Errorf("bare ret: %+v", p.Code[4])
+	}
+	if p.Code[5].Op != isa.RET || p.Code[5].Rb != 6 {
+		t.Errorf("ret (t5): %+v", p.Code[5])
+	}
+}
+
+func TestImmediateTwinSelection(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   addq t0, t1, 5
+        subq t0, t1, t2
+        and  t0, t1, 0xff
+        syscall
+`)
+	if p.Code[0].Op != isa.ADDQI || p.Code[0].Imm != 5 {
+		t.Errorf("addq imm twin: %+v", p.Code[0])
+	}
+	if p.Code[1].Op != isa.SUBQ {
+		t.Errorf("subq reg form: %+v", p.Code[1])
+	}
+	if p.Code[2].Op != isa.ANDI || p.Code[2].Imm != 0xff {
+		t.Errorf("and imm twin: %+v", p.Code[2])
+	}
+}
+
+func TestCommentsAndFormatting(t *testing.T) {
+	p := mustAssemble(t, `
+; leading comment
+        .text
+main:   nop            ; trailing
+        nop            # hash comment
+        nop            // slash comment
+a: b:   nop            ; two labels, one line
+        syscall
+`)
+	if len(p.Code) != 5 {
+		t.Fatalf("code len = %d, want 5", len(p.Code))
+	}
+	if p.Symbols["a"] != p.Symbols["b"] || p.Symbols["a"] != p.PCOf(3) {
+		t.Errorf("multi-label line: a=%#x b=%#x", p.Symbols["a"], p.Symbols["b"])
+	}
+}
+
+func TestJsrJmpForms(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   jsr (pv)
+        jsr t0, (t1)
+        jmp (t2)
+        syscall
+`)
+	if p.Code[0].Op != isa.JSR || p.Code[0].Rd != isa.RegRA || p.Code[0].Rb != isa.RegPV {
+		t.Errorf("jsr (pv): %+v", p.Code[0])
+	}
+	if p.Code[1].Rd != 1 || p.Code[1].Rb != 2 {
+		t.Errorf("jsr t0,(t1): %+v", p.Code[1])
+	}
+	if p.Code[2].Op != isa.JMP || p.Code[2].Rb != 3 {
+		t.Errorf("jmp: %+v", p.Code[2])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"main: frob t0, t1\n syscall", "unknown mnemonic"},
+		{"main: addq t0, t1\n syscall", "wants rd, ra, rb"},
+		{"main: beq t0, nowhere\n syscall", "undefined symbol"},
+		{"main: ldq t0, 8(bad)\n syscall", "bad base register"},
+		{".data\nx: .word 1\n.text\nmain: syscall\nx: nop", "duplicate label"},
+		{".text\nmain: syscall\n.data\n.word 1\n.text\n .word 2", ".word outside .data"},
+		{"main: br main\n.frob", "unknown directive"},
+		{".data\nx: .space -1\n.text\nmain: syscall", "bad .space size"},
+		{"main: ldiq t0, 0x100000000\n syscall", "out of range"},
+	}
+	for _, c := range cases {
+		_, err := Assemble("e.s", c.src)
+		if err == nil {
+			t.Errorf("source %q: expected error %q, got none", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("source %q: error %q does not contain %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestBranchOutOfTextRejected(t *testing.T) {
+	// Validate() must reject control transfers outside the text segment.
+	_, err := Assemble("e.s", `
+        .text
+main:   br end
+        syscall
+        .data
+end:    .word 0
+`)
+	if err == nil || !strings.Contains(err.Error(), "outside text") {
+		t.Errorf("expected outside-text error, got %v", err)
+	}
+}
+
+func TestErrorListFormatting(t *testing.T) {
+	var l ErrorList
+	if l.Error() != "no errors" {
+		t.Errorf("empty list: %q", l.Error())
+	}
+	for i := 0; i < 15; i++ {
+		l = append(l, &Error{"f.s", i + 1, "boom"})
+	}
+	s := l.Error()
+	if !strings.Contains(s, "f.s:1: boom") || !strings.Contains(s, "and 5 more") {
+		t.Errorf("list format: %q", s)
+	}
+}
+
+func TestEncodedRoundTrip(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   addq t0, t1, t2
+        ldq  s0, 16(sp)
+        beq  t0, main
+        syscall
+`)
+	for i, in := range p.Code {
+		got, err := isa.Decode(isa.Encode(in))
+		if err != nil || got != in {
+			t.Errorf("code[%d] round trip: %+v -> %+v (%v)", i, in, got, err)
+		}
+	}
+}
+
+func TestSymbolFor(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   nop
+        nop
+f:      nop
+        syscall
+`)
+	name, off := p.SymbolFor(p.PCOf(3))
+	if name != "f" || off != 4 {
+		t.Errorf("SymbolFor = %s+%d, want f+4", name, off)
+	}
+}

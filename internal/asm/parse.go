@@ -1,0 +1,331 @@
+package asm
+
+import (
+	"strings"
+
+	"rix/internal/isa"
+)
+
+// immTwins maps register-form ALU opcodes to their immediate-form twins,
+// enabling "addq rd, ra, 5" to auto-select addqi.
+var immTwins = map[isa.Opcode]isa.Opcode{
+	isa.ADDQ: isa.ADDQI, isa.SUBQ: isa.SUBQI, isa.MULQ: isa.MULQI,
+	isa.AND: isa.ANDI, isa.BIS: isa.BISI, isa.XOR: isa.XORI,
+	isa.SLL: isa.SLLI, isa.SRL: isa.SRLI, isa.SRA: isa.SRAI,
+	isa.CMPEQ: isa.CMPEQI, isa.CMPLT: isa.CMPLTI, isa.CMPLE: isa.CMPLEI,
+	isa.CMPULT: isa.CMPULTI,
+}
+
+// instruction parses one instruction line and appends the resulting slot.
+func (a *assembler) instruction(line int, text string) {
+	f := splitOperands(text)
+	mnem, args := strings.ToLower(f[0]), f[1:]
+
+	// Pseudo-instructions first.
+	switch mnem {
+	case "mov": // mov rd, rs -> bis rd, rs, zero
+		if rd, ok := a.reg(line, args, 0); ok {
+			if rs, ok := a.reg(line, args, 1); ok {
+				a.emit(line, isa.Instr{Op: isa.BIS, Rd: rd, Ra: rs, Rb: isa.RegZero})
+			}
+		}
+		return
+	case "clr": // clr rd -> bis rd, zero, zero
+		if rd, ok := a.reg(line, args, 0); ok {
+			a.emit(line, isa.Instr{Op: isa.BIS, Rd: rd, Ra: isa.RegZero, Rb: isa.RegZero})
+		}
+		return
+	case "ldiq": // ldiq rd, imm|sym -> lda rd, imm(zero)
+		rd, ok := a.reg(line, args, 0)
+		if !ok {
+			return
+		}
+		if len(args) < 2 {
+			a.errorf(line, "ldiq wants rd, value")
+			return
+		}
+		in := isa.Instr{Op: isa.LDA, Rd: rd, Ra: isa.RegZero}
+		a.emitImmOrSym(line, in, args[1], immAbs)
+		return
+	case "negq": // negq rd, rs -> subq rd, zero, rs
+		if rd, ok := a.reg(line, args, 0); ok {
+			if rs, ok := a.reg(line, args, 1); ok {
+				a.emit(line, isa.Instr{Op: isa.SUBQ, Rd: rd, Ra: isa.RegZero, Rb: rs})
+			}
+		}
+		return
+	case "call": // call sym -> bsr ra, sym
+		if len(args) != 1 {
+			a.errorf(line, "call wants a target")
+			return
+		}
+		a.emitImmOrSym(line, isa.Instr{Op: isa.BSR, Rd: isa.RegRA}, args[0], immBranch)
+		return
+	}
+
+	op, ok := isa.OpByName(mnem)
+	if !ok {
+		a.errorf(line, "unknown mnemonic %q", mnem)
+		return
+	}
+
+	switch op.ClassOf() {
+	case isa.ClassNop:
+		a.emit(line, isa.Instr{Op: isa.NOP})
+
+	case isa.ClassIntALU, isa.ClassIntMul, isa.ClassFP:
+		a.operate(line, op, args)
+
+	case isa.ClassLoad: // ldq rd, disp(ra) | ldq rd, sym | ldq rd, sym(ra)
+		rd, ok := a.reg(line, args, 0)
+		if !ok {
+			return
+		}
+		if len(args) < 2 {
+			a.errorf(line, "%s wants rd, address", op)
+			return
+		}
+		a.emitMem(line, isa.Instr{Op: op, Rd: rd}, args[1])
+
+	case isa.ClassStore: // stq rs, disp(ra)
+		rs, ok := a.reg(line, args, 0)
+		if !ok {
+			return
+		}
+		if len(args) < 2 {
+			a.errorf(line, "%s wants rs, address", op)
+			return
+		}
+		a.emitMem(line, isa.Instr{Op: op, Rb: rs}, args[1])
+
+	case isa.ClassBranch: // beq ra, target
+		ra, ok := a.reg(line, args, 0)
+		if !ok {
+			return
+		}
+		if len(args) < 2 {
+			a.errorf(line, "%s wants ra, target", op)
+			return
+		}
+		a.emitImmOrSym(line, isa.Instr{Op: op, Ra: ra}, args[1], immBranch)
+
+	case isa.ClassJumpDirect: // br target
+		if len(args) != 1 {
+			a.errorf(line, "br wants a target")
+			return
+		}
+		a.emitImmOrSym(line, isa.Instr{Op: isa.BR}, args[0], immBranch)
+
+	case isa.ClassCallDirect: // bsr [rd,] target
+		in := isa.Instr{Op: isa.BSR, Rd: isa.RegRA}
+		target := ""
+		switch len(args) {
+		case 1:
+			target = args[0]
+		case 2:
+			rd, ok := a.reg(line, args, 0)
+			if !ok {
+				return
+			}
+			in.Rd = rd
+			target = args[1]
+		default:
+			a.errorf(line, "bsr wants [rd,] target")
+			return
+		}
+		a.emitImmOrSym(line, in, target, immBranch)
+
+	case isa.ClassCallIndirect: // jsr [rd,] (rb)
+		in := isa.Instr{Op: isa.JSR, Rd: isa.RegRA}
+		tgt := ""
+		switch len(args) {
+		case 1:
+			tgt = args[0]
+		case 2:
+			rd, ok := a.reg(line, args, 0)
+			if !ok {
+				return
+			}
+			in.Rd = rd
+			tgt = args[1]
+		default:
+			a.errorf(line, "jsr wants [rd,] (rb)")
+			return
+		}
+		rb, ok := a.parenReg(line, tgt)
+		if !ok {
+			return
+		}
+		in.Rb = rb
+		a.emit(line, in)
+
+	case isa.ClassJumpIndirect: // jmp (rb)
+		if len(args) != 1 {
+			a.errorf(line, "jmp wants (rb)")
+			return
+		}
+		rb, ok := a.parenReg(line, args[0])
+		if !ok {
+			return
+		}
+		a.emit(line, isa.Instr{Op: isa.JMP, Rb: rb})
+
+	case isa.ClassRet: // ret | ret (rb)
+		in := isa.Instr{Op: isa.RET, Rb: isa.RegRA}
+		if len(args) == 1 {
+			rb, ok := a.parenReg(line, args[0])
+			if !ok {
+				return
+			}
+			in.Rb = rb
+		} else if len(args) > 1 {
+			a.errorf(line, "ret wants at most (rb)")
+			return
+		}
+		a.emit(line, in)
+
+	case isa.ClassSyscall:
+		a.emit(line, isa.Instr{Op: isa.SYSCALL})
+	}
+}
+
+// operate parses ALU/FP formats.
+func (a *assembler) operate(line int, op isa.Opcode, args []string) {
+	rd, ok := a.reg(line, args, 0)
+	if !ok {
+		return
+	}
+	switch {
+	case op == isa.LDA || op == isa.LDAH:
+		if len(args) < 2 {
+			a.errorf(line, "%s wants rd, disp(ra)", op)
+			return
+		}
+		a.emitMem(line, isa.Instr{Op: op, Rd: rd}, args[1])
+
+	case op == isa.CVTQT || op == isa.CVTTQ:
+		ra, ok := a.reg(line, args, 1)
+		if !ok {
+			return
+		}
+		a.emit(line, isa.Instr{Op: op, Rd: rd, Ra: ra})
+
+	case op.HasImm(): // immediate form: op rd, ra, imm
+		ra, ok := a.reg(line, args, 1)
+		if !ok {
+			return
+		}
+		if len(args) < 3 {
+			a.errorf(line, "%s wants rd, ra, imm", op)
+			return
+		}
+		a.emitImmOrSym(line, isa.Instr{Op: op, Rd: rd, Ra: ra}, args[2], immAbs)
+
+	default: // register form: op rd, ra, rb — or immediate-twin switch
+		ra, ok := a.reg(line, args, 1)
+		if !ok {
+			return
+		}
+		if len(args) < 3 {
+			a.errorf(line, "%s wants rd, ra, rb", op)
+			return
+		}
+		if rb, ok := isa.RegByName(args[2]); ok {
+			a.emit(line, isa.Instr{Op: op, Rd: rd, Ra: ra, Rb: rb})
+			return
+		}
+		twin, ok := immTwins[op]
+		if !ok {
+			a.errorf(line, "%s wants a register third operand, got %q", op, args[2])
+			return
+		}
+		a.emitImmOrSym(line, isa.Instr{Op: twin, Rd: rd, Ra: ra}, args[2], immAbs)
+	}
+}
+
+// emitMem parses a "disp(ra)" / "sym" / "sym+off(ra)" memory operand into
+// in.Ra and the immediate.
+func (a *assembler) emitMem(line int, in isa.Instr, operand string) {
+	base := isa.RegZero
+	dispStr := operand
+	if i := strings.IndexByte(operand, '('); i >= 0 {
+		if !strings.HasSuffix(operand, ")") {
+			a.errorf(line, "bad memory operand %q", operand)
+			return
+		}
+		r, ok := isa.RegByName(strings.TrimSpace(operand[i+1 : len(operand)-1]))
+		if !ok {
+			a.errorf(line, "bad base register in %q", operand)
+			return
+		}
+		base = r
+		dispStr = strings.TrimSpace(operand[:i])
+		if dispStr == "" {
+			dispStr = "0"
+		}
+	}
+	in.Ra = base
+	a.emitImmOrSym(line, in, dispStr, immAbs)
+}
+
+// emitImmOrSym fills the immediate from a literal, .equ constant, or
+// symbol expression, then appends the slot.
+func (a *assembler) emitImmOrSym(line int, in isa.Instr, s string, kind immKind) {
+	if v, err := parseInt(s); err == nil {
+		if !isa.FitsImm(v) {
+			a.errorf(line, "immediate %d out of range", v)
+			return
+		}
+		in.Imm = v
+		a.emit(line, in)
+		return
+	}
+	if v, ok := a.equs[s]; ok {
+		if !isa.FitsImm(v) {
+			a.errorf(line, "immediate %d out of range", v)
+			return
+		}
+		in.Imm = v
+		a.emit(line, in)
+		return
+	}
+	sym, addend, ok := parseSymExpr(s)
+	if !ok {
+		a.errorf(line, "bad operand %q", s)
+		return
+	}
+	a.slots = append(a.slots, slot{line: line, in: in, kind: kind, sym: sym, addend: addend})
+	a.lines = append(a.lines, line)
+}
+
+func (a *assembler) emit(line int, in isa.Instr) {
+	a.slots = append(a.slots, slot{line: line, in: in, kind: immNone})
+	a.lines = append(a.lines, line)
+}
+
+func (a *assembler) reg(line int, args []string, i int) (isa.Reg, bool) {
+	if i >= len(args) {
+		a.errorf(line, "missing register operand")
+		return 0, false
+	}
+	r, ok := isa.RegByName(args[i])
+	if !ok {
+		a.errorf(line, "bad register %q", args[i])
+		return 0, false
+	}
+	return r, true
+}
+
+func (a *assembler) parenReg(line int, s string) (isa.Reg, bool) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		a.errorf(line, "expected (reg), got %q", s)
+		return 0, false
+	}
+	r, ok := isa.RegByName(strings.TrimSpace(s[1 : len(s)-1]))
+	if !ok {
+		a.errorf(line, "bad register in %q", s)
+		return 0, false
+	}
+	return r, true
+}

@@ -1,0 +1,94 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"rix/internal/isa"
+)
+
+// TestDisasmReassemble: disassembling an assembled program and feeding
+// the listing back through the assembler must reproduce the same code.
+// This closes the loop between the assembler's operand grammar and the
+// disassembler's output format.
+func TestDisasmReassemble(t *testing.T) {
+	p := mustAssemble(t, `
+        .text
+main:   lda   sp, -32(sp)
+        stq   ra, 0(sp)
+        stq   s0, 8(sp)
+        ldiq  t0, 1000
+        clr   t1
+loop:   addq  t1, t1, t0
+        mulqi t2, t0, 3
+        and   t3, t1, t2
+        srl   t4, t3, t0
+        cmplt t5, t4, t1
+        beq   t5, skip
+        subqi t1, t1, 7
+skip:   ldq   t6, 16(sp)
+        stl   t6, 24(sp)
+        ldl   t7, 24(sp)
+        fadd  t8, t6, t7
+        cvttq t9, t8
+        addqi t0, t0, -1
+        bne   t0, loop
+        jsr   ra, (pv)
+        jmp   (t9)
+        ret
+        ldq   ra, 0(sp)
+        lda   sp, 32(sp)
+        syscall
+`)
+	// Render each instruction with raw offsets and reassemble.
+	var b strings.Builder
+	b.WriteString(".text\nmain:\n")
+	for i, in := range p.Code {
+		// PC-relative operands need symbolic targets; rewrite them.
+		switch in.Op.ClassOf() {
+		case isa.ClassBranch:
+			b.WriteString("l" + itoa(i) + ": " + in.Op.String() + " " + in.Ra.String() +
+				", l" + itoa(i+1+int(in.Imm)/4) + "\n")
+		case isa.ClassJumpDirect:
+			b.WriteString("l" + itoa(i) + ": br l" + itoa(i+1+int(in.Imm)/4) + "\n")
+		case isa.ClassCallDirect:
+			b.WriteString("l" + itoa(i) + ": bsr " + in.Rd.String() + ", l" + itoa(i+1+int(in.Imm)/4) + "\n")
+		default:
+			b.WriteString("l" + itoa(i) + ": " + isa.Disasm(in, 0) + "\n")
+		}
+	}
+	// Branch targets may point one past the end.
+	b.WriteString("l" + itoa(len(p.Code)) + ": nop\n")
+
+	p2, err := Assemble("rt.s", b.String())
+	if err != nil {
+		t.Fatalf("reassemble:\n%s\n%v", b.String(), err)
+	}
+	if len(p2.Code) != len(p.Code)+1 {
+		t.Fatalf("code length %d != %d", len(p2.Code), len(p.Code)+1)
+	}
+	for i, want := range p.Code {
+		if p2.Code[i] != want {
+			t.Errorf("instr %d: %+v != %+v (%s)", i, p2.Code[i], want, isa.Disasm(want, 0))
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var d []byte
+	for i > 0 {
+		d = append([]byte{byte('0' + i%10)}, d...)
+		i /= 10
+	}
+	if neg {
+		return "-" + string(d)
+	}
+	return string(d)
+}

@@ -1,0 +1,154 @@
+// Package bpred implements the front-end predictors of the paper's §3.1
+// machine: an 8K-entry hybrid gshare/bimodal conditional-branch predictor,
+// a 4K-entry BTB for indirect targets, a return-address stack whose
+// top-of-stack index doubles as the dynamic call depth used by the
+// integration table's opcode indexing (extension 2), and the 256-entry
+// direct-mapped collision history table that throttles speculative loads.
+package bpred
+
+// Config sizes the predictors. Zero values select the paper defaults.
+type Config struct {
+	BimodalEntries int // default 8192
+	GshareEntries  int // default 8192
+	ChooserEntries int // default 8192
+	HistoryBits    uint
+	BTBEntries     int // default 4096
+	RASEntries     int // default 32
+	CHTEntries     int // default 256
+}
+
+func (c Config) withDefaults() Config {
+	if c.BimodalEntries == 0 {
+		c.BimodalEntries = 8192
+	}
+	if c.GshareEntries == 0 {
+		c.GshareEntries = 8192
+	}
+	if c.ChooserEntries == 0 {
+		c.ChooserEntries = 8192
+	}
+	if c.HistoryBits == 0 {
+		c.HistoryBits = 13
+	}
+	if c.BTBEntries == 0 {
+		c.BTBEntries = 4096
+	}
+	if c.RASEntries == 0 {
+		c.RASEntries = 32
+	}
+	if c.CHTEntries == 0 {
+		c.CHTEntries = 256
+	}
+	return c
+}
+
+// Predictor is the conditional-branch direction predictor.
+type Predictor struct {
+	cfg     Config
+	bimodal []uint8 // 2-bit counters
+	gshare  []uint8
+	chooser []uint8 // 2-bit: >=2 selects gshare
+	hist    uint64
+	histMsk uint64
+
+	Lookups uint64
+}
+
+// Snap captures the prediction-time state a branch needs for training and
+// history repair.
+type Snap struct {
+	Hist    uint64
+	Bimodal bool
+	Gshare  bool
+}
+
+// NewPredictor builds the direction predictor.
+func NewPredictor(cfg Config) *Predictor {
+	cfg = cfg.withDefaults()
+	return &Predictor{
+		cfg:     cfg,
+		bimodal: initCounters(cfg.BimodalEntries),
+		gshare:  initCounters(cfg.GshareEntries),
+		chooser: initCounters(cfg.ChooserEntries),
+		histMsk: 1<<cfg.HistoryBits - 1,
+	}
+}
+
+func initCounters(n int) []uint8 {
+	c := make([]uint8, n)
+	for i := range c {
+		c[i] = 1 // weakly not-taken
+	}
+	return c
+}
+
+func pcIndex(pc uint64, n int) int {
+	return int((pc >> 2) % uint64(n))
+}
+
+// Predict returns the predicted direction of the branch at pc plus the
+// snapshot needed to train and to repair history after a squash.
+func (p *Predictor) Predict(pc uint64) (bool, Snap) {
+	p.Lookups++
+	bi := p.bimodal[pcIndex(pc, len(p.bimodal))] >= 2
+	gi := p.gshare[p.gshareIndex(pc)] >= 2
+	use := p.chooser[pcIndex(pc, len(p.chooser))] >= 2
+	taken := bi
+	if use {
+		taken = gi
+	}
+	return taken, Snap{Hist: p.hist, Bimodal: bi, Gshare: gi}
+}
+
+func (p *Predictor) gshareIndex(pc uint64) int {
+	return int(((pc >> 2) ^ (p.hist & p.histMsk)) % uint64(len(p.gshare)))
+}
+
+// HistSnapshot captures the current speculative history without a
+// prediction — every in-flight instruction checkpoints this so that a
+// squash at any point can repair the history register.
+func (p *Predictor) HistSnapshot() Snap { return Snap{Hist: p.hist} }
+
+// SpecUpdate shifts the predicted direction into the speculative global
+// history (done at prediction time, repaired on squash).
+func (p *Predictor) SpecUpdate(taken bool) {
+	p.hist <<= 1
+	if taken {
+		p.hist |= 1
+	}
+}
+
+// Restore rewinds the global history to a snapshot (squash recovery).
+func (p *Predictor) Restore(s Snap) { p.hist = s.Hist }
+
+// RestoreAfter rewinds history to the state immediately after the branch
+// with snapshot s resolved taken/not-taken — used when recovering to the
+// instruction following a mispredicted branch.
+func (p *Predictor) RestoreAfter(s Snap, taken bool) {
+	p.hist = s.Hist << 1
+	if taken {
+		p.hist |= 1
+	}
+}
+
+// Train updates the tables with the architectural outcome, using the
+// history captured at prediction time.
+func (p *Predictor) Train(pc uint64, taken bool, s Snap) {
+	update(&p.bimodal[pcIndex(pc, len(p.bimodal))], taken)
+	gidx := int(((pc >> 2) ^ (s.Hist & p.histMsk)) % uint64(len(p.gshare)))
+	update(&p.gshare[gidx], taken)
+	if s.Bimodal != s.Gshare {
+		// Chooser trains toward whichever component was right.
+		update(&p.chooser[pcIndex(pc, len(p.chooser))], s.Gshare == taken)
+	}
+}
+
+func update(c *uint8, taken bool) {
+	if taken {
+		if *c < 3 {
+			*c++
+		}
+	} else if *c > 0 {
+		*c--
+	}
+}

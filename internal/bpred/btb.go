@@ -1,0 +1,39 @@
+package bpred
+
+// BTB predicts targets of indirect control transfers (JSR/JMP). Direct
+// branch and call targets are decoded straight from the instruction word
+// in this front end, so the BTB's only customers are register-indirect
+// jumps; returns are served by the RAS.
+type BTB struct {
+	tags    []uint64
+	targets []uint64
+
+	Lookups uint64
+	Hits    uint64
+}
+
+// NewBTB builds a direct-mapped BTB with n entries.
+func NewBTB(n int) *BTB {
+	return &BTB{tags: make([]uint64, n), targets: make([]uint64, n)}
+}
+
+func (b *BTB) index(pc uint64) int { return int((pc >> 2) % uint64(len(b.tags))) }
+
+// Predict returns the predicted target for the control instruction at pc;
+// ok is false on a BTB miss.
+func (b *BTB) Predict(pc uint64) (uint64, bool) {
+	b.Lookups++
+	i := b.index(pc)
+	if b.tags[i] == pc && b.targets[i] != 0 {
+		b.Hits++
+		return b.targets[i], true
+	}
+	return 0, false
+}
+
+// Train records the resolved target.
+func (b *BTB) Train(pc, target uint64) {
+	i := b.index(pc)
+	b.tags[i] = pc
+	b.targets[i] = target
+}

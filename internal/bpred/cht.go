@@ -1,0 +1,37 @@
+package bpred
+
+// CHT is the collision history table: a direct-mapped, PC-indexed tag
+// table that remembers loads which previously issued past an unresolved
+// older store and collided. A hit makes the scheduler hold the load until
+// all older store addresses resolve (paper §3.1).
+type CHT struct {
+	tags []uint64
+
+	Lookups uint64
+	Hits    uint64
+	Trained uint64
+}
+
+// NewCHT builds a table with n entries.
+func NewCHT(n int) *CHT {
+	return &CHT{tags: make([]uint64, n)}
+}
+
+func (c *CHT) index(pc uint64) int { return int((pc >> 2) % uint64(len(c.tags))) }
+
+// Predict reports whether the load at pc is predicted to collide with an
+// older store.
+func (c *CHT) Predict(pc uint64) bool {
+	c.Lookups++
+	if c.tags[c.index(pc)] == pc {
+		c.Hits++
+		return true
+	}
+	return false
+}
+
+// Train records a collision by the load at pc.
+func (c *CHT) Train(pc uint64) {
+	c.Trained++
+	c.tags[c.index(pc)] = pc
+}

@@ -1,0 +1,105 @@
+package bpred
+
+// RAS is the return-address stack. Beyond predicting return targets, its
+// top-of-stack index is the dynamic call depth that extension 2 mixes
+// into the integration table index (paper §2.3: "the top-of-stack index
+// of the return-address-stack ... results in a good distribution").
+//
+// Squash repair uses full shadow copies (as in 21264-class fetch units
+// and the simulators of this era): each snapshot captures the whole
+// stack, created lazily and shared until the next push/pop, so the cost
+// is one copy per call/return fetched rather than per instruction.
+type RAS struct {
+	stack []uint64
+	tos   int // number of live entries (also the call depth)
+	depth int // unclamped call depth (can exceed stack size)
+
+	snap *rasShadow // current shared shadow copy; nil when stale
+}
+
+type rasShadow struct {
+	stack []uint64
+	tos   int
+	depth int
+}
+
+// RASSnap is the per-instruction checkpoint restored on squashes. The
+// shadow is immutable and shared between all instructions fetched between
+// two stack mutations.
+type RASSnap struct {
+	shadow *rasShadow
+}
+
+// Tos returns the checkpointed top-of-stack index.
+func (s RASSnap) Tos() int {
+	if s.shadow == nil {
+		return 0
+	}
+	return s.shadow.tos
+}
+
+// Depth returns the checkpointed call depth.
+func (s RASSnap) Depth() int {
+	if s.shadow == nil {
+		return 0
+	}
+	return s.shadow.depth
+}
+
+// NewRAS builds a stack with n entries.
+func NewRAS(n int) *RAS {
+	return &RAS{stack: make([]uint64, n)}
+}
+
+// Depth returns the current dynamic call depth (never negative; not
+// clamped by the stack capacity).
+func (r *RAS) Depth() int { return r.depth }
+
+// Push records a return address at a call.
+func (r *RAS) Push(addr uint64) {
+	r.snap = nil
+	if r.tos < len(r.stack) {
+		r.stack[r.tos] = addr
+		r.tos++
+	} else {
+		// Overflow: overwrite the top; deep recursion loses old entries.
+		r.stack[len(r.stack)-1] = addr
+	}
+	r.depth++
+}
+
+// Pop predicts a return target.
+func (r *RAS) Pop() (uint64, bool) {
+	r.snap = nil
+	if r.depth > 0 {
+		r.depth--
+	}
+	if r.tos == 0 {
+		return 0, false
+	}
+	r.tos--
+	return r.stack[r.tos], true
+}
+
+// Snapshot captures the full state for squash repair. Snapshots taken
+// between two stack mutations share one shadow copy.
+func (r *RAS) Snapshot() RASSnap {
+	if r.snap == nil {
+		sh := &rasShadow{stack: make([]uint64, len(r.stack)), tos: r.tos, depth: r.depth}
+		copy(sh.stack, r.stack)
+		r.snap = sh
+	}
+	return RASSnap{shadow: r.snap}
+}
+
+// Restore rewinds to a snapshot (exact: full shadow copy-back).
+func (r *RAS) Restore(s RASSnap) {
+	if s.shadow == nil {
+		r.tos, r.depth = 0, 0
+		return
+	}
+	copy(r.stack, s.shadow.stack)
+	r.tos = s.shadow.tos
+	r.depth = s.shadow.depth
+	r.snap = nil
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"testing"
+
+	"rix/internal/isa"
+	"rix/internal/regfile"
+)
+
+func TestTableMatchRequiresTagAndInputs(t *testing.T) {
+	tb := NewTable(TableConfig{Entries: 64, Assoc: 4, Mode: IndexPC})
+	k := Key{PC: 0x1000, Op: isa.ADDQI, Imm: 1}
+	tb.Insert(k, Entry{in1: 5, in1Gen: 2, in2: regfile.NoReg, out: 9, outGen: 1, createdSeq: 10})
+
+	if e := tb.Match(k, 5, 2, regfile.NoReg, 0); e == nil {
+		t.Fatal("exact match failed")
+	}
+	if e := tb.Match(k, 6, 2, regfile.NoReg, 0); e != nil {
+		t.Error("matched wrong input register")
+	}
+	if e := tb.Match(k, 5, 3, regfile.NoReg, 0); e != nil {
+		t.Error("matched stale generation")
+	}
+	if e := tb.Match(Key{PC: 0x2000, Op: isa.ADDQI, Imm: 1}, 5, 2, regfile.NoReg, 0); e != nil {
+		t.Error("PC mode matched different PC")
+	}
+	if e := tb.Match(Key{PC: 0x1000, Op: isa.ADDQI, Imm: 2}, 5, 2, regfile.NoReg, 0); e != nil {
+		t.Error("matched different immediate")
+	}
+}
+
+func TestTableOpcodeModeIgnoresPC(t *testing.T) {
+	tb := NewTable(TableConfig{Entries: 64, Assoc: 4, Mode: IndexOpcode, UseCallDepth: true})
+	k := Key{PC: 0x1000, Op: isa.LDQ, Imm: 8, Depth: 3}
+	tb.Insert(k, Entry{in1: 5, in1Gen: 0, in2: regfile.NoReg, out: 9})
+
+	// Different static instruction (different PC), same op/imm/depth: must
+	// match — that is the point of extension 2.
+	k2 := Key{PC: 0x5000, Op: isa.LDQ, Imm: 8, Depth: 3}
+	if e := tb.Match(k2, 5, 0, regfile.NoReg, 0); e == nil {
+		t.Error("opcode mode failed to match across PCs")
+	}
+	// Different call depth indexes a different set — with call-depth
+	// mixing, the lookup misses (entry distribution property).
+	k3 := Key{PC: 0x5000, Op: isa.LDQ, Imm: 8, Depth: 4}
+	if e := tb.Match(k3, 5, 0, regfile.NoReg, 0); e != nil {
+		t.Error("different call depth unexpectedly matched (index should differ)")
+	}
+}
+
+func TestTableOpcodeIndexConflicts(t *testing.T) {
+	// Without call-depth mixing, identical op/imm pairs from many
+	// instructions pile into one set — the conflict phenomenon of §2.3.
+	noDepth := NewTable(TableConfig{Entries: 64, Assoc: 2, Mode: IndexOpcode, UseCallDepth: false})
+	withDepth := NewTable(TableConfig{Entries: 64, Assoc: 2, Mode: IndexOpcode, UseCallDepth: true})
+	for d := 0; d < 8; d++ {
+		k := Key{Op: isa.LDQ, Imm: 0, Depth: d}
+		noDepth.Insert(k, Entry{in1: regfile.PReg(d + 1), out: regfile.PReg(d + 100)})
+		withDepth.Insert(k, Entry{in1: regfile.PReg(d + 1), out: regfile.PReg(d + 100)})
+	}
+	// Without depth: all 8 inserts land in one 2-way set; at most 2
+	// survive.
+	if got := noDepth.Occupancy(); got > 2 {
+		t.Errorf("no-depth occupancy = %d, want <= 2", got)
+	}
+	// With depth: inserts spread across sets.
+	if got := withDepth.Occupancy(); got < 6 {
+		t.Errorf("with-depth occupancy = %d, want >= 6", got)
+	}
+}
+
+func TestTableLRUReplacement(t *testing.T) {
+	tb := NewTable(TableConfig{Entries: 2, Assoc: 2, Mode: IndexPC})
+	// One set of two ways; all PCs map to it.
+	kA := Key{PC: 0x1000, Op: isa.ADDQ}
+	kB := Key{PC: 0x1004, Op: isa.ADDQ}
+	kC := Key{PC: 0x1008, Op: isa.ADDQ}
+	tb.Insert(kA, Entry{in1: 1, in2: 2, out: 10})
+	tb.Insert(kB, Entry{in1: 1, in2: 2, out: 11})
+	// Touch A to make B the LRU.
+	if tb.Match(kA, 1, 0, 2, 0) == nil {
+		t.Fatal("A missing")
+	}
+	tb.Insert(kC, Entry{in1: 1, in2: 2, out: 12})
+	if tb.Match(kA, 1, 0, 2, 0) == nil {
+		t.Error("MRU entry A evicted")
+	}
+	if tb.Match(kB, 1, 0, 2, 0) != nil {
+		t.Error("LRU entry B survived")
+	}
+}
+
+func TestTableRefreshSameTuple(t *testing.T) {
+	tb := NewTable(TableConfig{Entries: 4, Assoc: 4, Mode: IndexPC})
+	k := Key{PC: 0x1000, Op: isa.ADDQI, Imm: 1}
+	tb.Insert(k, Entry{in1: 5, in2: regfile.NoReg, out: 9})
+	tb.Insert(k, Entry{in1: 5, in2: regfile.NoReg, out: 10}) // refresh, not second copy
+	if got := tb.Occupancy(); got != 1 {
+		t.Errorf("occupancy = %d, want 1 (refresh)", got)
+	}
+	e := tb.Match(k, 5, 0, regfile.NoReg, 0)
+	if e == nil || e.out != 10 {
+		t.Errorf("refresh did not update out: %+v", e)
+	}
+}
+
+func TestTableInvalidateStampGuard(t *testing.T) {
+	tb := NewTable(TableConfig{Entries: 4, Assoc: 4, Mode: IndexPC})
+	k := Key{PC: 0x1000, Op: isa.ADDQI, Imm: 1}
+	e := tb.Insert(k, Entry{in1: 5, in2: regfile.NoReg, out: 9})
+	stale := e.Stamp()
+	// Overwrite the slot with a different tuple.
+	tb.Insert(k, Entry{in1: 6, in2: regfile.NoReg, out: 11})
+	tb.Invalidate(e, stale) // must be a no-op: stamp changed
+	if tb.Match(k, 6, 0, regfile.NoReg, 0) == nil {
+		t.Error("stale invalidation clobbered a newer entry")
+	}
+	e2 := tb.Insert(k, Entry{in1: 7, in2: regfile.NoReg, out: 12})
+	tb.Invalidate(e2, e2.Stamp())
+	if tb.Match(k, 7, 0, regfile.NoReg, 0) != nil {
+		t.Error("invalidation failed")
+	}
+}
+
+func TestBranchEntries(t *testing.T) {
+	tb := NewTable(TableConfig{Entries: 16, Assoc: 4, Mode: IndexPC})
+	k := Key{PC: 0x1000, Op: isa.BNE}
+	tb.Insert(k, Entry{in1: 5, in1Gen: 1, in2: regfile.NoReg, out: regfile.NoReg, isBranch: true, taken: true})
+	e := tb.Match(k, 5, 1, regfile.NoReg, 0)
+	if e == nil || !e.isBranch || !e.Taken() {
+		t.Errorf("branch entry: %+v", e)
+	}
+}
+
+func TestFullyAssociative(t *testing.T) {
+	tb := NewTable(TableConfig{Entries: 8, Assoc: 0, Mode: IndexOpcode}) // 0 => fully assoc
+	for i := 0; i < 8; i++ {
+		tb.Insert(Key{Op: isa.LDQ, Imm: int64(i * 8)}, Entry{in1: 3, in2: regfile.NoReg, out: regfile.PReg(i + 10)})
+	}
+	if tb.Occupancy() != 8 {
+		t.Errorf("occupancy = %d, want 8", tb.Occupancy())
+	}
+	for i := 0; i < 8; i++ {
+		if tb.Match(Key{Op: isa.LDQ, Imm: int64(i * 8)}, 3, 0, regfile.NoReg, 0) == nil {
+			t.Errorf("entry %d missing in fully associative table", i)
+		}
+	}
+}
+
+func TestLISP(t *testing.T) {
+	l := NewLISP(LISPConfig{Entries: 64, Assoc: 2})
+	if l.Suppress(0x1000) {
+		t.Error("cold LISP suppressed")
+	}
+	l.Train(0x1000)
+	if !l.Suppress(0x1000) {
+		t.Error("trained LISP did not suppress")
+	}
+	// Overbias: repeated suppression hits keep the entry alive.
+	for i := 0; i < 100; i++ {
+		if !l.Suppress(0x1000) {
+			t.Fatal("entry aged out despite hits")
+		}
+	}
+	// Re-training an existing PC must not duplicate.
+	l.Train(0x1000)
+	if l.TrainInsert != 2 {
+		t.Errorf("TrainInsert = %d", l.TrainInsert)
+	}
+}
+
+func TestLISPConflictEviction(t *testing.T) {
+	l := NewLISP(LISPConfig{Entries: 4, Assoc: 2}) // 2 sets
+	// Three PCs in the same set: the LRU one is evicted.
+	a, b, c := uint64(0x1000), uint64(0x1000+8), uint64(0x1000+16)
+	l.Train(a)
+	l.Train(b)
+	l.Suppress(a) // refresh a
+	l.Train(c)    // evicts b
+	if !l.Suppress(a) || !l.Suppress(c) {
+		t.Error("expected entries missing")
+	}
+	if l.Suppress(b) {
+		t.Error("LRU entry survived conflict")
+	}
+}

@@ -1,0 +1,195 @@
+// Package emu implements the architectural (functional) emulator for the
+// rix ISA. It is the golden model: workloads are validated against it, the
+// pipeline's DIVA checker compares retiring results to its trace, and the
+// oracle mis-integration suppressor consults its values.
+package emu
+
+import (
+	"fmt"
+	"strconv"
+
+	"rix/internal/isa"
+	"rix/internal/prog"
+)
+
+// Syscall numbers (function code in v0, argument in a0).
+const (
+	SysExit   = 0 // exit with code a0
+	SysPutInt = 1 // append decimal a0 and '\n' to output
+	SysPutc   = 2 // append byte a0 to output
+)
+
+// Emulator executes a program architecturally, one instruction per Step.
+type Emulator struct {
+	Prog *prog.Program
+	Mem  *Memory
+	Regs [isa.NumLogical]uint64
+	PC   uint64
+
+	Halted   bool
+	ExitCode uint64
+	Output   []byte
+	Count    uint64 // retired instruction count
+}
+
+// New loads the program: data image mapped, SP at StackTop, GP at the data
+// base, PC at the entry point.
+func New(p *prog.Program) *Emulator {
+	e := &Emulator{Prog: p, Mem: NewMemory(), PC: p.Entry}
+	e.Mem.LoadImage(p.DataBase, p.Data)
+	e.Regs[isa.RegSP] = p.StackTop
+	e.Regs[isa.RegGP] = p.DataBase
+	return e
+}
+
+// TraceRec records the architectural effect of one dynamic instruction:
+// the destination value (or store data), the effective address of memory
+// operations, and the position of the instruction in the text segment.
+// A slice of TraceRecs is the golden trace the pipeline validates against.
+type TraceRec struct {
+	CodeIdx uint32 // index into Prog.Code; PC = CodeBase + 4*CodeIdx
+	Value   uint64 // destination result, or store data for stores
+	Addr    uint64 // effective address for loads/stores, else 0
+}
+
+// PC returns the program counter of the traced instruction.
+func (r TraceRec) PC(p *prog.Program) uint64 { return p.PCOf(int(r.CodeIdx)) }
+
+// ErrBadPC is returned when architectural execution leaves the text
+// segment — always a program or simulator bug on the correct path.
+type ErrBadPC struct{ PC uint64 }
+
+func (e *ErrBadPC) Error() string {
+	return fmt.Sprintf("emu: PC %#x outside text segment", e.PC)
+}
+
+// Step executes one instruction and returns its trace record.
+func (e *Emulator) Step() (TraceRec, error) {
+	if e.Halted {
+		return TraceRec{}, fmt.Errorf("emu: step after halt")
+	}
+	idx, ok := e.Prog.CodeIndex(e.PC)
+	if !ok {
+		return TraceRec{}, &ErrBadPC{e.PC}
+	}
+	in := e.Prog.Code[idx]
+	rec := TraceRec{CodeIdx: uint32(idx)}
+	next := e.PC + isa.InstrBytes
+
+	a := e.Regs[in.Ra]
+	b := e.Regs[in.Rb]
+	old := e.Regs[in.Rd]
+
+	switch in.Op.ClassOf() {
+	case isa.ClassNop:
+
+	case isa.ClassIntALU, isa.ClassIntMul, isa.ClassFP:
+		rec.Value = isa.EvalOp(in.Op, a, b, old, in.Imm)
+		e.setReg(in.Rd, rec.Value)
+
+	case isa.ClassLoad:
+		addr := isa.EffAddr(a, in.Imm)
+		rec.Addr = addr
+		if in.Op == isa.LDQ {
+			rec.Value = e.Mem.Read64(addr)
+		} else {
+			rec.Value = e.Mem.Read32(addr)
+		}
+		e.setReg(in.Rd, rec.Value)
+
+	case isa.ClassStore:
+		addr := isa.EffAddr(a, in.Imm)
+		rec.Addr = addr
+		rec.Value = b
+		if in.Op == isa.STQ {
+			e.Mem.Write64(addr, b)
+		} else {
+			e.Mem.Write32(addr, b)
+		}
+
+	case isa.ClassBranch:
+		if isa.EvalBranch(in.Op, a) {
+			next = in.Target(e.PC)
+			rec.Value = 1
+		}
+
+	case isa.ClassJumpDirect:
+		next = in.Target(e.PC)
+
+	case isa.ClassCallDirect:
+		rec.Value = e.PC + isa.InstrBytes
+		e.setReg(in.Rd, rec.Value)
+		next = in.Target(e.PC)
+
+	case isa.ClassCallIndirect:
+		rec.Value = e.PC + isa.InstrBytes
+		target := b
+		e.setReg(in.Rd, rec.Value)
+		next = target
+
+	case isa.ClassJumpIndirect, isa.ClassRet:
+		next = b
+
+	case isa.ClassSyscall:
+		e.syscall()
+	}
+
+	e.PC = next
+	e.Count++
+	return rec, nil
+}
+
+func (e *Emulator) setReg(r isa.Reg, v uint64) {
+	if r != isa.RegZero {
+		e.Regs[r] = v
+	}
+}
+
+func (e *Emulator) syscall() {
+	fn := e.Regs[isa.RegV0]
+	arg := e.Regs[isa.RegA0]
+	switch fn {
+	case SysExit:
+		e.Halted = true
+		e.ExitCode = arg
+	case SysPutInt:
+		e.Output = strconv.AppendInt(e.Output, int64(arg), 10)
+		e.Output = append(e.Output, '\n')
+	case SysPutc:
+		e.Output = append(e.Output, byte(arg))
+	default:
+		// Unknown syscalls are no-ops, mirroring the paper's OS-expanded
+		// system calls that the core never sees.
+	}
+}
+
+// Run executes until halt or the instruction budget is exhausted.
+func (e *Emulator) Run(maxInstrs uint64) error {
+	for !e.Halted && e.Count < maxInstrs {
+		if _, err := e.Step(); err != nil {
+			return err
+		}
+	}
+	if !e.Halted {
+		return fmt.Errorf("emu: %s did not halt within %d instructions", e.Prog.Name, maxInstrs)
+	}
+	return nil
+}
+
+// Trace executes until halt, recording the golden trace. The returned
+// slice has one record per retired instruction, in program order.
+func Trace(p *prog.Program, maxInstrs uint64) ([]TraceRec, *Emulator, error) {
+	e := New(p)
+	recs := make([]TraceRec, 0, 1<<16)
+	for !e.Halted {
+		if e.Count >= maxInstrs {
+			return nil, nil, fmt.Errorf("emu: %s did not halt within %d instructions", p.Name, maxInstrs)
+		}
+		rec, err := e.Step()
+		if err != nil {
+			return nil, nil, err
+		}
+		recs = append(recs, rec)
+	}
+	return recs, e, nil
+}

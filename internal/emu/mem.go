@@ -1,0 +1,119 @@
+package emu
+
+// Memory is a sparse, paged, little-endian 64-bit address space. Reads of
+// unmapped memory return zero without allocating; writes allocate pages on
+// demand. It serves as both the functional emulator's memory and the
+// pipeline's architectural memory image.
+type Memory struct {
+	pages map[uint64]*page
+}
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+type page [pageSize]byte
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*page)}
+}
+
+// LoadImage copies a byte image to base.
+func (m *Memory) LoadImage(base uint64, img []byte) {
+	for i, b := range img {
+		m.Write8(base+uint64(i), b)
+	}
+}
+
+// Read8 reads one byte.
+func (m *Memory) Read8(addr uint64) byte {
+	p := m.pages[addr>>pageShift]
+	if p == nil {
+		return 0
+	}
+	return p[addr&pageMask]
+}
+
+// Write8 writes one byte, allocating the page if needed.
+func (m *Memory) Write8(addr uint64, v byte) {
+	pn := addr >> pageShift
+	p := m.pages[pn]
+	if p == nil {
+		p = new(page)
+		m.pages[pn] = p
+	}
+	p[addr&pageMask] = v
+}
+
+// Read64 reads a little-endian 64-bit word (no alignment requirement; the
+// fast path handles the aligned, single-page case).
+func (m *Memory) Read64(addr uint64) uint64 {
+	if addr&7 == 0 {
+		if p := m.pages[addr>>pageShift]; p != nil {
+			off := addr & pageMask
+			b := p[off : off+8 : off+8]
+			return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+				uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+		}
+		return 0
+	}
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(m.Read8(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write64 writes a little-endian 64-bit word.
+func (m *Memory) Write64(addr uint64, v uint64) {
+	if addr&7 == 0 {
+		pn := addr >> pageShift
+		p := m.pages[pn]
+		if p == nil {
+			p = new(page)
+			m.pages[pn] = p
+		}
+		off := addr & pageMask
+		b := p[off : off+8 : off+8]
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+		return
+	}
+	for i := 0; i < 8; i++ {
+		m.Write8(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// Read32 reads a little-endian 32-bit word, sign-extended to 64 bits
+// (LDL semantics).
+func (m *Memory) Read32(addr uint64) uint64 {
+	var v uint32
+	for i := 0; i < 4; i++ {
+		v |= uint32(m.Read8(addr+uint64(i))) << (8 * i)
+	}
+	return uint64(int64(int32(v)))
+}
+
+// Write32 writes the low 32 bits of v.
+func (m *Memory) Write32(addr uint64, v uint64) {
+	for i := 0; i < 4; i++ {
+		m.Write8(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// PageCount reports the number of resident pages (for leak checks in
+// tests).
+func (m *Memory) PageCount() int { return len(m.pages) }
+
+// Clone returns a deep copy of the address space.
+func (m *Memory) Clone() *Memory {
+	c := NewMemory()
+	for pn, p := range m.pages {
+		cp := *p
+		c.pages[pn] = &cp
+	}
+	return c
+}

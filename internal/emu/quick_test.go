@@ -1,0 +1,126 @@
+package emu
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Read64(Write64(v)) == v at any address, including unaligned
+// and page-crossing ones.
+func TestMemoryRoundTrip64(t *testing.T) {
+	m := NewMemory()
+	f := func(addr, v uint64) bool {
+		addr &= 0xffff_ffff // keep the page map small
+		m.Write64(addr, v)
+		return m.Read64(addr) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Write32 stores exactly 4 bytes and Read32 sign-extends.
+func TestMemoryRoundTrip32(t *testing.T) {
+	m := NewMemory()
+	f := func(addr uint64, v uint32) bool {
+		addr &= 0xfff_fff8 // aligned, bounded
+		m.Write64(addr, 0xaaaaaaaa_aaaaaaaa)
+		m.Write32(addr, uint64(v))
+		want := uint64(int64(int32(v)))
+		if m.Read32(addr) != want {
+			return false
+		}
+		// Upper half untouched.
+		return m.Read64(addr)>>32 == 0xaaaaaaaa
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adjacent 64-bit writes never interfere.
+func TestMemoryAdjacency(t *testing.T) {
+	f := func(addr, a, b uint64) bool {
+		addr &= 0xffff_fff8
+		m := NewMemory()
+		m.Write64(addr, a)
+		m.Write64(addr+8, b)
+		return m.Read64(addr) == a && m.Read64(addr+8) == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// parameterized program used by the determinism and zero-register
+// property tests.
+func paramProgram(seed int64) string {
+	return fmt.Sprintf(`
+        .text
+main:   ldiq t0, %d
+        ldiq t1, %d
+        ldiq t5, data
+        clr  t3
+loop:   mulqi t1, t1, 1103515245
+        addqi t1, t1, 12345
+        andi t2, t1, 56
+        addq t4, t5, t2
+        stq  t1, 0(t4)
+        ldq  t6, 0(t4)
+        addq t3, t3, t6
+        addqi zero, t1, 9      ; zero-register write (must be discarded)
+        andi t7, t1, 3
+        beq  t7, skip
+        subq t3, t3, t7
+skip:   addqi t0, t0, -1
+        bne  t0, loop
+        clr  v0
+        mov  a0, t3
+        syscall
+        .data
+data:   .space 64
+`, 40+seed%17, 1+seed*7919)
+}
+
+// Property: emulation is deterministic — two independent runs of the same
+// program produce identical traces.
+func TestEmulationDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		p1 := assemble(t, paramProgram(seed))
+		p2 := assemble(t, paramProgram(seed))
+		t1, _, err := Trace(p1, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t2, _, err := Trace(p2, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(t1) != len(t2) {
+			t.Fatalf("seed %d: trace lengths differ", seed)
+		}
+		for i := range t1 {
+			if t1[i] != t2[i] {
+				t.Fatalf("seed %d: trace diverges at %d", seed, i)
+			}
+		}
+	}
+}
+
+// Property: the emulator's zero register never holds a nonzero value,
+// even when a program writes to it.
+func TestZeroRegisterInvariant(t *testing.T) {
+	for seed := int64(10); seed < 14; seed++ {
+		p := assemble(t, paramProgram(seed))
+		e := New(p)
+		for !e.Halted {
+			if _, err := e.Step(); err != nil {
+				t.Fatal(err)
+			}
+			if e.Regs[31] != 0 {
+				t.Fatalf("seed %d: zero register = %d", seed, e.Regs[31])
+			}
+		}
+	}
+}

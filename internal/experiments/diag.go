@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"rix/internal/sim"
+	"rix/internal/stats"
+)
+
+// Diagnostics reproduces the scalar performance diagnostics quoted in
+// §3.2 and §3.5 of the paper:
+//
+//   - mispredict resolution latency (paper: 26 -> 23.5 cycles),
+//   - fetched-instruction reduction (paper: -0.6%),
+//   - executed-instruction reduction (paper: -17%) and loads (-27%),
+//   - average reservation-station occupancy (paper: 31 -> 27),
+//   - per-type integration rates (loads 27%, stack loads 60%).
+func Diagnostics(c *Cache) ([]*stats.Table, error) {
+	var jobs []job
+	for _, b := range c.Names() {
+		jobs = append(jobs, job{b, mustConfig(sim.Options{Integration: sim.IntNone})})
+		jobs = append(jobs, job{b, mustConfig(sim.Options{Integration: sim.IntReverse, Suppression: sim.SuppressLISP})})
+	}
+	res, err := c.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	t := stats.NewTable("§3.2/§3.5 diagnostics: base vs +reverse",
+		"bench", "resolve", "resolve+int", "fetchΔ%", "execΔ%", "loadExecΔ%",
+		"RSocc", "RSocc+int", "load-int%", "sp-load-int%")
+	var resolveB, resolveI, fetchD, execD, loadD, occB, occI, loadR, spR []float64
+	for i, b := range c.Names() {
+		base, integ := res[2*i], res[2*i+1]
+		fd := float64(integ.Fetched)/float64(base.Fetched) - 1
+		ed := float64(integ.Executed)/float64(base.Executed) - 1
+		baseLoadsExec := float64(base.LoadsRetired) // loads that executed = retired loads in base
+		intLoadsExec := baseLoadsExec - float64(integ.IntType[0]+integ.IntType[1])
+		ld := intLoadsExec/baseLoadsExec - 1
+		t.Row(b,
+			base.MispredictResolutionAvg(), integ.MispredictResolutionAvg(),
+			pct2(fd), pct2(ed), pct2(ld),
+			base.AvgRSOccupancy(), integ.AvgRSOccupancy(),
+			pct(integ.LoadIntegrationRate()), pct(integ.SPLoadIntegrationRate()))
+		resolveB = append(resolveB, base.MispredictResolutionAvg())
+		resolveI = append(resolveI, integ.MispredictResolutionAvg())
+		fetchD = append(fetchD, fd)
+		execD = append(execD, ed)
+		loadD = append(loadD, ld)
+		occB = append(occB, base.AvgRSOccupancy())
+		occI = append(occI, integ.AvgRSOccupancy())
+		loadR = append(loadR, integ.LoadIntegrationRate())
+		spR = append(spR, integ.SPLoadIntegrationRate())
+	}
+	t.Row("AMean",
+		stats.AMean(resolveB), stats.AMean(resolveI),
+		pct2(stats.AMean(fetchD)), pct2(stats.AMean(execD)), pct2(stats.AMean(loadD)),
+		stats.AMean(occB), stats.AMean(occI),
+		pct(stats.AMean(loadR)), pct(stats.AMean(spR)))
+	t.Note("paper: resolution 26 -> 23.5, fetched -0.6%%, executed -17%%, loads executed -27%%, RS occupancy 31 -> 27, loads integrate at 27%%, stack loads at 60%%")
+	return []*stats.Table{t}, nil
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"rix/internal/sim"
+	"rix/internal/stats"
+)
+
+// Figure4 reproduces the paper's primary result (Figure 4): the impact of
+// each extension — squash, +general, +opcode, +reverse — on speedup (top
+// graph) and integration rate with mis-integrations (bottom graph), each
+// under a realistic LISP and under oracle suppression.
+//
+// Paper reference points: squash 2%/1%, +general 10%/3.6%, +opcode
+// 12.3%/5%, +reverse 17%/8% (rate / speedup, realistic LISP).
+func Figure4(c *Cache) ([]*stats.Table, error) {
+	presets := sim.IntegrationPresets()
+
+	var jobs []job
+	for _, bench := range c.Names() {
+		jobs = append(jobs, job{bench, mustConfig(sim.Options{Integration: sim.IntNone})})
+		for _, p := range presets {
+			jobs = append(jobs, job{bench, mustConfig(sim.Options{Integration: p, Suppression: sim.SuppressLISP})})
+			jobs = append(jobs, job{bench, mustConfig(sim.Options{Integration: p, Suppression: sim.SuppressOracle})})
+		}
+	}
+	res, err := c.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	speed := stats.NewTable("Figure 4 (top): speedup % over no-integration baseline",
+		"bench", "squash", "+general", "+opcode", "+reverse",
+		"squash/or", "+general/or", "+opcode/or", "+reverse/or", "baseIPC")
+	rate := stats.NewTable("Figure 4 (bottom): integration rate % (direct+reverse) and mis-integrations per 1M retired",
+		"bench", "squash", "+general", "+opcode", "+reverse", "rev-part",
+		"squash/or", "+general/or", "+opcode/or", "+reverse/or", "misint/M")
+
+	nCols := 1 + 2*len(presets)
+	var speedups [8][]float64 // per preset x suppression
+	var rates [8][]float64
+	k := 0
+	for _, bench := range c.Names() {
+		base := res[k]
+		row := []interface{}{bench}
+		rrow := []interface{}{bench}
+		var lispVals, orVals []*float64
+		_ = lispVals
+		_ = orVals
+		// Collect per-preset stats: order lisp, oracle.
+		var sp [8]float64
+		var rt [8]float64
+		var revPart, misM float64
+		for pi := 0; pi < len(presets); pi++ {
+			lisp := res[k+1+2*pi]
+			orc := res[k+2+2*pi]
+			sp[pi] = lisp.IPC()/base.IPC() - 1
+			sp[4+pi] = orc.IPC()/base.IPC() - 1
+			rt[pi] = lisp.IntegrationRate()
+			rt[4+pi] = orc.IntegrationRate()
+			if pi == len(presets)-1 {
+				revPart = lisp.ReverseRate()
+				misM = lisp.MisIntPerMillion()
+			}
+			speedups[pi] = append(speedups[pi], 1+sp[pi])
+			speedups[4+pi] = append(speedups[4+pi], 1+sp[4+pi])
+			rates[pi] = append(rates[pi], rt[pi])
+			rates[4+pi] = append(rates[4+pi], rt[4+pi])
+		}
+		for i := 0; i < 4; i++ {
+			row = append(row, pct2(sp[i]))
+		}
+		for i := 4; i < 8; i++ {
+			row = append(row, pct2(sp[i]))
+		}
+		row = append(row, base.IPC())
+		speed.Row(row...)
+
+		for i := 0; i < 4; i++ {
+			rrow = append(rrow, pct(rt[i]))
+		}
+		rrow = append(rrow, pct(revPart))
+		for i := 4; i < 8; i++ {
+			rrow = append(rrow, pct(rt[i]))
+		}
+		rrow = append(rrow, int(misM))
+		rate.Row(rrow...)
+		k += nCols
+	}
+
+	// Means: geometric for speedups (paper), arithmetic for rates.
+	srow := []interface{}{"GMean"}
+	for i := 0; i < 8; i++ {
+		srow = append(srow, pct2(stats.GeoMean(speedups[i])-1))
+	}
+	srow = append(srow, "")
+	speed.Row(srow...)
+	rrow := []interface{}{"AMean"}
+	for i := 0; i < 4; i++ {
+		rrow = append(rrow, pct(stats.AMean(rates[i])))
+	}
+	rrow = append(rrow, "")
+	for i := 4; i < 8; i++ {
+		rrow = append(rrow, pct(stats.AMean(rates[i])))
+	}
+	rrow = append(rrow, "")
+	rate.Row(rrow...)
+
+	speed.Note("paper (realistic LISP): squash ~1%%, +general 3.6%%, +opcode 5%%, +reverse 8%% mean speedup")
+	rate.Note("paper (realistic LISP): squash ~2%%, +general 10%%, +opcode 12.3%%, +reverse 17%% mean rate")
+	return []*stats.Table{speed, rate}, nil
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"rix/internal/core"
+	"rix/internal/pipeline"
+	"rix/internal/sim"
+	"rix/internal/stats"
+)
+
+// Fig5Benchmarks is the paper's "every other benchmark" subset shown in
+// Figure 5.
+var Fig5Benchmarks = []string{
+	"crafty", "eon.k", "gap", "gzip", "parser", "perl.s", "vortex", "vpr.r",
+}
+
+// Figure5 reproduces the integration-retirement-stream breakdowns of
+// Figure 5: instruction Type, integration Distance, result Status at
+// integration time, and post-integration Refcount — all under the default
+// +reverse configuration with a realistic LISP.
+func Figure5(c *Cache) ([]*stats.Table, error) {
+	benches := intersect(c.Names(), Fig5Benchmarks)
+	var jobs []job
+	for _, b := range benches {
+		jobs = append(jobs, job{b, mustConfig(sim.Options{
+			Integration: sim.IntReverse, Suppression: sim.SuppressLISP})})
+	}
+	res, err := c.runAll(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	typ := stats.NewTable("Figure 5 (Type): integration stream by instruction type, % of integrations",
+		"bench", "rate%", "load-sp", "load", "ALU", "branch", "FP")
+	dist := stats.NewTable("Figure 5 (Distance): rename-stream distance from entry creation, % of integrations",
+		"bench", "<4", "<16", "<64", ">=64")
+	status := stats.NewTable("Figure 5 (Status): result state at integration time, % of integrations",
+		"bench", "rename", "issue", "retire", "shadow/squash")
+	ref := stats.NewTable("Figure 5 (Refcount): post-integration reference count, % of register integrations",
+		"bench", "=1", "<=3", "<=7", ">7")
+
+	for i, b := range benches {
+		st := res[i]
+		tot := float64(st.Integrated)
+		if tot == 0 {
+			tot = 1
+		}
+		typ.Row(b, pct(st.IntegrationRate()),
+			pctOf(st.IntType[0], tot), pctOf(st.IntType[1], tot),
+			pctOf(st.IntType[2], tot), pctOf(st.IntType[3], tot),
+			pctOf(st.IntType[4], tot))
+		dist.Row(b,
+			pctOf(st.IntDistance[0], tot), pctOf(st.IntDistance[1], tot),
+			pctOf(st.IntDistance[2], tot), pctOf(st.IntDistance[3], tot))
+		status.Row(b,
+			pctOf(st.IntStatus[core.StatusRename], tot),
+			pctOf(st.IntStatus[core.StatusIssue], tot),
+			pctOf(st.IntStatus[core.StatusRetire], tot),
+			pctOf(st.IntStatus[core.StatusShadowSquash], tot))
+		regTot := float64(st.IntRefcount[0] + st.IntRefcount[1] + st.IntRefcount[2] + st.IntRefcount[3])
+		if regTot == 0 {
+			regTot = 1
+		}
+		ref.Row(b,
+			pctOf(st.IntRefcount[0], regTot), pctOf(st.IntRefcount[1], regTot),
+			pctOf(st.IntRefcount[2], regTot), pctOf(st.IntRefcount[3], regTot))
+	}
+	dist.Note("paper: <10%% of integrations within 4 instructions, <20%% within 16")
+	status.Note("paper: 10-20%% of results integrated before the producer executed")
+	ref.Note("paper: ~60%% of integrations share with an active mapping; degrees 2-3 dominate")
+	return []*stats.Table{typ, dist, status, ref}, nil
+}
+
+func pctOf(n uint64, tot float64) string {
+	return pct(float64(n) / tot)
+}
+
+func intersect(have, want []string) []string {
+	set := map[string]bool{}
+	for _, h := range have {
+		set[h] = true
+	}
+	var out []string
+	for _, w := range want {
+		if set[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// typeRates computes the per-type integration rates quoted in §3.3
+// (loads 27%, stack loads 60%).
+func typeRates(st *pipeline.Stats) (loadRate, spLoadRate float64) {
+	return st.LoadIntegrationRate(), st.SPLoadIntegrationRate()
+}

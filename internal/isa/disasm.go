@@ -1,0 +1,51 @@
+package isa
+
+import "fmt"
+
+// Disasm renders an instruction in assembler syntax. pc is used to print
+// absolute targets for PC-relative control; pass 0 to print raw offsets.
+func Disasm(in Instr, pc uint64) string {
+	switch in.Op.ClassOf() {
+	case ClassNop:
+		return "nop"
+	case ClassIntALU, ClassIntMul, ClassFP:
+		switch {
+		case in.Op == LDA || in.Op == LDAH:
+			return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Ra)
+		case in.Op == CVTQT || in.Op == CVTTQ:
+			return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Ra)
+		case in.Op.HasImm():
+			return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Ra, in.Imm)
+		default:
+			return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Ra, in.Rb)
+		}
+	case ClassLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Ra)
+	case ClassStore:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rb, in.Imm, in.Ra)
+	case ClassBranch:
+		if pc != 0 {
+			return fmt.Sprintf("%s %s, %#x", in.Op, in.Ra, in.Target(pc))
+		}
+		return fmt.Sprintf("%s %s, .%+d", in.Op, in.Ra, in.Imm)
+	case ClassJumpDirect:
+		if pc != 0 {
+			return fmt.Sprintf("br %#x", in.Target(pc))
+		}
+		return fmt.Sprintf("br .%+d", in.Imm)
+	case ClassCallDirect:
+		if pc != 0 {
+			return fmt.Sprintf("bsr %s, %#x", in.Rd, in.Target(pc))
+		}
+		return fmt.Sprintf("bsr %s, .%+d", in.Rd, in.Imm)
+	case ClassCallIndirect:
+		return fmt.Sprintf("jsr %s, (%s)", in.Rd, in.Rb)
+	case ClassJumpIndirect:
+		return fmt.Sprintf("jmp (%s)", in.Rb)
+	case ClassRet:
+		return fmt.Sprintf("ret (%s)", in.Rb)
+	case ClassSyscall:
+		return "syscall"
+	}
+	return fmt.Sprintf("%s ?", in.Op)
+}

@@ -1,0 +1,73 @@
+package isa
+
+import "fmt"
+
+// Machine word layout (64 bits):
+//
+//	[63:56] opcode
+//	[55:48] rd
+//	[47:40] ra
+//	[39:32] rb
+//	[31:0]  signed 32-bit immediate
+//
+// Instructions occupy InstrBytes (4) of PC space but are stored as 64-bit
+// words in the program image; the loader indexes code by (pc-base)/4.
+
+// ErrBadEncoding is returned by Decode for malformed words.
+type ErrBadEncoding struct {
+	Word uint64
+	Why  string
+}
+
+func (e *ErrBadEncoding) Error() string {
+	return fmt.Sprintf("isa: bad encoding %#016x: %s", e.Word, e.Why)
+}
+
+// Encode packs the instruction into a machine word.
+func Encode(in Instr) uint64 {
+	return uint64(in.Op)<<56 |
+		uint64(in.Rd)<<48 |
+		uint64(in.Ra)<<40 |
+		uint64(in.Rb)<<32 |
+		uint64(uint32(int32(in.Imm)))
+}
+
+// Decode unpacks a machine word into an instruction, validating opcode and
+// register fields.
+func Decode(word uint64) (Instr, error) {
+	in := Instr{
+		Op:  Opcode(word >> 56),
+		Rd:  Reg(word >> 48),
+		Ra:  Reg(word >> 40),
+		Rb:  Reg(word >> 32),
+		Imm: int64(int32(uint32(word))),
+	}
+	if int(in.Op) >= NumOpcodes {
+		return Instr{}, &ErrBadEncoding{word, "unknown opcode"}
+	}
+	if in.Rd >= NumLogical || in.Ra >= NumLogical || in.Rb >= NumLogical {
+		return Instr{}, &ErrBadEncoding{word, "register out of range"}
+	}
+	if !fitsImm32(in.Imm) {
+		return Instr{}, &ErrBadEncoding{word, "immediate out of range"}
+	}
+	return in, nil
+}
+
+// MustDecode decodes a word known to be valid; it panics on failure and is
+// intended for program images produced by the assembler.
+func MustDecode(word uint64) Instr {
+	in, err := Decode(word)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// FitsImm reports whether v is representable in the instruction word's
+// signed 32-bit immediate field.
+func FitsImm(v int64) bool { return fitsImm32(v) }
+
+func fitsImm32(v int64) bool {
+	return v >= -(1<<31) && v < (1<<31)
+}

@@ -1,0 +1,141 @@
+package isa
+
+import "math"
+
+// EvalOp computes the result of a non-memory, non-control operate
+// instruction given its source values. It is the single source of truth
+// for operate semantics, shared by the functional emulator, the pipeline
+// execute stage and the DIVA checker. a and b are the values of Ra and Rb;
+// old is the prior value of Rd (read only by conditional moves).
+func EvalOp(op Opcode, a, b, old uint64, imm int64) uint64 {
+	iv := uint64(imm)
+	switch op {
+	case ADDQ:
+		return a + b
+	case SUBQ:
+		return a - b
+	case MULQ:
+		return a * b
+	case AND:
+		return a & b
+	case BIS:
+		return a | b
+	case XOR:
+		return a ^ b
+	case BIC:
+		return a &^ b
+	case SLL:
+		return a << (b & 63)
+	case SRL:
+		return a >> (b & 63)
+	case SRA:
+		return uint64(int64(a) >> (b & 63))
+	case CMPEQ:
+		return boolTo(a == b)
+	case CMPLT:
+		return boolTo(int64(a) < int64(b))
+	case CMPLE:
+		return boolTo(int64(a) <= int64(b))
+	case CMPULT:
+		return boolTo(a < b)
+	case CMOVEQ:
+		if a == 0 {
+			return b
+		}
+		return old
+	case CMOVNE:
+		if a != 0 {
+			return b
+		}
+		return old
+
+	case ADDQI:
+		return a + iv
+	case SUBQI:
+		return a - iv
+	case MULQI:
+		return a * iv
+	case ANDI:
+		return a & iv
+	case BISI:
+		return a | iv
+	case XORI:
+		return a ^ iv
+	case SLLI:
+		return a << (iv & 63)
+	case SRLI:
+		return a >> (iv & 63)
+	case SRAI:
+		return uint64(int64(a) >> (iv & 63))
+	case CMPEQI:
+		return boolTo(a == iv)
+	case CMPLTI:
+		return boolTo(int64(a) < imm)
+	case CMPLEI:
+		return boolTo(int64(a) <= imm)
+	case CMPULTI:
+		return boolTo(a < iv)
+
+	case LDA:
+		return a + iv
+	case LDAH:
+		return a + uint64(imm<<16)
+
+	case FADD:
+		return f2b(b2f(a) + b2f(b))
+	case FSUB:
+		return f2b(b2f(a) - b2f(b))
+	case FMUL:
+		return f2b(b2f(a) * b2f(b))
+	case FDIV:
+		d := b2f(b)
+		if d == 0 {
+			return f2b(0)
+		}
+		return f2b(b2f(a) / d)
+	case FCMPLT:
+		return boolTo(b2f(a) < b2f(b))
+	case CVTQT:
+		return f2b(float64(int64(a)))
+	case CVTTQ:
+		f := b2f(a)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return 0
+		}
+		return uint64(int64(f))
+	}
+	return 0
+}
+
+// EvalBranch computes the taken/not-taken outcome of a conditional branch
+// given the value of Ra.
+func EvalBranch(op Opcode, a uint64) bool {
+	switch op {
+	case BEQ:
+		return a == 0
+	case BNE:
+		return a != 0
+	case BLT:
+		return int64(a) < 0
+	case BGE:
+		return int64(a) >= 0
+	case BLE:
+		return int64(a) <= 0
+	case BGT:
+		return int64(a) > 0
+	}
+	return false
+}
+
+// EffAddr computes the effective address of a memory instruction.
+func EffAddr(base uint64, imm int64) uint64 { return base + uint64(imm) }
+
+func boolTo(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func b2f(v uint64) float64 { return math.Float64frombits(v) }
+func f2b(f float64) uint64 { return math.Float64bits(f) }

@@ -1,0 +1,366 @@
+// Package isa defines the rix instruction set: a 64-bit, Alpha-flavoured
+// RISC ISA with 32 integer logical registers, a hardwired zero register,
+// LDA-style address arithmetic and the classic stack save/restore idiom.
+// The ISA is the substrate on which register integration operates; its
+// shape (opcode + immediate + input registers fully determine a result)
+// is what makes the integration test of the paper well-defined.
+package isa
+
+import "fmt"
+
+// Reg names a logical (architectural) register, 0..31.
+type Reg uint8
+
+// NumLogical is the number of architectural integer registers.
+const NumLogical = 32
+
+// Conventional register assignments (Alpha-flavoured).
+const (
+	RegV0   Reg = 0  // function result
+	RegT0   Reg = 1  // caller-saved temporaries t0..t7 = r1..r8
+	RegS0   Reg = 9  // callee-saved s0..s5 = r9..r14
+	RegA0   Reg = 16 // arguments a0..a5 = r16..r21
+	RegRA   Reg = 26 // return address
+	RegPV   Reg = 27 // procedure value
+	RegAT   Reg = 28 // assembler temporary
+	RegGP   Reg = 29 // global pointer
+	RegSP   Reg = 30 // stack pointer
+	RegZero Reg = 31 // hardwired zero
+)
+
+// regNames maps conventional names to register numbers for the assembler
+// and disassembler.
+var regNames = map[string]Reg{
+	"v0": 0,
+	"t0": 1, "t1": 2, "t2": 3, "t3": 4, "t4": 5, "t5": 6, "t6": 7, "t7": 8,
+	"s0": 9, "s1": 10, "s2": 11, "s3": 12, "s4": 13, "s5": 14, "fp": 15, "s6": 15,
+	"a0": 16, "a1": 17, "a2": 18, "a3": 19, "a4": 20, "a5": 21,
+	"t8": 22, "t9": 23, "t10": 24, "t11": 25,
+	"ra": 26, "pv": 27, "t12": 27, "at": 28, "gp": 29, "sp": 30, "zero": 31,
+}
+
+// RegByName resolves a conventional ("sp") or numeric ("r30", "$30")
+// register name.
+func RegByName(name string) (Reg, bool) {
+	if r, ok := regNames[name]; ok {
+		return r, true
+	}
+	var n int
+	if len(name) >= 2 && (name[0] == 'r' || name[0] == '$') {
+		if _, err := fmt.Sscanf(name[1:], "%d", &n); err == nil && n >= 0 && n < NumLogical {
+			return Reg(n), true
+		}
+	}
+	return 0, false
+}
+
+// canonicalNames holds the preferred conventional name for each register.
+var canonicalNames = [NumLogical]string{
+	"v0", "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "fp",
+	"a0", "a1", "a2", "a3", "a4", "a5",
+	"t8", "t9", "t10", "t11",
+	"ra", "pv", "at", "gp", "sp", "zero",
+}
+
+// String returns the canonical conventional name of the register.
+func (r Reg) String() string {
+	if r < NumLogical {
+		return canonicalNames[r]
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// Opcode enumerates every operation in the ISA.
+type Opcode uint8
+
+// Operate-format opcodes (register and immediate forms), memory, control
+// and system opcodes. Immediate forms end in I; FP operations treat the
+// 64-bit register contents as IEEE float64 bits.
+const (
+	NOP Opcode = iota
+
+	// Integer operate, register form: rd = ra OP rb.
+	ADDQ
+	SUBQ
+	MULQ
+	AND
+	BIS // logical OR (Alpha "bit set")
+	XOR
+	BIC // and-not
+	SLL
+	SRL
+	SRA
+	CMPEQ
+	CMPLT
+	CMPLE
+	CMPULT
+	CMOVEQ // rd = (ra==0) ? rb : rd  (reads rd)
+	CMOVNE // rd = (ra!=0) ? rb : rd  (reads rd)
+
+	// Integer operate, immediate form: rd = ra OP imm.
+	ADDQI
+	SUBQI
+	MULQI
+	ANDI
+	BISI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	CMPEQI
+	CMPLTI
+	CMPLEI
+	CMPULTI
+
+	// Address arithmetic: rd = ra + imm (LDA), rd = ra + imm<<16 (LDAH).
+	LDA
+	LDAH
+
+	// Memory: displacement addressing off ra.
+	LDQ // rd = mem64[ra+imm]
+	LDL // rd = sign-extended mem32[ra+imm]
+	STQ // mem64[ra+imm] = rb
+	STL // mem32[ra+imm] = low32(rb)
+
+	// Conditional branches: compare ra against zero, target = next PC + imm.
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLE
+	BGT
+
+	// Unconditional control.
+	BR  // direct jump, resolved at decode, never integrated
+	BSR // direct call: rd = next PC, push RAS
+	JSR // indirect call: rd = next PC, target = rb
+	JMP // indirect jump: target = rb
+	RET // return: target = rb (conventionally ra), pop RAS
+
+	// Floating point on float64 bit patterns.
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FCMPLT // rd = (f(ra) < f(rb)) ? 1 : 0
+	CVTQT  // rd = float64(int64(ra)) bits
+	CVTTQ  // rd = int64(truncate(f(ra)))
+
+	// System call: function in v0, args in a0..a1.
+	SYSCALL
+
+	numOpcodes
+)
+
+// NumOpcodes is the number of defined opcodes.
+const NumOpcodes = int(numOpcodes)
+
+// Class partitions opcodes by pipeline resource requirements.
+type Class uint8
+
+const (
+	ClassNop Class = iota
+	ClassIntALU
+	ClassIntMul // complex integer: shares the FP/complex issue port
+	ClassFP
+	ClassLoad
+	ClassStore
+	ClassBranch       // conditional branch
+	ClassJumpDirect   // BR: resolved at decode
+	ClassCallDirect   // BSR: link register written at decode, pushes RAS
+	ClassCallIndirect // JSR: link write + register target
+	ClassJumpIndirect // JMP
+	ClassRet          // RET: pops RAS
+	ClassSyscall
+)
+
+// opInfo is the static description of one opcode.
+type opInfo struct {
+	name    string
+	class   Class
+	hasRd   bool // writes a destination register
+	hasRa   bool // reads operand register a
+	hasRb   bool // reads operand register b
+	hasImm  bool // uses the immediate field
+	latency int  // execute latency in cycles
+}
+
+var opTable = [numOpcodes]opInfo{
+	NOP: {"nop", ClassNop, false, false, false, false, 1},
+
+	ADDQ:   {"addq", ClassIntALU, true, true, true, false, 1},
+	SUBQ:   {"subq", ClassIntALU, true, true, true, false, 1},
+	MULQ:   {"mulq", ClassIntMul, true, true, true, false, 3},
+	AND:    {"and", ClassIntALU, true, true, true, false, 1},
+	BIS:    {"bis", ClassIntALU, true, true, true, false, 1},
+	XOR:    {"xor", ClassIntALU, true, true, true, false, 1},
+	BIC:    {"bic", ClassIntALU, true, true, true, false, 1},
+	SLL:    {"sll", ClassIntALU, true, true, true, false, 1},
+	SRL:    {"srl", ClassIntALU, true, true, true, false, 1},
+	SRA:    {"sra", ClassIntALU, true, true, true, false, 1},
+	CMPEQ:  {"cmpeq", ClassIntALU, true, true, true, false, 1},
+	CMPLT:  {"cmplt", ClassIntALU, true, true, true, false, 1},
+	CMPLE:  {"cmple", ClassIntALU, true, true, true, false, 1},
+	CMPULT: {"cmpult", ClassIntALU, true, true, true, false, 1},
+	CMOVEQ: {"cmoveq", ClassIntALU, true, true, true, false, 1},
+	CMOVNE: {"cmovne", ClassIntALU, true, true, true, false, 1},
+
+	ADDQI:   {"addqi", ClassIntALU, true, true, false, true, 1},
+	SUBQI:   {"subqi", ClassIntALU, true, true, false, true, 1},
+	MULQI:   {"mulqi", ClassIntMul, true, true, false, true, 3},
+	ANDI:    {"andi", ClassIntALU, true, true, false, true, 1},
+	BISI:    {"bisi", ClassIntALU, true, true, false, true, 1},
+	XORI:    {"xori", ClassIntALU, true, true, false, true, 1},
+	SLLI:    {"slli", ClassIntALU, true, true, false, true, 1},
+	SRLI:    {"srli", ClassIntALU, true, true, false, true, 1},
+	SRAI:    {"srai", ClassIntALU, true, true, false, true, 1},
+	CMPEQI:  {"cmpeqi", ClassIntALU, true, true, false, true, 1},
+	CMPLTI:  {"cmplti", ClassIntALU, true, true, false, true, 1},
+	CMPLEI:  {"cmplei", ClassIntALU, true, true, false, true, 1},
+	CMPULTI: {"cmpulti", ClassIntALU, true, true, false, true, 1},
+
+	LDA:  {"lda", ClassIntALU, true, true, false, true, 1},
+	LDAH: {"ldah", ClassIntALU, true, true, false, true, 1},
+
+	LDQ: {"ldq", ClassLoad, true, true, false, true, 1},
+	LDL: {"ldl", ClassLoad, true, true, false, true, 1},
+	STQ: {"stq", ClassStore, false, true, true, true, 1},
+	STL: {"stl", ClassStore, false, true, true, true, 1},
+
+	BEQ: {"beq", ClassBranch, false, true, false, true, 1},
+	BNE: {"bne", ClassBranch, false, true, false, true, 1},
+	BLT: {"blt", ClassBranch, false, true, false, true, 1},
+	BGE: {"bge", ClassBranch, false, true, false, true, 1},
+	BLE: {"ble", ClassBranch, false, true, false, true, 1},
+	BGT: {"bgt", ClassBranch, false, true, false, true, 1},
+
+	BR:  {"br", ClassJumpDirect, false, false, false, true, 1},
+	BSR: {"bsr", ClassCallDirect, true, false, false, true, 1},
+	JSR: {"jsr", ClassCallIndirect, true, false, true, false, 1},
+	JMP: {"jmp", ClassJumpIndirect, false, false, true, false, 1},
+	RET: {"ret", ClassRet, false, false, true, false, 1},
+
+	FADD:   {"fadd", ClassFP, true, true, true, false, 2},
+	FSUB:   {"fsub", ClassFP, true, true, true, false, 2},
+	FMUL:   {"fmul", ClassFP, true, true, true, false, 4},
+	FDIV:   {"fdiv", ClassFP, true, true, true, false, 12},
+	FCMPLT: {"fcmplt", ClassFP, true, true, true, false, 2},
+	CVTQT:  {"cvtqt", ClassFP, true, true, false, false, 2},
+	CVTTQ:  {"cvttq", ClassFP, true, true, false, false, 2},
+
+	SYSCALL: {"syscall", ClassSyscall, false, false, false, false, 1},
+}
+
+// String returns the mnemonic of the opcode.
+func (op Opcode) String() string {
+	if int(op) < NumOpcodes {
+		return opTable[op].name
+	}
+	return fmt.Sprintf("op%d", uint8(op))
+}
+
+// OpByName resolves a mnemonic to its opcode.
+func OpByName(name string) (Opcode, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
+var opsByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := Opcode(0); op < numOpcodes; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// ClassOf returns the pipeline class of op.
+func (op Opcode) ClassOf() Class { return opTable[op].class }
+
+// Latency returns the execute latency of op in cycles.
+func (op Opcode) Latency() int { return opTable[op].latency }
+
+// HasDest reports whether op writes a destination register.
+func (op Opcode) HasDest() bool { return opTable[op].hasRd }
+
+// ReadsRa reports whether op reads operand register a.
+func (op Opcode) ReadsRa() bool { return opTable[op].hasRa }
+
+// ReadsRb reports whether op reads operand register b.
+func (op Opcode) ReadsRb() bool { return opTable[op].hasRb }
+
+// HasImm reports whether op uses the immediate field.
+func (op Opcode) HasImm() bool { return opTable[op].hasImm }
+
+// IsConditional reports whether op is a conditional branch.
+func (op Opcode) IsConditional() bool { return opTable[op].class == ClassBranch }
+
+// IsControl reports whether op can redirect the PC.
+func (op Opcode) IsControl() bool {
+	switch opTable[op].class {
+	case ClassBranch, ClassJumpDirect, ClassCallDirect, ClassCallIndirect, ClassJumpIndirect, ClassRet:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether op accesses memory.
+func (op Opcode) IsMem() bool {
+	c := opTable[op].class
+	return c == ClassLoad || c == ClassStore
+}
+
+// IsLoad reports whether op is a load.
+func (op Opcode) IsLoad() bool { return opTable[op].class == ClassLoad }
+
+// IsStore reports whether op is a store.
+func (op Opcode) IsStore() bool { return opTable[op].class == ClassStore }
+
+// IsCall reports whether op pushes a return address.
+func (op Opcode) IsCall() bool {
+	c := opTable[op].class
+	return c == ClassCallDirect || c == ClassCallIndirect
+}
+
+// Instr is a decoded instruction. Fields not used by the opcode are zero.
+type Instr struct {
+	Op  Opcode
+	Rd  Reg   // destination register
+	Ra  Reg   // first source / base register
+	Rb  Reg   // second source / store-data register
+	Imm int64 // immediate, displacement, or branch offset (bytes from next PC)
+}
+
+// InstrBytes is the architectural size of one instruction in PC units.
+const InstrBytes = 4
+
+// Target computes the target of a PC-relative control instruction located
+// at pc.
+func (in Instr) Target(pc uint64) uint64 {
+	return pc + InstrBytes + uint64(in.Imm)
+}
+
+// Uses reports whether the instruction reads logical register r
+// (excluding the hardwired zero register, which is never a dependence).
+func (in Instr) Uses(r Reg) bool {
+	if r == RegZero {
+		return false
+	}
+	if in.Op.ReadsRa() && in.Ra == r {
+		return true
+	}
+	if in.Op.ReadsRb() && in.Rb == r {
+		return true
+	}
+	// Conditional moves read their destination.
+	if (in.Op == CMOVEQ || in.Op == CMOVNE) && in.Rd == r {
+		return true
+	}
+	return false
+}
+
+// Defines reports whether the instruction writes logical register r.
+// Writes to the zero register are discarded and define nothing.
+func (in Instr) Defines(r Reg) bool {
+	return in.Op.HasDest() && in.Rd == r && r != RegZero
+}

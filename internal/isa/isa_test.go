@@ -1,0 +1,400 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegByName(t *testing.T) {
+	cases := []struct {
+		name string
+		want Reg
+	}{
+		{"sp", 30}, {"zero", 31}, {"ra", 26}, {"v0", 0},
+		{"t0", 1}, {"t7", 8}, {"s0", 9}, {"s5", 14}, {"fp", 15},
+		{"a0", 16}, {"a5", 21}, {"gp", 29}, {"at", 28}, {"pv", 27},
+		{"r0", 0}, {"r31", 31}, {"$17", 17},
+	}
+	for _, c := range cases {
+		got, ok := RegByName(c.name)
+		if !ok || got != c.want {
+			t.Errorf("RegByName(%q) = %v, %v; want %v", c.name, got, ok, c.want)
+		}
+	}
+	for _, bad := range []string{"", "r32", "x3", "$-1", "spx", "r"} {
+		if _, ok := RegByName(bad); ok {
+			t.Errorf("RegByName(%q) unexpectedly resolved", bad)
+		}
+	}
+}
+
+func TestRegString(t *testing.T) {
+	if RegSP.String() != "sp" || RegZero.String() != "zero" || RegRA.String() != "ra" {
+		t.Errorf("special register names wrong: %s %s %s", RegSP, RegZero, RegRA)
+	}
+	if Reg(5).String() != "t4" {
+		t.Errorf("Reg(5) = %s", Reg(5))
+	}
+	if Reg(33).String() != "r33" {
+		t.Errorf("out-of-range Reg(33) = %s", Reg(33))
+	}
+	// Every canonical name must resolve back to its own number.
+	for r := Reg(0); r < NumLogical; r++ {
+		got, ok := RegByName(r.String())
+		if !ok || got != r {
+			t.Errorf("RegByName(%q) = %v, %v; want %v", r.String(), got, ok, r)
+		}
+	}
+}
+
+func TestOpByNameRoundTrip(t *testing.T) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v; want %v", op.String(), got, ok, op)
+		}
+	}
+	if _, ok := OpByName("frobnicate"); ok {
+		t.Error("OpByName accepted unknown mnemonic")
+	}
+}
+
+func TestOpClassesConsistent(t *testing.T) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		switch op.ClassOf() {
+		case ClassLoad:
+			if !op.HasDest() || !op.ReadsRa() || !op.HasImm() {
+				t.Errorf("%v: load must have rd, ra, imm", op)
+			}
+		case ClassStore:
+			if op.HasDest() || !op.ReadsRa() || !op.ReadsRb() {
+				t.Errorf("%v: store must read ra+rb, no dest", op)
+			}
+		case ClassBranch:
+			if op.HasDest() || !op.ReadsRa() {
+				t.Errorf("%v: branch reads ra only", op)
+			}
+		}
+		if op.Latency() < 1 {
+			t.Errorf("%v: latency %d < 1", op, op.Latency())
+		}
+	}
+}
+
+func TestIntegrableSet(t *testing.T) {
+	// Paper §2.1: system calls, stores and direct jumps are not integrated.
+	mustNot := []Opcode{SYSCALL, STQ, STL, BR, BSR, JSR, JMP, RET, NOP}
+	for _, op := range mustNot {
+		if op.Integrable() {
+			t.Errorf("%v must not be integrable", op)
+		}
+	}
+	must := []Opcode{ADDQ, ADDQI, LDA, LDQ, LDL, BEQ, BNE, FADD, MULQ, CVTQT}
+	for _, op := range must {
+		if !op.Integrable() {
+			t.Errorf("%v must be integrable", op)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(opRaw, rd, ra, rb uint8, imm int32) bool {
+		op := Opcode(int(opRaw) % NumOpcodes)
+		in := Instr{
+			Op:  op,
+			Rd:  Reg(rd % NumLogical),
+			Ra:  Reg(ra % NumLogical),
+			Rb:  Reg(rb % NumLogical),
+			Imm: int64(imm),
+		}
+		out, err := Decode(Encode(in))
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsBadWords(t *testing.T) {
+	bad := []uint64{
+		uint64(numOpcodes) << 56,          // unknown opcode
+		uint64(ADDQ)<<56 | uint64(40)<<48, // rd out of range
+		uint64(ADDQ)<<56 | uint64(40)<<40, // ra out of range
+		uint64(ADDQ)<<56 | uint64(99)<<32, // rb out of range
+	}
+	for _, w := range bad {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#x) accepted bad word", w)
+		}
+	}
+}
+
+func TestMustDecodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustDecode did not panic on bad word")
+		}
+	}()
+	MustDecode(uint64(numOpcodes) << 56)
+}
+
+func TestTarget(t *testing.T) {
+	in := Instr{Op: BEQ, Ra: 3, Imm: 16}
+	if got := in.Target(0x1000); got != 0x1014 {
+		t.Errorf("Target = %#x, want 0x1014", got)
+	}
+	in.Imm = -8
+	if got := in.Target(0x1000); got != 0xffc {
+		t.Errorf("Target = %#x, want 0xffc", got)
+	}
+}
+
+func TestUsesDefines(t *testing.T) {
+	add := Instr{Op: ADDQ, Rd: 1, Ra: 2, Rb: 3}
+	if !add.Uses(2) || !add.Uses(3) || add.Uses(1) || add.Uses(4) {
+		t.Error("ADDQ Uses wrong")
+	}
+	if !add.Defines(1) || add.Defines(2) {
+		t.Error("ADDQ Defines wrong")
+	}
+	// Zero register is never a dependence or definition.
+	z := Instr{Op: ADDQ, Rd: RegZero, Ra: RegZero, Rb: RegZero}
+	if z.Uses(RegZero) || z.Defines(RegZero) {
+		t.Error("zero register must not be used/defined")
+	}
+	cmov := Instr{Op: CMOVEQ, Rd: 5, Ra: 1, Rb: 2}
+	if !cmov.Uses(5) {
+		t.Error("CMOVEQ must read its destination")
+	}
+	st := Instr{Op: STQ, Ra: RegSP, Rb: 9, Imm: 8}
+	if !st.Uses(RegSP) || !st.Uses(9) || st.Defines(9) {
+		t.Error("STQ deps wrong")
+	}
+}
+
+func TestEvalOpIntegers(t *testing.T) {
+	cases := []struct {
+		op   Opcode
+		a, b uint64
+		imm  int64
+		want uint64
+	}{
+		{ADDQ, 5, 7, 0, 12},
+		{SUBQ, 5, 7, 0, ^uint64(1)},
+		{MULQ, 3, 7, 0, 21},
+		{AND, 0xff, 0x0f, 0, 0x0f},
+		{BIS, 0xf0, 0x0f, 0, 0xff},
+		{XOR, 0xff, 0x0f, 0, 0xf0},
+		{BIC, 0xff, 0x0f, 0, 0xf0},
+		{SLL, 1, 8, 0, 256},
+		{SRL, 256, 8, 0, 1},
+		{SRA, ^uint64(0), 4, 0, ^uint64(0)},
+		{CMPEQ, 4, 4, 0, 1},
+		{CMPEQ, 4, 5, 0, 0},
+		{CMPLT, ^uint64(0), 0, 0, 1}, // -1 < 0 signed
+		{CMPULT, ^uint64(0), 0, 0, 0},
+		{CMPLE, 4, 4, 0, 1},
+		{ADDQI, 5, 0, -3, 2},
+		{SUBQI, 5, 0, 3, 2},
+		{MULQI, 5, 0, 3, 15},
+		{ANDI, 0xff, 0, 0x0f, 0x0f},
+		{BISI, 0xf0, 0, 0x0f, 0xff},
+		{XORI, 0xff, 0, 0x0f, 0xf0},
+		{SLLI, 1, 0, 4, 16},
+		{SRLI, 16, 0, 4, 1},
+		{SRAI, ^uint64(0), 0, 4, ^uint64(0)},
+		{CMPEQI, 7, 0, 7, 1},
+		{CMPLTI, 3, 0, 7, 1},
+		{CMPLEI, 7, 0, 7, 1},
+		{CMPULTI, 3, 0, 7, 1},
+		{LDA, 100, 0, -4, 96},
+		{LDAH, 1, 0, 2, 1 + 2<<16},
+	}
+	for _, c := range cases {
+		if got := EvalOp(c.op, c.a, c.b, 0, c.imm); got != c.want {
+			t.Errorf("EvalOp(%v, %d, %d, imm=%d) = %d, want %d", c.op, c.a, c.b, c.imm, got, c.want)
+		}
+	}
+}
+
+func TestEvalOpCmov(t *testing.T) {
+	if got := EvalOp(CMOVEQ, 0, 42, 7, 0); got != 42 {
+		t.Errorf("CMOVEQ taken = %d", got)
+	}
+	if got := EvalOp(CMOVEQ, 1, 42, 7, 0); got != 7 {
+		t.Errorf("CMOVEQ not-taken = %d", got)
+	}
+	if got := EvalOp(CMOVNE, 1, 42, 7, 0); got != 42 {
+		t.Errorf("CMOVNE taken = %d", got)
+	}
+}
+
+func TestEvalOpFP(t *testing.T) {
+	a, b := f2b(1.5), f2b(2.5)
+	if got := EvalOp(FADD, a, b, 0, 0); b2f(got) != 4.0 {
+		t.Errorf("FADD = %v", b2f(got))
+	}
+	if got := EvalOp(FMUL, a, b, 0, 0); b2f(got) != 3.75 {
+		t.Errorf("FMUL = %v", b2f(got))
+	}
+	if got := EvalOp(FDIV, a, f2b(0), 0, 0); b2f(got) != 0 {
+		t.Errorf("FDIV by zero = %v", b2f(got))
+	}
+	if got := EvalOp(FCMPLT, a, b, 0, 0); got != 1 {
+		t.Errorf("FCMPLT = %d", got)
+	}
+	if got := EvalOp(CVTQT, uint64(7), 0, 0, 0); b2f(got) != 7.0 {
+		t.Errorf("CVTQT = %v", b2f(got))
+	}
+	if got := EvalOp(CVTTQ, f2b(7.9), 0, 0, 0); got != 7 {
+		t.Errorf("CVTTQ = %d", got)
+	}
+}
+
+func TestEvalBranch(t *testing.T) {
+	neg := ^uint64(0)
+	cases := []struct {
+		op   Opcode
+		a    uint64
+		want bool
+	}{
+		{BEQ, 0, true}, {BEQ, 1, false},
+		{BNE, 0, false}, {BNE, 1, true},
+		{BLT, neg, true}, {BLT, 0, false},
+		{BGE, 0, true}, {BGE, neg, false},
+		{BLE, 0, true}, {BLE, 1, false},
+		{BGT, 1, true}, {BGT, 0, false},
+	}
+	for _, c := range cases {
+		if got := EvalBranch(c.op, c.a); got != c.want {
+			t.Errorf("EvalBranch(%v, %d) = %v", c.op, c.a, got)
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	cases := []struct {
+		op     Opcode
+		imm    int64
+		inv    Opcode
+		invImm int64
+		ok     bool
+	}{
+		{STQ, 8, LDQ, 8, true},
+		{STL, -4, LDL, -4, true},
+		{LDA, -32, LDA, 32, true},
+		{ADDQI, 4, ADDQI, -4, true},
+		{SUBQI, 4, SUBQI, -4, true},
+		{XORI, 0xff, XORI, 0xff, true},
+		{MULQI, 3, 0, 0, false},
+		{ADDQ, 0, 0, 0, false},
+		{LDQ, 0, 0, 0, false},
+	}
+	for _, c := range cases {
+		inv, invImm, ok := c.op.Inverse(c.imm)
+		if ok != c.ok || (ok && (inv != c.inv || invImm != c.invImm)) {
+			t.Errorf("Inverse(%v, %d) = %v/%d/%v; want %v/%d/%v",
+				c.op, c.imm, inv, invImm, ok, c.inv, c.invImm, c.ok)
+		}
+	}
+}
+
+func TestInverseOfInverseIsIdentity(t *testing.T) {
+	f := func(imm int32) bool {
+		for _, op := range []Opcode{LDA, ADDQI, SUBQI, XORI} {
+			inv, invImm, ok := op.Inverse(int64(imm))
+			if !ok {
+				return false
+			}
+			inv2, imm2, ok2 := inv.Inverse(invImm)
+			if !ok2 || inv2 != op || imm2 != int64(imm) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSPIdioms(t *testing.T) {
+	dec := Instr{Op: LDA, Rd: RegSP, Ra: RegSP, Imm: -32}
+	inc := Instr{Op: LDA, Rd: RegSP, Ra: RegSP, Imm: 32}
+	save := Instr{Op: STQ, Ra: RegSP, Rb: RegS0, Imm: 8}
+	restore := Instr{Op: LDQ, Rd: RegS0, Ra: RegSP, Imm: 8}
+	if !dec.IsSPDecrement() || dec.IsSPIncrement() {
+		t.Error("SP decrement misclassified")
+	}
+	if !inc.IsSPIncrement() || inc.IsSPDecrement() {
+		t.Error("SP increment misclassified")
+	}
+	if !save.IsSPStore() || save.IsSPLoad() {
+		t.Error("SP store misclassified")
+	}
+	if !restore.IsSPLoad() || restore.IsSPStore() {
+		t.Error("SP load misclassified")
+	}
+	// Non-SP variants.
+	if (Instr{Op: LDA, Rd: 3, Ra: RegSP, Imm: -32}).IsSPDecrement() {
+		t.Error("non-SP-dest LDA classified as decrement")
+	}
+	if (Instr{Op: STQ, Ra: 5, Rb: 9, Imm: 8}).IsSPStore() {
+		t.Error("non-SP-base store classified as SP store")
+	}
+}
+
+func TestDisasmSmoke(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		pc   uint64
+		want string
+	}{
+		{Instr{Op: ADDQ, Rd: 1, Ra: 2, Rb: 3}, 0, "addq t0, t1, t2"},
+		{Instr{Op: ADDQI, Rd: 1, Ra: 2, Imm: 5}, 0, "addqi t0, t1, 5"},
+		{Instr{Op: LDA, Rd: RegSP, Ra: RegSP, Imm: -32}, 0, "lda sp, -32(sp)"},
+		{Instr{Op: LDQ, Rd: 9, Ra: RegSP, Imm: 8}, 0, "ldq s0, 8(sp)"},
+		{Instr{Op: STQ, Ra: RegSP, Rb: 9, Imm: 8}, 0, "stq s0, 8(sp)"},
+		{Instr{Op: BEQ, Ra: 3, Imm: 12}, 0x1000, "beq t2, 0x1010"},
+		{Instr{Op: BSR, Rd: RegRA, Imm: 0x20}, 0x1000, "bsr ra, 0x1024"},
+		{Instr{Op: RET, Rb: RegRA}, 0, "ret (ra)"},
+		{Instr{Op: SYSCALL}, 0, "syscall"},
+		{Instr{Op: NOP}, 0, "nop"},
+		{Instr{Op: CVTQT, Rd: 1, Ra: 2}, 0, "cvtqt t0, t1"},
+		{Instr{Op: JSR, Rd: RegRA, Rb: RegPV}, 0, "jsr ra, (pv)"},
+		{Instr{Op: JMP, Rb: 4}, 0, "jmp (t3)"},
+		{Instr{Op: BR, Imm: -4}, 0x1000, "br 0x1000"},
+	}
+	for _, c := range cases {
+		if got := Disasm(c.in, c.pc); got != c.want {
+			t.Errorf("Disasm(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// Property: EvalOp never depends on `old` except for conditional moves.
+func TestEvalOpOldOnlyForCmov(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for op := Opcode(0); op < numOpcodes; op++ {
+		if op == CMOVEQ || op == CMOVNE {
+			continue
+		}
+		for i := 0; i < 20; i++ {
+			a, b := rng.Uint64(), rng.Uint64()
+			imm := int64(int32(rng.Uint32()))
+			if EvalOp(op, a, b, 0, imm) != EvalOp(op, a, b, rng.Uint64(), imm) {
+				t.Errorf("%v result depends on old dest value", op)
+			}
+		}
+	}
+}
+
+func TestFitsImm(t *testing.T) {
+	if !FitsImm(0) || !FitsImm(-(1 << 31)) || !FitsImm(1<<31-1) {
+		t.Error("FitsImm rejects in-range values")
+	}
+	if FitsImm(1<<31) || FitsImm(-(1<<31)-1) {
+		t.Error("FitsImm accepts out-of-range values")
+	}
+}

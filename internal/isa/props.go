@@ -1,0 +1,87 @@
+package isa
+
+// Integration properties (paper §2.1): system calls, stores and direct
+// jumps are never integrated. Everything that produces a register result as
+// a pure function of its register inputs — ALU, FP, address arithmetic,
+// loads (speculatively; DIVA/LISP guard against conflicting stores) — and
+// conditional branches (whose outcome is a pure function of inputs) are
+// integration candidates.
+
+// Integrable reports whether the opcode may participate in integration.
+// Conditional moves are excluded: they read three registers and the IT
+// holds only two input operands.
+func (op Opcode) Integrable() bool {
+	switch op.ClassOf() {
+	case ClassIntALU, ClassIntMul, ClassFP, ClassLoad, ClassBranch:
+		return op != NOP && op != CMOVEQ && op != CMOVNE
+	}
+	return false
+}
+
+// Inverse computes the reverse-integration image of an operation
+// (paper §2.4). For an operation rd = f(ra) it yields the opcode/immediate
+// of the inverse ra = f⁻¹(rd), with input and output register roles
+// swapped by the caller. ok is false when the operation has no cheap
+// inverse.
+//
+// The paper's implementation creates reverse entries for two idioms:
+//
+//   - stq rb, disp(sp)   →  ldq rb, disp(sp)   (store→load, data untouched)
+//   - lda sp, -n(sp)     →  lda sp, +n(sp)     (SP decrement→increment)
+//
+// Inverse also covers general invertible ALU immediates (add/sub/xor),
+// used by the ReverseAll ablation.
+func (op Opcode) Inverse(imm int64) (inv Opcode, invImm int64, ok bool) {
+	switch op {
+	case STQ:
+		return LDQ, imm, true
+	case STL:
+		return LDL, imm, true
+	case LDA:
+		return LDA, -imm, true
+	case ADDQI:
+		return ADDQI, -imm, true
+	case SUBQI:
+		return SUBQI, -imm, true
+	case XORI:
+		return XORI, imm, true
+	}
+	return 0, 0, false
+}
+
+// StoreLoadPair maps a store opcode to the load opcode that reads back the
+// value it wrote.
+func (op Opcode) StoreLoadPair() (Opcode, bool) {
+	switch op {
+	case STQ:
+		return LDQ, true
+	case STL:
+		return LDL, true
+	}
+	return 0, false
+}
+
+// IsSPDecrement reports whether the instruction is a stack-frame open:
+// an LDA/ADDQI with rd==ra==sp and a negative immediate.
+func (in Instr) IsSPDecrement() bool {
+	return (in.Op == LDA || in.Op == ADDQI) &&
+		in.Rd == RegSP && in.Ra == RegSP && in.Imm < 0
+}
+
+// IsSPIncrement reports whether the instruction is a stack-frame close.
+func (in Instr) IsSPIncrement() bool {
+	return (in.Op == LDA || in.Op == ADDQI) &&
+		in.Rd == RegSP && in.Ra == RegSP && in.Imm > 0
+}
+
+// IsSPStore reports whether the instruction is a save to the stack frame
+// (store with the stack pointer as base register).
+func (in Instr) IsSPStore() bool {
+	return in.Op.IsStore() && in.Ra == RegSP
+}
+
+// IsSPLoad reports whether the instruction is a restore from the stack
+// frame.
+func (in Instr) IsSPLoad() bool {
+	return in.Op.IsLoad() && in.Ra == RegSP
+}

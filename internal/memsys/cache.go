@@ -1,0 +1,139 @@
+// Package memsys implements the timing model of the paper's §3.1 memory
+// system: L1 instruction and data caches, a unified L2, instruction and
+// data TLBs with hardware miss handling, MSHRs for non-blocking misses, a
+// retirement write buffer, and cycle-accounted backside and memory buses.
+//
+// The model is latency-forwarding: each access computes the absolute
+// cycle at which its data arrives, reserving bus slots and MSHRs along
+// the way. This is the standard fidelity class for simulators of this
+// kind — contention appears as busy-until reservations rather than
+// per-cycle queue stepping.
+package memsys
+
+// CacheConfig sizes one cache level.
+type CacheConfig struct {
+	Name       string
+	SizeBytes  int
+	LineBytes  int
+	Assoc      int
+	HitLatency uint64 // cycles from access to data
+}
+
+type cacheLine struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	lru   uint64
+}
+
+// Cache is a set-associative, write-back, write-allocate tag array (data
+// values live in the architectural memory; the cache models timing only).
+type Cache struct {
+	cfg      CacheConfig
+	sets     [][]cacheLine
+	setShift uint
+	setMask  uint64
+	tick     uint64
+
+	Accesses   uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// NewCache builds a cache; sizes must divide evenly.
+func NewCache(cfg CacheConfig) *Cache {
+	nLines := cfg.SizeBytes / cfg.LineBytes
+	nSets := nLines / cfg.Assoc
+	if nSets == 0 || nSets&(nSets-1) != 0 {
+		panic("memsys: set count must be a positive power of two: " + cfg.Name)
+	}
+	c := &Cache{cfg: cfg, sets: make([][]cacheLine, nSets), setMask: uint64(nSets - 1)}
+	for s := uint64(1); s < uint64(cfg.LineBytes); s <<= 1 {
+		c.setShift++
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]cacheLine, cfg.Assoc)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// LineAddr maps an address to its line-aligned address.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ (uint64(c.cfg.LineBytes) - 1)
+}
+
+// Probe reports whether addr hits without updating any state (used by
+// tests and by the hierarchy to overlap L1 hits under misses).
+func (c *Cache) Probe(addr uint64) bool {
+	set := c.sets[(addr>>c.setShift)&c.setMask]
+	tag := addr >> c.setShift >> log2(uint64(len(c.sets)))
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access looks up addr, allocating the line on a miss. It returns whether
+// it hit and, when a dirty victim was displaced, its line address.
+func (c *Cache) Access(addr uint64, write bool) (hit bool, victim uint64, victimDirty bool) {
+	c.tick++
+	c.Accesses++
+	setIdx := (addr >> c.setShift) & c.setMask
+	set := c.sets[setIdx]
+	tag := addr >> c.setShift >> log2(uint64(len(c.sets)))
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.tick
+			if write {
+				set[i].dirty = true
+			}
+			return true, 0, false
+		}
+	}
+	c.Misses++
+	// Miss: prefer an invalid way, otherwise evict the LRU way.
+	vi := -1
+	for i := range set {
+		if !set[i].valid {
+			vi = i
+			break
+		}
+	}
+	if vi < 0 {
+		vi = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < set[vi].lru {
+				vi = i
+			}
+		}
+	}
+	if set[vi].valid && set[vi].dirty {
+		victimDirty = true
+		victim = (set[vi].tag<<log2(uint64(len(c.sets)))|setIdx)<<c.setShift | 0
+		c.Writebacks++
+	}
+	set[vi] = cacheLine{valid: true, dirty: write, tag: tag, lru: c.tick}
+	return false, victim, victimDirty
+}
+
+// MissRate returns misses/accesses.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+func log2(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,139 @@
+package pipeline
+
+import (
+	"rix/internal/isa"
+)
+
+func isaReg(l int) isa.Reg { return isa.Reg(l) }
+
+// fetchStage fetches up to FetchWidth instructions along the predicted
+// path, charging the I-cache and maintaining the golden-trace cursor that
+// labels correct-path instructions.
+func (pl *Pipeline) fetchStage() {
+	if pl.fetchPC == 0 || pl.now < pl.fetchReadyAt {
+		return
+	}
+	if len(pl.fq) >= pl.cfg.FetchQueue {
+		return
+	}
+
+	// One I-cache access per fetch group.
+	if !pl.icachePaid {
+		done := pl.mem.IFetch(pl.fetchPC, pl.now)
+		if done > pl.now+pl.cfg.Mem.L1I.HitLatency {
+			pl.fetchReadyAt = done
+			pl.icachePaid = true
+			pl.Stats.FetchStallsICache++
+			return
+		}
+	}
+	pl.icachePaid = false
+
+	for n := 0; n < pl.cfg.FetchWidth && len(pl.fq) < pl.cfg.FetchQueue; n++ {
+		in, ok := pl.prog.InstrAt(pl.fetchPC)
+		if !ok {
+			// Wrong-path fetch ran off the text segment; wait for a
+			// redirect.
+			pl.fetchPC = 0
+			return
+		}
+		u := &uop{
+			pc:          pl.fetchPC,
+			in:          in,
+			fetchCycle:  pl.now,
+			renameReady: pl.now + pl.cfg.FrontendDepth,
+			rsIdx:       -1,
+			lsqPos:      -1,
+			traceIdx:    -1,
+			callDepth:   pl.ras.Depth(),
+			rasSnap:     pl.ras.Snapshot(),
+			histSnap:    pl.pred.HistSnapshot(),
+		}
+
+		// Golden-trace tracking: on the correct path, the fetch PC must
+		// equal the next trace record's PC.
+		if pl.onPath && pl.cursor < len(pl.trace) {
+			if pl.trace[pl.cursor].PC(pl.prog) == pl.fetchPC {
+				u.traceIdx = int64(pl.cursor)
+				pl.cursor++
+			} else {
+				pl.onPath = false
+			}
+		} else {
+			pl.onPath = false
+		}
+		if !pl.onPath {
+			pl.Stats.FetchedWrongPath++
+		}
+		pl.Stats.Fetched++
+
+		nextPC := pl.fetchPC + isa.InstrBytes
+		groupEnds := false
+		switch in.Op.ClassOf() {
+		case isa.ClassBranch:
+			taken, snap := pl.pred.Predict(u.pc)
+			u.histSnap = snap
+			u.predTaken = taken
+			pl.pred.SpecUpdate(taken)
+			if taken {
+				nextPC = in.Target(u.pc)
+				groupEnds = true
+			}
+		case isa.ClassJumpDirect:
+			nextPC = in.Target(u.pc)
+			groupEnds = true
+		case isa.ClassCallDirect:
+			pl.ras.Push(u.pc + isa.InstrBytes)
+			nextPC = in.Target(u.pc)
+			groupEnds = true
+		case isa.ClassCallIndirect:
+			pl.ras.Push(u.pc + isa.InstrBytes)
+			if tgt, ok := pl.btb.Predict(u.pc); ok {
+				u.predTarget = tgt
+				nextPC = tgt
+			} else {
+				nextPC = 0 // stall until resolution redirects
+			}
+			groupEnds = true
+		case isa.ClassJumpIndirect:
+			if tgt, ok := pl.btb.Predict(u.pc); ok {
+				u.predTarget = tgt
+				nextPC = tgt
+			} else {
+				nextPC = 0
+			}
+			groupEnds = true
+		case isa.ClassRet:
+			if tgt, ok := pl.ras.Pop(); ok {
+				u.predTarget = tgt
+				nextPC = tgt
+			} else {
+				nextPC = 0
+			}
+			groupEnds = true
+		}
+
+		pl.fq = append(pl.fq, u)
+		pl.fetchPC = nextPC
+		if groupEnds || nextPC == 0 {
+			return
+		}
+	}
+}
+
+// redirectFetch points fetch at pc starting next cycle and resets the
+// golden cursor. afterTraceIdx is the trace index of the instruction the
+// redirect logically follows (-1 when it was on the wrong path);
+// inclusive redirects (DIVA, load violations) pass the instruction's own
+// index via exactTraceIdx >= 0.
+func (pl *Pipeline) redirectFetch(pc uint64, cursorAt int64) {
+	pl.fetchPC = pc
+	pl.fetchReadyAt = pl.now + 1
+	pl.icachePaid = false
+	if cursorAt >= 0 {
+		pl.cursor = int(cursorAt)
+		pl.onPath = true
+	} else {
+		pl.onPath = false
+	}
+}

@@ -1,0 +1,170 @@
+package pipeline
+
+import (
+	"sort"
+
+	"rix/internal/isa"
+	"rix/internal/regfile"
+)
+
+// priorityOf orders issue candidates: loads, branches and floating-point
+// first (paper §3.1), age as the tie-breaker.
+func priorityOf(u *uop) int {
+	switch u.in.Op.ClassOf() {
+	case isa.ClassLoad:
+		return 0
+	case isa.ClassBranch, isa.ClassCallIndirect, isa.ClassJumpIndirect, isa.ClassRet:
+		return 0
+	case isa.ClassFP:
+		return 0
+	default:
+		return 1
+	}
+}
+
+// srcReady reports whether all of u's register sources have values.
+func (pl *Pipeline) srcReady(u *uop) bool {
+	if u.in.Op.ReadsRa() && !pl.ready(u.src1.P) {
+		return false
+	}
+	if u.in.Op.ReadsRb() && !pl.ready(u.src2.P) {
+		return false
+	}
+	if (u.in.Op == isa.CMOVEQ || u.in.Op == isa.CMOVNE) && !pl.ready(u.oldDest.P) {
+		return false
+	}
+	return true
+}
+
+func (pl *Pipeline) ready(p regfile.PReg) bool {
+	return p == regfile.ZeroReg || pl.rf.Ready(p)
+}
+
+// loadMayIssue applies the memory-ordering issue policy: loads issue
+// speculatively past unresolved older stores, unless the collision
+// history table predicts a conflict, in which case the load waits until
+// every older store address is resolved.
+func (pl *Pipeline) loadMayIssue(u *uop) bool {
+	if !pl.cht.Predict(u.pc) {
+		return true
+	}
+	if pl.olderStoresResolved(u) {
+		return true
+	}
+	pl.Stats.CHTStallsGranted++
+	return false
+}
+
+// olderStoresResolved scans the LSQ for older stores with unresolved
+// addresses.
+func (pl *Pipeline) olderStoresResolved(u *uop) bool {
+	for i := pl.lsqIndexOf(u) - 1; i >= 0; i-- {
+		v := pl.lsq[(pl.lsqHead+i)%len(pl.lsq)]
+		if v.isStore && !v.addrValid {
+			return false
+		}
+	}
+	return true
+}
+
+// lsqIndexOf converts a uop's ring position to its ordinal in the LSQ.
+func (pl *Pipeline) lsqIndexOf(u *uop) int {
+	d := u.lsqPos - pl.lsqHead
+	if d < 0 {
+		d += len(pl.lsq)
+	}
+	return d
+}
+
+// issueStage selects up to IssueWidth ready instructions under the
+// per-class port constraints and dispatches them to execution.
+func (pl *Pipeline) issueStage() {
+	intPorts := pl.cfg.IntPorts
+	fpPorts := pl.cfg.FPPorts
+	loadPorts := pl.cfg.LoadPorts
+	storePorts := pl.cfg.StorePorts
+	budget := pl.cfg.IssueWidth
+
+	var cand []*uop
+	for _, u := range pl.rs {
+		if u == nil || u.issued || u.squashed {
+			continue
+		}
+		if !pl.srcReady(u) {
+			continue
+		}
+		if u.isLoad && !pl.loadMayIssue(u) {
+			continue
+		}
+		cand = append(cand, u)
+	}
+	if len(cand) == 0 {
+		return
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		pi, pj := priorityOf(cand[i]), priorityOf(cand[j])
+		if pi != pj {
+			return pi < pj
+		}
+		return cand[i].seq < cand[j].seq
+	})
+
+	for _, u := range cand {
+		if budget == 0 {
+			return
+		}
+		switch u.in.Op.ClassOf() {
+		case isa.ClassIntALU, isa.ClassBranch, isa.ClassCallIndirect, isa.ClassJumpIndirect, isa.ClassRet:
+			if intPorts == 0 {
+				continue
+			}
+			intPorts--
+		case isa.ClassIntMul, isa.ClassFP:
+			if fpPorts == 0 {
+				continue
+			}
+			fpPorts--
+		case isa.ClassLoad:
+			if loadPorts == 0 {
+				continue
+			}
+			loadPorts--
+		case isa.ClassStore:
+			if pl.cfg.CombinedLS {
+				if loadPorts == 0 {
+					continue
+				}
+				loadPorts--
+			} else {
+				if storePorts == 0 {
+					continue
+				}
+				storePorts--
+			}
+		}
+		budget--
+		pl.issue(u)
+	}
+}
+
+// issue dispatches one uop, freeing its reservation station.
+func (pl *Pipeline) issue(u *uop) {
+	u.issued = true
+	u.issueCyc = pl.now
+	pl.Stats.Executed++
+	pl.rs[u.rsIdx] = nil
+	u.rsIdx = -1
+	pl.rsUsed--
+
+	switch {
+	case u.isLoad:
+		pl.schedule(pl.now+1, event{kind: evAddrGen, u: u})
+	case u.isStore:
+		pl.schedule(pl.now+1, event{kind: evStoreExec, u: u})
+	case u.in.Op.IsControl():
+		lat := uint64(u.in.Op.Latency()) + pl.cfg.ResolveDelay
+		pl.schedule(pl.now+lat, event{kind: evExec, u: u})
+	default:
+		pl.schedule(pl.now+uint64(u.in.Op.Latency()), event{kind: evExec, u: u})
+	}
+}

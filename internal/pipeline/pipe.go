@@ -1,0 +1,304 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"rix/internal/bpred"
+	"rix/internal/core"
+	"rix/internal/emu"
+	"rix/internal/memsys"
+	"rix/internal/prog"
+	"rix/internal/regfile"
+	"rix/internal/rename"
+)
+
+// Config is the full machine description.
+type Config struct {
+	FetchWidth  int
+	RenameWidth int
+	IssueWidth  int
+	RetireWidth int
+
+	ROBSize    int
+	LSQSize    int // max memory operations in flight
+	NumRS      int
+	FetchQueue int
+
+	// Issue ports per class (paper base: 2 simple int, 2 FP/complex, 1
+	// load, 1 store). CombinedLS makes loads and stores share LoadPorts
+	// (the paper's IW configuration).
+	IntPorts   int
+	FPPorts    int
+	LoadPorts  int
+	StorePorts int
+	CombinedLS bool
+
+	// Pipeline depths: 3 fetch + 1 decode stages before rename; 2
+	// schedule + 2 register-read stages between issue and execute for
+	// control resolution.
+	FrontendDepth uint64
+	ResolveDelay  uint64
+
+	PhysRegs int
+	GenBits  uint
+	RefBits  uint
+
+	Policy core.Policy
+	IT     core.TableConfig
+	LISP   core.LISPConfig
+	Pred   bpred.Config
+	Mem    memsys.Config
+
+	MaxCycles uint64
+}
+
+// DefaultConfig is the paper's base machine.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:  4,
+		RenameWidth: 4,
+		IssueWidth:  4,
+		RetireWidth: 4,
+		ROBSize:     128,
+		LSQSize:     64,
+		NumRS:       40,
+		FetchQueue:  16,
+		IntPorts:    2,
+		FPPorts:     2,
+		LoadPorts:   1,
+		StorePorts:  1,
+
+		FrontendDepth: 4, // 3 fetch + 1 decode
+		ResolveDelay:  2, // schedule/regread depth for redirects
+
+		PhysRegs: 1024,
+		GenBits:  4,
+		RefBits:  4,
+
+		IT:   core.TableConfig{Entries: 1024, Assoc: 4},
+		LISP: core.LISPConfig{Entries: 1024, Assoc: 2},
+		Mem:  memsys.DefaultConfig(),
+
+		MaxCycles: 1 << 32,
+	}
+}
+
+const eventHorizon = 1 << 16
+
+// eventKind discriminates completion events.
+type eventKind uint8
+
+const (
+	evExec eventKind = iota // ALU/FP/control execution complete
+	evAddrGen
+	evLoadDone
+	evLoadRetry
+	evStoreExec
+)
+
+type event struct {
+	kind eventKind
+	u    *uop
+	val  uint64 // payload: load value for evLoadDone
+}
+
+// Pipeline is one simulated machine instance bound to a program and its
+// golden trace.
+type Pipeline struct {
+	cfg   Config
+	prog  *prog.Program
+	trace []emu.TraceRec
+
+	rf    *regfile.File
+	front *rename.MapTable
+	arch  *rename.MapTable
+	integ *core.Integrator
+	pred  *bpred.Predictor
+	btb   *bpred.BTB
+	ras   *bpred.RAS
+	cht   *bpred.CHT
+	mem   *memsys.Hierarchy
+
+	archMem *emu.Memory // architectural memory, updated at retirement
+
+	now    uint64
+	halted bool
+
+	// ROB: ring of in-flight renamed uops.
+	rob     []*uop
+	robHead int
+	robLen  int
+
+	// Fetch queue (fetched, not yet renamed).
+	fq []*uop
+
+	// Reservation stations.
+	rs     []*uop
+	rsUsed int
+
+	// LSQ: ring of memory operations in program order.
+	lsq     []*uop
+	lsqHead int
+	lsqLen  int
+
+	// Producer map: physical register -> in-flight producing uop.
+	prod []*uop
+
+	// Fetch state.
+	fetchPC      uint64 // 0 = waiting for redirect
+	fetchReadyAt uint64
+	icachePaid   bool // current group's I-cache access already charged
+
+	// Golden-trace cursor.
+	cursor int
+	onPath bool
+
+	seqCounter   uint64
+	retireStall  uint64 // store write-buffer admission backpressure
+	events       [][]event
+	pendingFlush bool
+
+	// Oracle probe plumbing (current rename candidate).
+	probeU *uop
+
+	Stats Stats
+}
+
+// New builds a pipeline for a program with its golden trace (from
+// emu.Trace).
+func New(cfg Config, p *prog.Program, trace []emu.TraceRec) *Pipeline {
+	pl := &Pipeline{
+		cfg:   cfg,
+		prog:  p,
+		trace: trace,
+		rf: regfile.New(regfile.Config{
+			NumRegs: cfg.PhysRegs, GenBits: cfg.GenBits, RefBits: cfg.RefBits,
+			GeneralMode: cfg.Policy.GeneralReuse,
+		}),
+		front:   rename.NewMapTable(),
+		arch:    rename.NewMapTable(),
+		pred:    bpred.NewPredictor(cfg.Pred),
+		btb:     bpred.NewBTB(btbSize(cfg.Pred)),
+		ras:     bpred.NewRAS(rasSize(cfg.Pred)),
+		cht:     bpred.NewCHT(chtSize(cfg.Pred)),
+		mem:     memsys.New(cfg.Mem),
+		archMem: emu.NewMemory(),
+		rob:     make([]*uop, cfg.ROBSize),
+		rs:      make([]*uop, cfg.NumRS),
+		lsq:     make([]*uop, cfg.LSQSize),
+		events:  make([][]event, eventHorizon),
+		fetchPC: p.Entry,
+		onPath:  true,
+	}
+	pl.integ = core.New(cfg.Policy, cfg.IT, cfg.LISP, pl.rf)
+	pl.prod = make([]*uop, cfg.PhysRegs)
+	pl.archMem.LoadImage(p.DataBase, p.Data)
+
+	// Architectural boot state: SP and GP mappings with their boot
+	// values, everything else on the zero register.
+	pl.bootReg(30, p.StackTop) // sp
+	pl.bootReg(29, p.DataBase) // gp
+	return pl
+}
+
+func (pl *Pipeline) bootReg(l int, v uint64) {
+	preg, ok := pl.rf.Alloc()
+	if !ok {
+		panic("pipeline: boot allocation failed")
+	}
+	pl.rf.SetReady(preg, v)
+	m := rename.Mapping{P: preg, Gen: pl.rf.Gen(preg)}
+	pl.front.Set(isaReg(l), m)
+	pl.arch.Set(isaReg(l), m)
+}
+
+func btbSize(c bpred.Config) int {
+	if c.BTBEntries > 0 {
+		return c.BTBEntries
+	}
+	return 4096
+}
+
+func rasSize(c bpred.Config) int {
+	if c.RASEntries > 0 {
+		return c.RASEntries
+	}
+	return 32
+}
+
+func chtSize(c bpred.Config) int {
+	if c.CHTEntries > 0 {
+		return c.CHTEntries
+	}
+	return 256
+}
+
+// Run simulates to completion (all golden-trace instructions retired) and
+// returns the statistics.
+func (pl *Pipeline) Run() (*Stats, error) {
+	for !pl.halted {
+		if pl.now >= pl.cfg.MaxCycles {
+			return nil, fmt.Errorf("pipeline: %s exceeded cycle budget at %d retired",
+				pl.prog.Name, pl.Stats.Retired)
+		}
+		pl.step()
+	}
+	pl.Stats.Cycles = pl.now
+	if err := pl.auditRegisters(); err != nil {
+		return nil, err
+	}
+	return &pl.Stats, nil
+}
+
+// step advances one cycle. Stages run back-to-front so that same-cycle
+// structural hazards resolve like hardware latches.
+func (pl *Pipeline) step() {
+	pl.retireStage()
+	if !pl.halted {
+		pl.completeStage()
+		pl.issueStage()
+		pl.renameStage()
+		pl.fetchStage()
+	}
+	pl.Stats.RSOccupancySum += uint64(pl.rsUsed)
+	pl.Stats.ROBOccupancySum += uint64(pl.robLen)
+	pl.now++
+}
+
+// schedule registers a completion event.
+func (pl *Pipeline) schedule(at uint64, ev event) {
+	if at <= pl.now {
+		at = pl.now + 1
+	}
+	if at-pl.now >= eventHorizon {
+		panic("pipeline: event beyond horizon")
+	}
+	slot := at % eventHorizon
+	pl.events[slot] = append(pl.events[slot], ev)
+}
+
+// auditRegisters verifies at halt that no physical registers leaked: once
+// everything still in flight is squashed, the live mappings must be
+// exactly the architectural map entries.
+func (pl *Pipeline) auditRegisters() error {
+	// Retirement of the exit syscall leaves younger (wrong-path) uops in
+	// flight; squash them to release their references.
+	pl.drainInFlight()
+	expected := 0
+	for l := 0; l < 32; l++ {
+		if pl.arch.Get(isaReg(l)).P != regfile.ZeroReg {
+			expected++
+		}
+	}
+	return pl.rf.CheckLeaks(expected)
+}
+
+// drainInFlight squashes everything still in flight (post-halt cleanup).
+func (pl *Pipeline) drainInFlight() {
+	for pl.robLen > 0 {
+		u := pl.rob[(pl.robHead+pl.robLen-1)%len(pl.rob)]
+		pl.undoUop(u)
+		pl.robLen--
+	}
+	pl.fq = pl.fq[:0]
+}

@@ -1,0 +1,151 @@
+package pipeline
+
+import "rix/internal/core"
+
+// Stats aggregates everything the paper's evaluation section reports.
+type Stats struct {
+	Cycles  uint64
+	Retired uint64
+
+	Fetched          uint64 // all fetched, including wrong path
+	FetchedWrongPath uint64
+	Renamed          uint64
+	Executed         uint64 // instructions that occupied an issue slot
+
+	// Integration (measured at retirement, per the paper).
+	Integrated        uint64
+	IntegratedDirect  uint64
+	IntegratedReverse uint64
+	IntType           [numIntTypes]uint64
+	IntDistance       [4]uint64 // <4, <16, <64, >=64 renamed instructions
+	IntStatus         [core.NumStatuses]uint64
+	IntRefcount       [4]uint64 // 1, <=3, <=7, >7
+
+	// Mis-integrations.
+	MisIntegrations   uint64
+	MisIntLoads       uint64
+	MisIntRegs        uint64
+	OracleResidual    uint64 // mis-integrations that slipped past the oracle
+	DIVAFlushes       uint64
+	LateLoadViolation uint64 // order violations caught only at DIVA
+
+	// Branches.
+	CondBranches      uint64
+	CondMispredicts   uint64
+	ResolutionLatency uint64 // sum over retired mispredicted branches
+	IndirectBranches  uint64
+	IndirectMispreds  uint64
+
+	// Loads.
+	LoadsRetired     uint64
+	SPLoadsRetired   uint64
+	LoadViolations   uint64 // caught at store resolution
+	LoadsForwarded   uint64
+	CHTStallsGranted uint64
+
+	// Machine occupancy.
+	RSOccupancySum  uint64 // per-cycle busy reservation stations
+	ROBOccupancySum uint64
+	Squashes        uint64
+
+	// Stalls.
+	RenameStallsResources uint64
+	FetchStallsICache     uint64
+}
+
+// IPC is retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// IntegrationRate is the fraction of retired instructions that integrated.
+func (s *Stats) IntegrationRate() float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return float64(s.Integrated) / float64(s.Retired)
+}
+
+// ReverseRate is the fraction of retired instructions that integrated via
+// reverse entries.
+func (s *Stats) ReverseRate() float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return float64(s.IntegratedReverse) / float64(s.Retired)
+}
+
+// MisIntPerMillion is the paper's mis-integrations per one million
+// retired instructions.
+func (s *Stats) MisIntPerMillion() float64 {
+	if s.Retired == 0 {
+		return 0
+	}
+	return float64(s.MisIntegrations) * 1e6 / float64(s.Retired)
+}
+
+// MispredictResolutionAvg is the average cycles from fetch (prediction) to
+// resolution for retired mispredicted conditional branches.
+func (s *Stats) MispredictResolutionAvg() float64 {
+	if s.CondMispredicts == 0 {
+		return 0
+	}
+	return float64(s.ResolutionLatency) / float64(s.CondMispredicts)
+}
+
+// AvgRSOccupancy is the mean number of busy reservation stations.
+func (s *Stats) AvgRSOccupancy() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.RSOccupancySum) / float64(s.Cycles)
+}
+
+// LoadIntegrationRate is the fraction of retired loads that integrated.
+func (s *Stats) LoadIntegrationRate() float64 {
+	if s.LoadsRetired == 0 {
+		return 0
+	}
+	return float64(s.IntType[intSPLoad]+s.IntType[intLoad]) / float64(s.LoadsRetired)
+}
+
+// SPLoadIntegrationRate is the fraction of retired stack-pointer loads
+// that integrated.
+func (s *Stats) SPLoadIntegrationRate() float64 {
+	if s.SPLoadsRetired == 0 {
+		return 0
+	}
+	return float64(s.IntType[intSPLoad]) / float64(s.SPLoadsRetired)
+}
+
+// distanceBucket maps a rename-stream distance to the Figure 5 histogram.
+func distanceBucket(d uint64) int {
+	switch {
+	case d < 4:
+		return 0
+	case d < 16:
+		return 1
+	case d < 64:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// refcountBucket maps a post-integration refcount to the Figure 5
+// histogram (1, <=3, <=7, >7).
+func refcountBucket(r uint16) int {
+	switch {
+	case r <= 1:
+		return 0
+	case r <= 3:
+		return 1
+	case r <= 7:
+		return 2
+	default:
+		return 3
+	}
+}

@@ -1,0 +1,126 @@
+// Package prog defines the linked program image produced by the assembler
+// and consumed by the functional emulator and the pipeline simulator.
+package prog
+
+import (
+	"fmt"
+	"sort"
+
+	"rix/internal/isa"
+)
+
+// Standard memory layout. Everything sits below 2^31 so that any address
+// fits in the instruction word's signed 32-bit immediate field (data is
+// addressed as label(zero)).
+const (
+	DefaultCodeBase = 0x0000_1000
+	DefaultDataBase = 0x0010_0000
+	DefaultStackTop = 0x0800_0000 // stacks grow down from here
+)
+
+// Program is a loaded, executable image.
+type Program struct {
+	Name     string
+	CodeBase uint64
+	Code     []isa.Instr // Code[i] sits at PC = CodeBase + 4*i
+	DataBase uint64
+	Data     []byte // initialized data image (includes zeroed .space)
+	Entry    uint64
+	StackTop uint64
+	Symbols  map[string]uint64
+	Lines    []int // source line of Code[i]; nil if unknown
+}
+
+// CodeIndex converts a PC into an index into Code; ok is false when pc is
+// outside the text segment or misaligned.
+func (p *Program) CodeIndex(pc uint64) (int, bool) {
+	if pc < p.CodeBase || (pc-p.CodeBase)%isa.InstrBytes != 0 {
+		return 0, false
+	}
+	i := int((pc - p.CodeBase) / isa.InstrBytes)
+	if i >= len(p.Code) {
+		return 0, false
+	}
+	return i, true
+}
+
+// InstrAt fetches the instruction at pc; ok is false outside the text
+// segment (wrong-path fetch runs off the program).
+func (p *Program) InstrAt(pc uint64) (isa.Instr, bool) {
+	i, ok := p.CodeIndex(pc)
+	if !ok {
+		return isa.Instr{}, false
+	}
+	return p.Code[i], true
+}
+
+// PCOf converts a code index back to a PC.
+func (p *Program) PCOf(idx int) uint64 {
+	return p.CodeBase + uint64(idx)*isa.InstrBytes
+}
+
+// Symbol resolves a symbol address.
+func (p *Program) Symbol(name string) (uint64, bool) {
+	a, ok := p.Symbols[name]
+	return a, ok
+}
+
+// SymbolFor returns the name of the symbol at or immediately preceding
+// addr within the text segment, with its offset; used by the disassembler
+// and trace tooling.
+func (p *Program) SymbolFor(addr uint64) (string, uint64) {
+	best, bestAddr := "", uint64(0)
+	for name, a := range p.Symbols {
+		if a <= addr && a >= bestAddr && a >= p.CodeBase {
+			// Prefer the closest (largest) address; break ties by name for
+			// determinism.
+			if a > bestAddr || best == "" || name < best {
+				best, bestAddr = name, a
+			}
+		}
+	}
+	if best == "" {
+		return "", 0
+	}
+	return best, addr - bestAddr
+}
+
+// Validate performs structural checks: entry in range, control-flow
+// targets inside the text segment, symbol table consistency.
+func (p *Program) Validate() error {
+	if len(p.Code) == 0 {
+		return fmt.Errorf("prog %s: empty text segment", p.Name)
+	}
+	if _, ok := p.CodeIndex(p.Entry); !ok {
+		return fmt.Errorf("prog %s: entry %#x outside text", p.Name, p.Entry)
+	}
+	end := p.CodeBase + uint64(len(p.Code))*isa.InstrBytes
+	for i, in := range p.Code {
+		pc := p.PCOf(i)
+		switch in.Op.ClassOf() {
+		case isa.ClassBranch, isa.ClassJumpDirect, isa.ClassCallDirect:
+			t := in.Target(pc)
+			if t < p.CodeBase || t >= end {
+				return fmt.Errorf("prog %s: %#x: %s target %#x outside text",
+					p.Name, pc, isa.Disasm(in, pc), t)
+			}
+		}
+	}
+	return nil
+}
+
+// SortedSymbols returns symbol names in address order (for listings).
+func (p *Program) SortedSymbols() []string {
+	names := make([]string, 0, len(p.Symbols))
+	for n := range p.Symbols {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ai, aj := p.Symbols[names[i]], p.Symbols[names[j]]
+		if ai != aj {
+			return ai < aj
+		}
+		return names[i] < names[j]
+	})
+	return names
+}

@@ -1,0 +1,106 @@
+package prog
+
+import (
+	"testing"
+
+	"rix/internal/isa"
+)
+
+func sample() *Program {
+	return &Program{
+		Name:     "t",
+		CodeBase: DefaultCodeBase,
+		Code: []isa.Instr{
+			{Op: isa.ADDQI, Rd: 1, Ra: 1, Imm: 1},
+			{Op: isa.BNE, Ra: 1, Imm: -8},
+			{Op: isa.SYSCALL},
+		},
+		DataBase: DefaultDataBase,
+		Entry:    DefaultCodeBase,
+		StackTop: DefaultStackTop,
+		Symbols: map[string]uint64{
+			"main": DefaultCodeBase,
+			"loop": DefaultCodeBase,
+			"end":  DefaultCodeBase + 8,
+		},
+	}
+}
+
+func TestCodeIndex(t *testing.T) {
+	p := sample()
+	if i, ok := p.CodeIndex(p.CodeBase); !ok || i != 0 {
+		t.Errorf("base: %d %v", i, ok)
+	}
+	if i, ok := p.CodeIndex(p.CodeBase + 8); !ok || i != 2 {
+		t.Errorf("third: %d %v", i, ok)
+	}
+	if _, ok := p.CodeIndex(p.CodeBase + 12); ok {
+		t.Error("past end accepted")
+	}
+	if _, ok := p.CodeIndex(p.CodeBase - 4); ok {
+		t.Error("below base accepted")
+	}
+	if _, ok := p.CodeIndex(p.CodeBase + 2); ok {
+		t.Error("misaligned accepted")
+	}
+}
+
+func TestInstrAtAndPCOf(t *testing.T) {
+	p := sample()
+	in, ok := p.InstrAt(p.PCOf(1))
+	if !ok || in.Op != isa.BNE {
+		t.Errorf("InstrAt: %+v %v", in, ok)
+	}
+	if _, ok := p.InstrAt(0xdead0000); ok {
+		t.Error("wild PC accepted")
+	}
+	if p.PCOf(2) != p.CodeBase+8 {
+		t.Errorf("PCOf: %#x", p.PCOf(2))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := sample()
+	if err := p.Validate(); err != nil {
+		t.Errorf("valid program rejected: %v", err)
+	}
+	// Branch off the end of text.
+	bad := sample()
+	bad.Code[1].Imm = 400
+	if err := bad.Validate(); err == nil {
+		t.Error("out-of-text branch accepted")
+	}
+	// Entry outside text.
+	bad2 := sample()
+	bad2.Entry = 0
+	if err := bad2.Validate(); err == nil {
+		t.Error("bad entry accepted")
+	}
+	// Empty text.
+	empty := &Program{Name: "e"}
+	if err := empty.Validate(); err == nil {
+		t.Error("empty program accepted")
+	}
+}
+
+func TestSymbolHelpers(t *testing.T) {
+	p := sample()
+	if a, ok := p.Symbol("main"); !ok || a != p.CodeBase {
+		t.Errorf("Symbol: %#x %v", a, ok)
+	}
+	if _, ok := p.Symbol("nope"); ok {
+		t.Error("missing symbol found")
+	}
+	name, off := p.SymbolFor(p.CodeBase + 8)
+	if name != "end" || off != 0 {
+		t.Errorf("SymbolFor end: %s+%d", name, off)
+	}
+	name, off = p.SymbolFor(p.CodeBase + 4)
+	if off != 4 || (name != "loop" && name != "main") {
+		t.Errorf("SymbolFor mid: %s+%d", name, off)
+	}
+	sorted := p.SortedSymbols()
+	if len(sorted) != 3 || p.Symbols[sorted[0]] > p.Symbols[sorted[2]] {
+		t.Errorf("SortedSymbols: %v", sorted)
+	}
+}

@@ -1,0 +1,160 @@
+// Package sim is the user-facing facade: named configuration presets for
+// every machine the paper evaluates, and a Run entry point that wires a
+// program and its golden trace into the pipeline.
+package sim
+
+import (
+	"fmt"
+
+	"rix/internal/core"
+	"rix/internal/emu"
+	"rix/internal/memsys"
+	"rix/internal/pipeline"
+	"rix/internal/prog"
+)
+
+// Integration presets (Figure 4 configurations).
+const (
+	IntNone    = "none"
+	IntSquash  = "squash"
+	IntGeneral = "+general"
+	IntOpcode  = "+opcode"
+	IntReverse = "+reverse"
+)
+
+// IntegrationPresets lists the Figure 4 configurations in order.
+func IntegrationPresets() []string {
+	return []string{IntSquash, IntGeneral, IntOpcode, IntReverse}
+}
+
+// Suppression modes.
+const (
+	SuppressLISP   = "lisp"
+	SuppressOracle = "oracle"
+	SuppressNone   = "off"
+)
+
+// Core variants (Figure 7 configurations).
+const (
+	CoreBase = "base"  // 4-way issue, 40 RS
+	CoreRS   = "rs"    // 4-way issue, 20 RS
+	CoreIW   = "iw"    // 3-way issue, single load/store port
+	CoreIWRS = "iw+rs" // both reductions
+)
+
+// Options selects a machine configuration by name.
+type Options struct {
+	Integration string // IntNone..IntReverse (default IntNone)
+	Suppression string // SuppressLISP (default), SuppressOracle, SuppressNone
+	Core        string // CoreBase (default) .. CoreIWRS
+
+	ITEntries int // default 1024
+	ITAssoc   int // default 4; <0 = fully associative
+	GenBits   int // default 4; use NoGenCounters to ablate to 0
+	RefBits   int // default 4
+	PhysRegs  int // default 1024
+
+	// Ablation switches.
+	NoGenCounters    bool
+	ReverseAllStores bool
+	ReverseALU       bool
+	NoCallDepth      bool
+	PerfectMemory    bool
+}
+
+// Policy translates the named integration preset into a core.Policy.
+func (o Options) policy() (core.Policy, error) {
+	var p core.Policy
+	switch o.Integration {
+	case "", IntNone:
+		return core.Policy{}, nil
+	case IntSquash:
+		p = core.Policy{Enable: true}
+	case IntGeneral:
+		p = core.Policy{Enable: true, GeneralReuse: true}
+	case IntOpcode:
+		p = core.Policy{Enable: true, GeneralReuse: true, OpcodeIndex: true}
+	case IntReverse:
+		p = core.Policy{Enable: true, GeneralReuse: true, OpcodeIndex: true, Reverse: true}
+	default:
+		return p, fmt.Errorf("sim: unknown integration preset %q", o.Integration)
+	}
+	switch o.Suppression {
+	case "", SuppressLISP:
+		p.UseLISP = true
+	case SuppressOracle:
+		p.Oracle = true
+	case SuppressNone:
+	default:
+		return p, fmt.Errorf("sim: unknown suppression mode %q", o.Suppression)
+	}
+	p.ReverseAllStores = o.ReverseAllStores
+	p.ReverseALU = o.ReverseALU
+	p.NoCallDepth = o.NoCallDepth
+	return p, nil
+}
+
+// Config assembles the full pipeline configuration.
+func (o Options) Config() (pipeline.Config, error) {
+	cfg := pipeline.DefaultConfig()
+	pol, err := o.policy()
+	if err != nil {
+		return cfg, err
+	}
+	cfg.Policy = pol
+
+	switch o.Core {
+	case "", CoreBase:
+	case CoreRS:
+		cfg.NumRS = 20
+	case CoreIW:
+		cfg.IssueWidth = 3
+		cfg.CombinedLS = true
+	case CoreIWRS:
+		cfg.IssueWidth = 3
+		cfg.CombinedLS = true
+		cfg.NumRS = 20
+	default:
+		return cfg, fmt.Errorf("sim: unknown core variant %q", o.Core)
+	}
+
+	if o.ITEntries > 0 {
+		cfg.IT.Entries = o.ITEntries
+	}
+	switch {
+	case o.ITAssoc > 0:
+		cfg.IT.Assoc = o.ITAssoc
+	case o.ITAssoc < 0:
+		cfg.IT.Assoc = cfg.IT.Entries // fully associative
+	}
+	if o.GenBits > 0 {
+		cfg.GenBits = uint(o.GenBits)
+	}
+	if o.NoGenCounters {
+		cfg.GenBits = 0
+	}
+	if o.RefBits > 0 {
+		cfg.RefBits = uint(o.RefBits)
+	}
+	if o.PhysRegs > 0 {
+		cfg.PhysRegs = o.PhysRegs
+	}
+	if o.PerfectMemory {
+		cfg.Mem = memsys.PerfectConfig()
+	}
+	return cfg, nil
+}
+
+// Run simulates the program under the options and returns its stats.
+func Run(p *prog.Program, trace []emu.TraceRec, o Options) (*pipeline.Stats, error) {
+	cfg, err := o.Config()
+	if err != nil {
+		return nil, err
+	}
+	return pipeline.New(cfg, p, trace).Run()
+}
+
+// RunConfig simulates with an explicit pipeline configuration.
+func RunConfig(p *prog.Program, trace []emu.TraceRec, cfg pipeline.Config) (*pipeline.Stats, error) {
+	return pipeline.New(cfg, p, trace).Run()
+}

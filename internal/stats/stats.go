@@ -1,0 +1,222 @@
+// Package stats provides small statistics containers and text-table
+// rendering for the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram counts samples into caller-defined upper-bound buckets.
+type Histogram struct {
+	bounds []uint64 // sorted upper bounds; final bucket is overflow
+	counts []uint64
+	total  uint64
+}
+
+// NewHistogram builds a histogram with the given inclusive upper bounds.
+func NewHistogram(bounds ...uint64) *Histogram {
+	b := append([]uint64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v uint64) {
+	for i, ub := range h.bounds {
+		if v <= ub {
+			h.counts[i]++
+			h.total++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+	h.total++
+}
+
+// Total returns the sample count.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Fraction returns the share of samples in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[i]) / float64(h.total)
+}
+
+// Buckets returns the bucket count (bounds + overflow).
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// Count returns the samples in bucket i.
+func (h *Histogram) Count(i int) uint64 { return h.counts[i] }
+
+// Breakdown is an ordered label -> count map for stacked-bar style
+// reports.
+type Breakdown struct {
+	labels []string
+	counts map[string]uint64
+}
+
+// NewBreakdown builds a breakdown with a fixed label order.
+func NewBreakdown(labels ...string) *Breakdown {
+	return &Breakdown{labels: labels, counts: make(map[string]uint64, len(labels))}
+}
+
+// Add increments a label.
+func (b *Breakdown) Add(label string, n uint64) { b.counts[label] += n }
+
+// Labels returns the label order.
+func (b *Breakdown) Labels() []string { return b.labels }
+
+// Count returns a label's count.
+func (b *Breakdown) Count(label string) uint64 { return b.counts[label] }
+
+// Total sums all labels.
+func (b *Breakdown) Total() uint64 {
+	var t uint64
+	for _, l := range b.labels {
+		t += b.counts[l]
+	}
+	return t
+}
+
+// Fraction returns a label's share.
+func (b *Breakdown) Fraction(label string) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(b.counts[label]) / float64(t)
+}
+
+// Table renders aligned text tables (and CSV) for experiment output.
+type Table struct {
+	Title   string
+	header  []string
+	rows    [][]string
+	noteSet []string
+}
+
+// NewTable builds a table with column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// Row appends a row; cells are formatted with %v.
+func (t *Table) Row(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Note attaches a footnote line.
+func (t *Table) Note(format string, args ...interface{}) {
+	t.noteSet = append(t.noteSet, fmt.Sprintf(format, args...))
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// NumCols returns the number of header columns.
+func (t *Table) NumCols() int { return len(t.header) }
+
+// Cell returns a rendered cell.
+func (t *Table) Cell(row, col int) string { return t.rows[row][col] }
+
+// String renders the aligned text form.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	for _, n := range t.noteSet {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the comma-separated form.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.header, ","))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// GeoMean computes the geometric mean of speedup-like values.
+func GeoMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	prod := 1.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		prod *= v
+	}
+	return pow(prod, 1/float64(len(vals)))
+}
+
+// AMean computes the arithmetic mean.
+func AMean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+func pow(x, y float64) float64 { return math.Pow(x, y) }

@@ -1,0 +1,101 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(3, 15, 63)
+	for _, v := range []uint64{0, 3, 4, 15, 16, 63, 64, 1000} {
+		h.Add(v)
+	}
+	if h.Total() != 8 {
+		t.Errorf("total = %d", h.Total())
+	}
+	want := []uint64{2, 2, 2, 2}
+	for i, w := range want {
+		if h.Count(i) != w {
+			t.Errorf("bucket %d = %d, want %d", i, h.Count(i), w)
+		}
+	}
+	if h.Fraction(0) != 0.25 {
+		t.Errorf("fraction = %v", h.Fraction(0))
+	}
+	if h.Buckets() != 4 {
+		t.Errorf("buckets = %d", h.Buckets())
+	}
+}
+
+func TestHistogramUnsortedBounds(t *testing.T) {
+	h := NewHistogram(63, 3, 15) // constructor sorts
+	h.Add(4)
+	if h.Count(1) != 1 {
+		t.Error("bounds not sorted")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := NewBreakdown("alu", "load", "branch")
+	b.Add("alu", 6)
+	b.Add("load", 3)
+	b.Add("branch", 1)
+	if b.Total() != 10 {
+		t.Errorf("total = %d", b.Total())
+	}
+	if b.Fraction("alu") != 0.6 {
+		t.Errorf("fraction = %v", b.Fraction("alu"))
+	}
+	if len(b.Labels()) != 3 || b.Labels()[1] != "load" {
+		t.Error("labels wrong")
+	}
+	empty := NewBreakdown("x")
+	if empty.Fraction("x") != 0 {
+		t.Error("empty fraction not 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "bench", "ipc", "rate")
+	tb.Row("crafty", 1.2345, "17%")
+	tb.Row("averylongbenchname", 0.5, "2%")
+	tb.Note("n = %d", 2)
+	s := tb.String()
+	if !strings.Contains(s, "== Demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(s, "crafty") || !strings.Contains(s, "1.23") {
+		t.Errorf("missing cells:\n%s", s)
+	}
+	if !strings.Contains(s, "# n = 2") {
+		t.Error("missing note")
+	}
+	// Alignment: all data lines equally wide at the first column.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few lines:\n%s", s)
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "bench,ipc,rate\n") {
+		t.Errorf("csv header: %q", csv)
+	}
+	if tb.NumRows() != 2 || tb.Cell(0, 0) != "crafty" {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("geomean = %v", g)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{1, 0}) != 0 {
+		t.Error("geomean degenerate cases")
+	}
+	if a := AMean([]float64{1, 2, 3}); a != 2 {
+		t.Errorf("amean = %v", a)
+	}
+	if AMean(nil) != 0 {
+		t.Error("amean empty")
+	}
+}

@@ -1,0 +1,312 @@
+package workload
+
+// Call-poor, loop-dominated benchmarks: gzip, bzip2, vpr.p, vpr.r.
+//
+// These are the programs for which the paper reports that opcode indexing
+// *hurts*: they have few calls (one call depth, so the call-depth index
+// mix cannot spread entries) and their hot loops contain several
+// operations with identical opcode/immediate pairs whose IT entries churn
+// a single set under opcode indexing. They also exploit little reverse
+// integration (few save/restore pairs).
+
+func init() {
+	register(Benchmark{
+		Name:        "gzip",
+		Class:       "call-poor",
+		Description: "LZ-style window scan with hash-table probes; single call depth, heavy opcode/imm aliasing",
+		Source:      gzipSrc,
+	})
+	register(Benchmark{
+		Name:        "bzip2",
+		Class:       "call-poor",
+		Description: "block-sort inner loops (shell sort passes over a byte block)",
+		Source:      bzip2Src,
+	})
+	register(Benchmark{
+		Name:        "vpr.p",
+		Class:       "call-poor",
+		Description: "placement: annealing-style cell swaps over a grid, loop-dominated",
+		Source:      vprPlaceSrc,
+	})
+	register(Benchmark{
+		Name:        "vpr.r",
+		Class:       "call-poor",
+		Description: "routing: wavefront grid relaxation sweeps, deeply loop-dominated",
+		Source:      vprRouteSrc,
+	})
+}
+
+const gzipSrc = `
+; gzip: sliding-window scan with hash probes. Call-poor: the hot loop
+; runs at call depth 0. Several addqi/andi ops share opcode+immediate,
+; churning one IT set under opcode indexing (the paper's conflict case).
+        .equ  ITERS, 9000
+        .text
+main:   ldiq s0, window        ; window base (loop-invariant root)
+        ldiq s1, htab          ; hash table base
+        ldiq s2, ITERS
+        ldiq t0, 88172645      ; lcg state
+        clr  s3                ; checksum
+        clr  s4                ; position
+
+        ; fill the 512-word window with pseudo-random bytes
+        ldiq t1, 512
+        mov  t2, s0
+init:   mulqi t0, t0, 1103515245
+        addqi t0, t0, 12345
+        stq  t0, 0(t2)
+        addqi t2, t2, 8
+        addqi t1, t1, -1
+        bne  t1, init
+
+loop:   andi t3, s4, 511       ; window offset
+        slli t3, t3, 3
+        addq t4, s0, t3
+        ldq  t5, 0(t4)         ; fetch window word
+
+        srli t6, t5, 13        ; hash
+        xor  t6, t6, t5
+        andi t6, t6, 255
+        slli t6, t6, 3
+        addq t7, s1, t6
+        ldq  t8, 0(t7)         ; probe chain head
+        cmpeq t9, t8, t5
+        bne  t9, match
+        stq  t5, 0(t7)         ; install
+        addqi s3, s3, 1
+        br   cont
+match:  addqi s3, s3, 5
+cont:
+        ; un-hoisted invariants: recomputed per iteration, general-reuse
+        ; fodder (stable input pregs: s0/s1 never renamed in the loop)
+        lda  t10, 64(s1)
+        lda  t11, 4088(s0)
+        ; opcode/imm aliasing churners: same op+imm, different registers
+        addqi s4, s4, 1
+        addqi t0, t0, 1
+        mulqi t0, t0, 69069
+        andi t1, t0, 15
+        beq  t1, skipa
+        addq s3, s3, t10
+        br   skipb
+skipa:  addq s3, s3, t11
+skipb:  addqi s2, s2, -1
+        bne  s2, loop
+
+        andi a0, s3, 1048575
+        ldiq v0, 1
+        syscall                ; putint(checksum)
+        clr  v0
+        clr  a0
+        syscall                ; exit(0)
+        .data
+window: .space 4096
+htab:   .space 2048
+`
+
+const bzip2Src = `
+; bzip2: shell-sort passes over a block. Call-poor; compare/branch heavy
+; with data-dependent (mispredictable) exchanges.
+        .equ  BLOCK, 192
+        .equ  PASSES, 28
+        .text
+main:   ldiq s0, block
+        ldiq s1, PASSES
+        ldiq t0, 123456789
+        clr  s3
+
+        ; fill block
+        ldiq t1, BLOCK
+        mov  t2, s0
+fill:   mulqi t0, t0, 1103515245
+        addqi t0, t0, 12345
+        srli t3, t0, 8
+        andi t3, t3, 65535
+        stq  t3, 0(t2)
+        addqi t2, t2, 8
+        addqi t1, t1, -1
+        bne  t1, fill
+
+        ; shell sort with gaps 13, 4, 1 — repeated PASSES times over
+        ; freshly perturbed data
+pass:   ldiq s2, gaps
+nextgap:
+        ldq  s4, 0(s2)         ; gap
+        beq  s4, endgaps
+        mov  t1, s4            ; i = gap
+inner:  cmplti t2, t1, BLOCK
+        beq  t2, gapdone
+        slli t3, t1, 3
+        addq t4, s0, t3        ; &block[i]
+        ldq  t5, 0(t4)         ; v = block[i]
+        mov  t6, t1            ; j = i
+shift:  cmplt t7, t6, s4       ; j < gap ?
+        bne  t7, place
+        subq t8, t6, s4        ; j - gap
+        slli t9, t8, 3
+        addq t10, s0, t9
+        ldq  t11, 0(t10)       ; block[j-gap]
+        cmple t7, t11, t5      ; sorted already?
+        bne  t7, place
+        slli t9, t6, 3
+        addq t9, s0, t9
+        stq  t11, 0(t9)        ; block[j] = block[j-gap]
+        mov  t6, t8
+        br   shift
+place:  slli t9, t6, 3
+        addq t9, s0, t9
+        stq  t5, 0(t9)
+        addqi t1, t1, 1
+        br   inner
+gapdone:
+        addqi s2, s2, 8
+        br   nextgap
+endgaps:
+        ; checksum + perturb two elements so the next pass does work
+        ldq  t2, 0(s0)
+        addq s3, s3, t2
+        mulqi t0, t0, 69069
+        addqi t0, t0, 1
+        andi t3, t0, 127
+        slli t3, t3, 3
+        addq t4, s0, t3
+        andi t5, t0, 65535
+        stq  t5, 0(t4)
+        srli t6, t0, 16
+        andi t6, t6, 127
+        slli t6, t6, 3
+        addq t7, s0, t6
+        srli t8, t0, 24
+        stq  t8, 0(t7)
+        addqi s1, s1, -1
+        bne  s1, pass
+
+        andi a0, s3, 1048575
+        ldiq v0, 1
+        syscall
+        clr  v0
+        clr  a0
+        syscall
+        .data
+gaps:   .word 13, 4, 1, 0
+block:  .space 1536
+`
+
+const vprPlaceSrc = `
+; vpr.p: annealing-style placement. Cell position swaps over a small
+; grid; loop-dominated with a single rarely-called cost helper.
+        .equ  CELLS, 128
+        .equ  MOVES, 11000
+        .text
+main:   lda  sp, -16(sp)
+        stq  ra, 0(sp)
+        ldiq s0, pos
+        ldiq s1, MOVES
+        ldiq t0, 424242
+        clr  s3
+
+        ldiq t1, CELLS          ; init positions
+        mov  t2, s0
+pinit:  stq  t1, 0(t2)
+        addqi t2, t2, 8
+        addqi t1, t1, -1
+        bne  t1, pinit
+
+move:   mulqi t0, t0, 1103515245
+        addqi t0, t0, 12345
+        srli t1, t0, 5
+        andi t1, t1, 127        ; cell a
+        srli t2, t0, 13
+        andi t2, t2, 127        ; cell b
+        slli t3, t1, 3
+        addq t3, s0, t3
+        slli t4, t2, 3
+        addq t4, s0, t4
+        ldq  t5, 0(t3)          ; pos[a]
+        ldq  t6, 0(t4)          ; pos[b]
+        subq t7, t5, t6         ; delta cost
+        andi t8, t7, 960
+        beq  t8, accept         ; small deltas accepted (~held at ~7%)
+        andi t8, t0, 63
+        beq  t8, accept         ; rare uphill accept
+        br   reject
+accept: stq  t6, 0(t3)          ; swap
+        stq  t5, 0(t4)
+        addqi s3, s3, 3
+reject: lda  t9, 1016(s0)       ; un-hoisted invariant
+        ldq  t10, 0(t9)
+        addq s3, s3, t10
+        addqi s1, s1, -1
+        bne  s1, move
+
+        andi a0, s3, 1048575
+        ldiq v0, 1
+        syscall
+        clr  v0
+        clr  a0
+        syscall
+        .data
+pos:    .space 1024
+`
+
+const vprRouteSrc = `
+; vpr.r: routing wavefront sweeps over a grid. The paper's worst case for
+; opcode indexing: zero calls in the hot path and five pointer bumps with
+; identical opcode/immediate churning the same IT set.
+        .equ  DIM, 32
+        .equ  SWEEPS, 30
+        .text
+main:   ldiq s0, grid
+        ldiq s1, SWEEPS
+        clr  s3
+        ldiq t0, 777777
+
+        ldiq t1, 1024           ; init grid
+        mov  t2, s0
+ginit:  mulqi t0, t0, 1103515245
+        addqi t0, t0, 12345
+        andi t3, t0, 1023
+        stq  t3, 0(t2)
+        addqi t2, t2, 8
+        addqi t1, t1, -1
+        bne  t1, ginit
+
+sweep:  ldiq t1, 992            ; inner cells (skip last row)
+        mov  t2, s0
+cell:   ldq  t3, 0(t2)          ; cost[i]
+        ldq  t4, 8(t2)          ; east neighbour
+        ldq  t5, 256(t2)        ; south neighbour (DIM*8)
+        addqi t6, t4, 1         ; relax east
+        addqi t7, t5, 1         ; relax south (same op/imm: aliases)
+        cmplt t8, t6, t7
+        bne  t8, useeast
+        mov  t6, t7
+useeast:
+        cmplt t8, t6, t3
+        beq  t8, keep
+        stq  t6, 0(t2)
+        addqi s3, s3, 1
+keep:   addqi t2, t2, 8         ; five same-imm bumps across the loop
+        addqi t1, t1, -1
+        bne  t1, cell
+        ; perturb one source cell so sweeps keep relaxing
+        mulqi t0, t0, 69069
+        addqi t0, t0, 1
+        andi t9, t0, 255
+        slli t9, t9, 3
+        addq t9, s0, t9
+        andi t10, t0, 511
+        stq  t10, 0(t9)
+        addq s3, s3, t10
+        addqi s1, s1, -1
+        bne  s1, sweep
+
+        andi a0, s3, 1048575
+        ldiq v0, 1
+        syscall
+        clr  v0
+        clr  a0
+        syscall
+        .data
+grid:   .space 8192
+`

@@ -1,0 +1,707 @@
+package workload
+
+import "fmt"
+
+// Call-rich benchmarks: crafty, gcc, gap, vortex, eon.{c,k,r},
+// perl.{d,s}. These drive the paper's extension-2 and -3 wins: deep call
+// graphs give the call-depth index distribution power, and dense
+// save/restore idioms feed reverse integration.
+
+func init() {
+	register(Benchmark{
+		Name:        "crafty",
+		Class:       "call-rich",
+		Description: "alpha-beta game-tree search: deep recursion, repeated in-function subexpressions, global counters that mis-integrate",
+		Source:      craftySrc,
+	})
+	register(Benchmark{
+		Name:        "gcc",
+		Class:       "call-rich",
+		Description: "recursive expression-tree walk over an in-memory binary tree",
+		Source:      gccSrc,
+	})
+	register(Benchmark{
+		Name:        "gap",
+		Class:       "call-rich",
+		Description: "bytecode interpreter: jump-table dispatch to small save/restore handlers",
+		Source:      gapSrc,
+	})
+	register(Benchmark{
+		Name:        "vortex",
+		Class:       "call-rich",
+		Description: "OO-database transactions: lookup/validate/copy call chains, ~45% loads+stores",
+		Source:      vortexSrc,
+	})
+	register(Benchmark{
+		Name:        "eon.c",
+		Class:       "call-rich",
+		Description: "ray-march (cook view): per-pixel shade/intersect FP call chain",
+		Source:      eonSrc(701, 3, 5),
+	})
+	register(Benchmark{
+		Name:        "eon.k",
+		Class:       "call-rich",
+		Description: "ray-march (kajiya view): more objects per ray",
+		Source:      eonSrc(523, 4, 9),
+	})
+	register(Benchmark{
+		Name:        "eon.r",
+		Class:       "call-rich",
+		Description: "ray-march (rushmeier view): fewer, costlier rays",
+		Source:      eonSrc(811, 5, 13),
+	})
+	register(Benchmark{
+		Name:        "perl.d",
+		Class:       "call-rich",
+		Description: "interpreter (diffmail script): arithmetic-heavy opcode mix, two-deep handler calls",
+		Source:      perlSrc(4600, 7),
+	})
+	register(Benchmark{
+		Name:        "perl.s",
+		Class:       "call-rich",
+		Description: "interpreter (splitmail script): hash/memory-heavy opcode mix",
+		Source:      perlSrc(4200, 3),
+	})
+}
+
+const craftySrc = `
+; crafty: alpha-beta search over a synthetic game tree. Deep recursion
+; (depth 9), register saves at every node, two static instances of the
+; same subexpression inside search (opcode-indexing fodder), and a global
+; node counter in memory whose loads mis-integrate (stale after the
+; increment) until the LISP learns them.
+        .equ  TOPS, 16
+        .equ  DEPTH, 9
+        .text
+main:   lda  sp, -32(sp)
+        stq  ra, 0(sp)
+        stq  s0, 8(sp)
+        stq  s1, 16(sp)
+        ldiq s0, TOPS
+        ldiq s1, 271828
+        clr  s2
+top:    mulqi s1, s1, 1103515245
+        addqi s1, s1, 12345
+        andi a0, s1, 65535      ; key
+        ldiq a1, DEPTH
+        call search
+        addq s2, s2, v0
+        addqi s0, s0, -1
+        bne  s0, top
+        andi a0, s2, 1048575
+        ldiq v0, 1
+        syscall
+        clr  v0
+        clr  a0
+        syscall
+
+; search(a0=key, a1=depth) -> v0 = subtree score
+search: bne  a1, internal
+        ; leaf: probe the transposition table, update the node counter
+        ldiq t0, htab
+        andi t1, a0, 63
+        slli t1, t1, 3
+        addq t2, t0, t1
+        ldq  t3, 0(t2)          ; ttable probe
+        cmpeq t4, t3, a0
+        bne  t4, tthit
+        stq  a0, 0(t2)          ; install
+tthit:  ldq  t5, nodes          ; global counter: mis-integration source
+        addqi t5, t5, 1
+        stq  t5, nodes
+        andi v0, a0, 255
+        ret
+internal:
+        lda  sp, -48(sp)
+        stq  ra, 0(sp)
+        stq  s0, 8(sp)
+        stq  s1, 16(sp)
+        stq  s2, 24(sp)
+        stq  s5, 32(sp)
+        mov  s0, a0             ; key
+        mov  s1, a1             ; depth
+        clr  s2
+        ; generate both child keys up front: two static instances of the
+        ; same subexpression on the same s0 mapping (+opcode reuse), and
+        ; likewise for the masking AND
+        slli t0, s0, 1          ; instance 1
+        addqi a0, t0, 1
+        andi a0, a0, 65535
+        slli t2, s0, 1          ; instance 2: integrates instance 1 under
+        addqi s5, t2, 5         ; opcode indexing
+        andi s5, s5, 65535
+        subqi a1, s1, 1
+        call search
+        addq s2, s2, v0
+        ; alpha-beta prune: data-dependent on score and key
+        xor  t1, v0, s0
+        andi t1, t1, 7
+        beq  t1, cut
+        ; child 1
+        mov  a0, s5
+        subqi a1, s1, 1
+        call search
+        mulqi s2, s2, 5         ; non-cancelling score mix
+        subq s2, s2, v0
+cut:    addq v0, s2, s0
+        andi v0, v0, 16383
+        ldq  s5, 32(sp)
+        ldq  s2, 24(sp)
+        ldq  s1, 16(sp)
+        ldq  s0, 8(sp)
+        ldq  ra, 0(sp)
+        lda  sp, 48(sp)
+        ret
+        .data
+htab:   .space 512
+nodes:  .word 0
+`
+
+const gccSrc = `
+; gcc: recursive walk over a 1023-node binary expression tree stored in
+; memory (24-byte nodes: left, right, value). Call-rich with pointer
+; loads; the tree is re-walked after perturbing node values.
+        .equ  NODES, 1023
+        .equ  WALKS, 11
+        .text
+main:   lda  sp, -32(sp)
+        stq  ra, 0(sp)
+        stq  s0, 8(sp)
+        stq  s1, 16(sp)
+        ldiq s0, tree
+        ldiq s1, WALKS
+        clr  s2
+        ldiq t0, 13579
+
+        ; build the tree: node i at tree+24i; children 2i+1, 2i+2
+        clr  t1                 ; i
+build:  mulqi t2, t1, 24
+        addq t3, s0, t2         ; &node[i]
+        slli t4, t1, 1
+        addqi t5, t4, 1         ; left index
+        cmplti t6, t5, NODES
+        beq  t6, noleft
+        mulqi t7, t5, 24
+        addq t7, s0, t7
+        br   setl
+noleft: clr  t7
+setl:   stq  t7, 0(t3)
+        addqi t5, t4, 2         ; right index
+        cmplti t6, t5, NODES
+        beq  t6, noright
+        mulqi t8, t5, 24
+        addq t8, s0, t8
+        br   setr
+noright:
+        clr  t8
+setr:   stq  t8, 8(t3)
+        mulqi t0, t0, 69069
+        addqi t0, t0, 1
+        andi t9, t0, 1023
+        stq  t9, 16(t3)
+        addqi t1, t1, 1
+        cmplti t6, t1, NODES
+        bne  t6, build
+
+walks:  mov  a0, s0
+        call walk
+        addq s2, s2, v0
+        ; perturb one node value
+        mulqi t0, t0, 1103515245
+        addqi t0, t0, 12345
+        andi t1, t0, 1023
+        mulqi t1, t1, 24
+        addq t2, s0, t1
+        andi t3, t0, 511
+        stq  t3, 16(t2)
+        addqi s1, s1, -1
+        bne  s1, walks
+
+        andi a0, s2, 1048575
+        ldiq v0, 1
+        syscall
+        clr  v0
+        clr  a0
+        syscall
+
+; walk(a0=node) -> v0 = value + walk(left) - walk(right)
+walk:   bne  a0, descend
+        clr  v0
+        ret
+descend:
+        lda  sp, -32(sp)
+        stq  ra, 0(sp)
+        stq  s3, 8(sp)
+        stq  s4, 16(sp)
+        mov  s3, a0
+        ldq  s4, 16(s3)         ; value
+        ldq  a0, 0(s3)          ; left
+        call walk
+        addq s4, s4, v0
+        ldq  a0, 8(s3)          ; right
+        call walk
+        subq s4, s4, v0
+        mov  v0, s4
+        ldq  s4, 16(sp)
+        ldq  s3, 8(sp)
+        ldq  ra, 0(sp)
+        lda  sp, 32(sp)
+        ret
+        .data
+tree:   .space 24576
+`
+
+const gapSrc = `
+; gap: bytecode interpreter. The dispatch loop loads an opcode, looks up
+; a handler in a jump table and calls it indirectly (BTB-mispredicting),
+; and every handler opens a frame and saves registers: dense reverse
+; integration fodder.
+        .equ  STEPS, 7000
+        .text
+main:   lda  sp, -32(sp)
+        stq  ra, 0(sp)
+        stq  s0, 8(sp)
+        stq  s1, 16(sp)
+        ldiq s0, code
+        ldiq s1, STEPS
+        clr  s2                 ; accumulator
+        ldiq t0, 24681357
+
+        ; generate a 256-op bytecode program
+        ldiq t1, 256
+        mov  t2, s0
+cgen:   mulqi t0, t0, 1103515245
+        addqi t0, t0, 12345
+        srli t3, t1, 4          ; runs of 16 identical ops...
+        andi t3, t3, 3
+        srli t4, t0, 11
+        andi t4, t4, 7
+        bne  t4, keepop         ; ...with 1-in-8 random replacements
+        srli t3, t0, 3
+        andi t3, t3, 3
+keepop: stq  t3, 0(t2)
+        addqi t2, t2, 8
+        addqi t1, t1, -1
+        bne  t1, cgen
+
+        clr  s3                 ; vpc
+step:   andi t1, s3, 255
+        slli t1, t1, 3
+        addq t2, s0, t1
+        ldq  t3, 0(t2)          ; opcode
+        slli t4, t3, 3
+        ldiq t5, jt
+        addq t6, t5, t4
+        ldq  pv, 0(t6)          ; handler address
+        mov  a0, s2
+        jsr  (pv)
+        mov  s2, v0
+        addqi s3, s3, 1
+        addqi s1, s1, -1
+        bne  s1, step
+
+        andi a0, s2, 1048575
+        ldiq v0, 1
+        syscall
+        clr  v0
+        clr  a0
+        syscall
+
+; handlers: op(a0=acc) -> v0
+hadd:   lda  sp, -16(sp)
+        stq  s4, 8(sp)
+        ldiq s4, 17             ; program constant per invocation
+        addq v0, a0, s4
+        ldq  s4, 8(sp)
+        lda  sp, 16(sp)
+        ret
+hxor:   lda  sp, -16(sp)
+        stq  s4, 8(sp)
+        ldiq s4, 2989
+        xor  v0, a0, s4
+        ldq  s4, 8(sp)
+        lda  sp, 16(sp)
+        ret
+hshift: lda  sp, -16(sp)
+        stq  s4, 8(sp)
+        srli s4, a0, 3
+        addq v0, a0, s4
+        ldq  s4, 8(sp)
+        lda  sp, 16(sp)
+        ret
+hmem:   lda  sp, -16(sp)
+        stq  s4, 8(sp)
+        ldiq s4, scratch
+        stq  a0, 0(s4)
+        ldq  v0, 0(s4)
+        addqi v0, v0, 1
+        ldq  s4, 8(sp)
+        lda  sp, 16(sp)
+        ret
+        .data
+jt:     .word hadd, hxor, hshift, hmem
+code:   .space 2048
+scratch: .space 8
+`
+
+const vortexSrc = `
+; vortex: object-database transactions. main -> txn -> lookup/validate/
+; copy, each with full save/restore prologues; record field copies make
+; loads+stores ~45%% of the mix, as in the real vortex.
+        .equ  TXNS, 3600
+        .text
+main:   lda  sp, -32(sp)
+        stq  ra, 0(sp)
+        stq  s0, 8(sp)
+        stq  s1, 16(sp)
+        ldiq s0, TXNS
+        ldiq s1, 998877
+        clr  s2
+
+        ; init the record store: 4096 records x 4 fields (128KB: misses L1)
+        ldiq t1, 16384
+        ldiq t2, recs
+rinit:  mulqi s1, s1, 1103515245
+        addqi s1, s1, 12345
+        andi t3, s1, 4095
+        stq  t3, 0(t2)
+        addqi t2, t2, 8
+        addqi t1, t1, -1
+        bne  t1, rinit
+
+txns:   mulqi s1, s1, 69069
+        addqi s1, s1, 1
+        andi a0, s1, 4095       ; record id
+        call txn
+        addq s2, s2, v0
+        addqi s0, s0, -1
+        bne  s0, txns
+
+        andi a0, s2, 1048575
+        ldiq v0, 1
+        syscall
+        clr  v0
+        clr  a0
+        syscall
+
+; txn(a0=id): lookup, validate, copy out
+txn:    lda  sp, -32(sp)
+        stq  ra, 0(sp)
+        stq  s3, 8(sp)
+        stq  s4, 16(sp)
+        mov  s3, a0
+        call lookup             ; v0 = &rec
+        mov  s4, v0
+        mov  a0, s4
+        call validate           ; v0 = 0/1
+        beq  v0, txdone
+        mov  a0, s4
+        call copyrec            ; v0 = field checksum
+        ; audit: re-read two fields, then re-check them (two static
+        ; instances of the same load on the same record mapping:
+        ; opcode-indexing integration fodder)
+        ldq  t4, 0(s4)
+        ldq  t5, 8(s4)
+        addq v0, v0, t4
+        ldq  t6, 0(s4)
+        ldq  t7, 8(s4)
+        xor  t8, t5, t7
+        addq v0, v0, t8
+        addq v0, v0, t6
+txdone: ldq  s4, 16(sp)
+        ldq  s3, 8(sp)
+        ldq  ra, 0(sp)
+        lda  sp, 32(sp)
+        ret
+
+; lookup(a0=id): walk a 3-hop index chain (dependent loads), then
+; return the record address
+lookup: lda  sp, -16(sp)
+        stq  s5, 8(sp)
+        ldiq s5, recs           ; per-invocation constant
+        slli t0, a0, 5          ; 32 bytes per record
+        addq t1, s5, t0
+        ldq  t2, 0(t1)          ; hop 1: field as next index
+        andi t2, t2, 4095
+        slli t2, t2, 5
+        addq t3, s5, t2
+        ldq  t4, 0(t3)          ; hop 2
+        andi t4, t4, 4095
+        slli t4, t4, 5
+        addq v0, s5, t4
+        ldq  s5, 8(sp)
+        lda  sp, 16(sp)
+        ret
+
+; validate(a0=&rec) -> parity-ish acceptance
+validate:
+        lda  sp, -16(sp)
+        stq  s5, 8(sp)
+        ldq  s5, 0(a0)
+        ldq  t0, 8(a0)
+        xor  t1, s5, t0
+        andi v0, t1, 1
+        ldq  s5, 8(sp)
+        lda  sp, 16(sp)
+        ret
+
+; copyrec(a0=&rec): copy 4 fields to the out buffer, return their sum
+copyrec:
+        lda  sp, -16(sp)
+        stq  s5, 8(sp)
+        ldiq s5, outbuf
+        ldq  t0, 0(a0)
+        stq  t0, 0(s5)
+        ldq  t1, 8(a0)
+        stq  t1, 8(s5)
+        ldq  t2, 16(a0)
+        stq  t2, 16(s5)
+        ldq  t3, 24(a0)
+        stq  t3, 24(s5)
+        addq v0, t0, t1
+        addq v0, v0, t2
+        addq v0, v0, t3
+        ldq  s5, 8(sp)
+        lda  sp, 16(sp)
+        ret
+        .data
+recs:   .space 131072
+outbuf: .space 32
+`
+
+// eonSrc parameterizes the three eon views: seed, objects per ray, and
+// the light constant.
+func eonSrc(seed, objects, light int) string {
+	return fmt.Sprintf(`
+; eon: ray-march renderer. Per-pixel shade() call; shade intersects
+; `+"`objects`"+` spheres with FP arithmetic, loading vector data and
+; storing the pixel. Very call-rich with a high load/store fraction.
+        .equ  PIXELS, 2600
+        .text
+main:   lda  sp, -32(sp)
+        stq  ra, 0(sp)
+        stq  s0, 8(sp)
+        stq  s1, 16(sp)
+        ldiq s0, PIXELS
+        ldiq s1, %d
+        clr  s2
+
+        ; object table: %d spheres x 3 coords
+        ldiq t1, %d
+        ldiq t2, objs
+oinit:  mulqi s1, s1, 1103515245
+        addqi s1, s1, 12345
+        andi t3, s1, 255
+        cvtqt t4, t3
+        stq  t4, 0(t2)
+        addqi t2, t2, 8
+        addqi t1, t1, -1
+        bne  t1, oinit
+
+pixel:  mulqi s1, s1, 69069
+        addqi s1, s1, 1
+        xor  a0, s1, s2         ; ray id depends on previous shade result
+        andi a0, a0, 1023
+        call shade
+        addq s2, s2, v0
+        addqi s0, s0, -1
+        bne  s0, pixel
+
+        andi a0, s2, 1048575
+        ldiq v0, 1
+        syscall
+        clr  v0
+        clr  a0
+        syscall
+
+; shade(a0=ray) -> v0: intersect objects, accumulate FP shading
+shade:  lda  sp, -48(sp)
+        stq  ra, 0(sp)
+        stq  s3, 8(sp)
+        stq  s4, 16(sp)
+        stq  s5, 24(sp)
+        mov  s3, a0
+        andi s4, a0, 1          ; ray-dependent object count defeats the
+        addqi s4, s4, %d        ; constant-chain collapse
+        clr  s5
+        cvtqt s5, s5            ; FP accumulator (serial across objects)
+nextobj:
+        subqi t0, s4, 1
+        mulqi t1, t0, 24
+        mov  a0, s3
+        mov  a1, t1             ; object offset
+        mov  a2, s5             ; running FP accumulator
+        call isect
+        mov  s5, v0             ; serial FP dependence chain
+        addqi s4, s4, -1
+        bne  s4, nextobj
+        cvttq s5, s5
+        ; light model: one FP multiply on the accumulated hit metric
+        cvtqt t2, s5
+        ldq  t3, lightk
+        fmul t4, t2, t3
+        cvttq t5, t4
+        andi t5, t5, 65535
+        addqi v0, t5, %d
+        ldq  s5, 24(sp)
+        ldq  s4, 16(sp)
+        ldq  s3, 8(sp)
+        ldq  ra, 0(sp)
+        lda  sp, 48(sp)
+        ret
+
+; isect(a0=ray, a1=objoff, a2=FP acc) -> updated FP acc
+isect:  lda  sp, -16(sp)
+        stq  s5, 8(sp)
+        ldiq s5, objs
+        addq t6, s5, a1
+        ldq  t7, 0(t6)          ; cx
+        ldq  t8, 8(t6)          ; cy
+        ldq  t9, 16(t6)         ; cz
+        cvtqt t10, a0
+        fsub t11, t10, t7
+        fmul t11, t11, t11
+        fadd t11, t11, t8
+        fmul t11, t11, t9
+        fadd v0, a2, t11        ; serial accumulate (latency chain)
+        cvttq t4, t11
+        andi t4, t4, 4095
+        ; write the partial result (store traffic, as in eon)
+        ldiq t5, partials
+        andi t3, a0, 63
+        slli t3, t3, 3
+        addq t5, t5, t3
+        stq  t4, 0(t5)
+        ldq  s5, 8(sp)
+        lda  sp, 16(sp)
+        ret
+        .data
+lightk: .word 0x3FD0000000000000   ; float64 bits of 0.25
+objs:   .space 1024
+partials: .space 512
+`, seed, objects, objects*3, objects, light)
+}
+
+// perlSrc parameterizes the two perl scripts: step count and opcode-mix
+// rotation.
+func perlSrc(steps, mix int) string {
+	return fmt.Sprintf(`
+; perl: opcode interpreter with two-deep handler call chains
+; (dispatch -> handler -> helper). Handlers save callee registers and
+; call string/number helpers: deep call-depth distribution plus dense
+; save/restore traffic.
+        .equ  STEPS, %d
+        .text
+main:   lda  sp, -32(sp)
+        stq  ra, 0(sp)
+        stq  s0, 8(sp)
+        stq  s1, 16(sp)
+        ldiq s0, STEPS
+        ldiq s1, 11223344
+        clr  s2
+        clr  s3                 ; vpc
+
+step:   mulqi s1, s1, 1103515245
+        addqi s1, s1, 12345
+        srli t0, s1, %d
+        andi t0, t0, 3
+        slli t0, t0, 3
+        ldiq t1, jt
+        addq t1, t1, t0
+        ldq  pv, 0(t1)
+        mov  a0, s2
+        mov  a1, s3
+        jsr  (pv)
+        mov  s2, v0
+        addqi s3, s3, 1
+        addqi s0, s0, -1
+        bne  s0, step
+
+        andi a0, s2, 1048575
+        ldiq v0, 1
+        syscall
+        clr  v0
+        clr  a0
+        syscall
+
+; op handlers: each opens a frame and calls a helper
+opnum:  lda  sp, -32(sp)
+        stq  ra, 0(sp)
+        stq  s4, 8(sp)
+        mov  s4, a0
+        addqi a0, a1, 3
+        call numhelp
+        addq v0, v0, s4
+        ldq  s4, 8(sp)
+        ldq  ra, 0(sp)
+        lda  sp, 32(sp)
+        ret
+opstr:  lda  sp, -32(sp)
+        stq  ra, 0(sp)
+        stq  s4, 8(sp)
+        mov  s4, a0
+        andi a0, a1, 63
+        call strhelp
+        xor  v0, v0, s4
+        ldq  s4, 8(sp)
+        ldq  ra, 0(sp)
+        lda  sp, 32(sp)
+        ret
+ophash: lda  sp, -32(sp)
+        stq  ra, 0(sp)
+        stq  s4, 8(sp)
+        mov  s4, a0
+        mov  a0, a1
+        call hashhelp
+        addq v0, v0, s4
+        ldq  s4, 8(sp)
+        ldq  ra, 0(sp)
+        lda  sp, 32(sp)
+        ret
+opnop:  addqi v0, a0, 1
+        ret
+
+; helpers (call depth 2)
+numhelp:
+        lda  sp, -16(sp)
+        stq  s5, 8(sp)
+        ldiq s5, 9973
+        mulq t2, a0, s5
+        srli t3, t2, 5
+        xor  v0, t2, t3
+        ldq  s5, 8(sp)
+        lda  sp, 16(sp)
+        ret
+strhelp:
+        lda  sp, -16(sp)
+        stq  s5, 8(sp)
+        ldiq s5, strbuf
+        slli t2, a0, 3
+        andi t2, t2, 504
+        addq t3, s5, t2
+        ldq  t4, 0(t3)          ; read cell
+        addqi t4, t4, 1
+        stq  t4, 0(t3)          ; write back
+        mov  v0, t4
+        ldq  s5, 8(sp)
+        lda  sp, 16(sp)
+        ret
+hashhelp:
+        lda  sp, -16(sp)
+        stq  s5, 8(sp)
+        ldiq s5, hbuf
+        andi t2, a0, 127
+        slli t2, t2, 3
+        addq t3, s5, t2
+        ldq  t4, 0(t3)
+        xor  v0, t4, a0
+        stq  v0, 0(t3)
+        ldq  s5, 8(sp)
+        lda  sp, 16(sp)
+        ret
+        .data
+jt:     .word opnum, opstr, ophash, opnop
+strbuf: .space 512
+hbuf:   .space 1024
+`, steps, mix)
+}

@@ -1,0 +1,213 @@
+package workload
+
+// Memory-bound and mixed benchmarks: mcf, twolf, parser.
+
+func init() {
+	register(Benchmark{
+		Name:        "mcf",
+		Class:       "memory-bound",
+		Description: "network-simplex stand-in: dependent random walks over a 4MB arc array (L2- and DTLB-missing)",
+		Source:      mcfSrc,
+	})
+	register(Benchmark{
+		Name:        "twolf",
+		Class:       "mixed",
+		Description: "standard-cell placement: cost-driven swaps with an FP acceptance test",
+		Source:      twolfSrc,
+	})
+	register(Benchmark{
+		Name:        "parser",
+		Class:       "mixed",
+		Description: "link-grammar stand-in: word hashing and dictionary chain walks with a helper call",
+		Source:      parserSrc,
+	})
+}
+
+const mcfSrc = `
+; mcf: latency-bound dependent loads over a 4MB working set. The region
+; is deliberately left unmapped (reads return zero) so the cache and TLB
+; models see a huge footprint without a multi-million-instruction init.
+; The address of each load depends on the previous load's value: a serial
+; miss chain, as in the real mcf. Integration helps little here (paper:
+; "programs with a large memory component benefit less").
+        .equ  ARCS, 24000
+        .equ  BIGBASE, 0x2000000
+        .equ  BIGMASK, 0x1ffff8
+        .text
+main:   ldiq s0, BIGBASE
+        ldiq s1, ARCS
+        ldiq t0, 1640531527
+        clr  s3
+        clr  t5                 ; chain value
+
+walk:   mulqi t0, t0, 1103515245
+        addqi t0, t0, 12345
+        andi t1, t0, 3
+        bne  t1, indep
+        addq t1, t0, t5         ; 1/4 of walks: address depends on load
+indep:  slli t2, t1, 3
+        andi t2, t2, BIGMASK
+        addq t3, s0, t2
+        ldq  t5, 0(t3)          ; cold most of the time
+        addq s3, s3, t5
+        ldq  t6, 8(t3)          ; spatial neighbour (same line)
+        addq s3, s3, t6
+        ldq  t9, 16(t3)         ; second neighbour
+        addq s3, s3, t9
+        ldq  t4, 24(t3)         ; third neighbour
+        addq s3, s3, t4
+        ; flow update into the small hot region (write traffic)
+        ldiq t10, flow
+        andi t11, t0, 511
+        slli t11, t11, 3
+        addq t10, t10, t11
+        stq  s3, 0(t10)
+        addqi s1, s1, -1
+        bne  s1, walk
+
+        andi a0, s3, 1048575
+        ldiq v0, 1
+        syscall
+        clr  v0
+        clr  a0
+        syscall
+        .data
+flow:   .space 4096
+`
+
+const twolfSrc = `
+; twolf: standard-cell placement with an FP annealing acceptance test.
+; Mixed call profile: a cost helper is invoked per move (shallow call
+; graph), moderate memory traffic.
+        .equ  MOVES, 5200
+        .text
+main:   lda  sp, -16(sp)
+        stq  ra, 0(sp)
+        ldiq s0, cells
+        ldiq s1, MOVES
+        ldiq t0, 31415926
+        clr  s3
+        ldiq t1, 64             ; init cells
+        mov  t2, s0
+cinit:  slli t3, t1, 4
+        stq  t3, 0(t2)
+        addqi t2, t2, 8
+        addqi t1, t1, -1
+        bne  t1, cinit
+
+anneal: mulqi t0, t0, 1103515245
+        addqi t0, t0, 12345
+        srli t1, t0, 7
+        andi t1, t1, 63
+        slli t1, t1, 3
+        addq a0, s0, t1         ; &cells[a]
+        srli t2, t0, 17
+        andi t2, t2, 63
+        slli t2, t2, 3
+        addq a1, s0, t2         ; &cells[b]
+        call cost
+        ; FP acceptance: exp-free threshold test on the scaled delta
+        cvtqt t3, v0
+        ldq  t4, temp
+        fmul t5, t3, t4
+        cvttq t6, t5
+        andi t6, t6, 240        ; accept only small scaled deltas (~6%)
+        beq  t6, accept
+        andi t7, t0, 127
+        beq  t7, accept         ; rare uphill move
+        br   rejectm
+accept: ldq  t8, 0(a0)          ; swap cells
+        ldq  t9, 0(a1)
+        stq  t9, 0(a0)
+        stq  t8, 0(a1)
+        addqi s3, s3, 1
+rejectm:
+        addqi s1, s1, -1
+        bne  s1, anneal
+
+        andi a0, s3, 1048575
+        ldiq v0, 1
+        syscall
+        clr  v0
+        clr  a0
+        syscall
+
+; cost(a0=&cells[a], a1=&cells[b]) = pos[a] - pos[b]
+cost:   lda  sp, -16(sp)
+        stq  s4, 8(sp)
+        ldq  s4, 0(a0)
+        ldq  t11, 0(a1)
+        subq v0, s4, t11
+        ldq  s4, 8(sp)
+        lda  sp, 16(sp)
+        ret
+        .data
+temp:   .word 0x3FE0000000000000   ; float64 bits of 0.5
+cells:  .space 512
+`
+
+const parserSrc = `
+; parser: dictionary hash probing with chain walks. Mixed profile:
+; a hash helper called per word (call depth 1), pointer-style chain
+; scans, data-dependent chain-length branches.
+        .equ  WORDS, 5200
+        .equ  HSIZE, 128
+        .text
+main:   lda  sp, -16(sp)
+        stq  ra, 0(sp)
+        ldiq s0, dict
+        ldiq s1, WORDS
+        ldiq t0, 161803398
+        clr  s3
+
+        ; seed the dictionary chains: dict[i] = (i*7) & 1023
+        ldiq t1, HSIZE
+        mov  t2, s0
+dinit:  mulqi t3, t1, 7
+        andi t3, t3, 1023
+        stq  t3, 0(t2)
+        addqi t2, t2, 8
+        addqi t1, t1, -1
+        bne  t1, dinit
+
+word:   mulqi t0, t0, 1103515245
+        addqi t0, t0, 12345
+        mov  a0, t0
+        call hash               ; v0 = hash(word)
+        andi t1, v0, 127        ; bucket
+        slli t1, t1, 3
+        addq t2, s0, t1
+        ldq  t3, 0(t2)          ; chain head
+        ; walk the "chain": up to 4 probes, ends on a data-dependent hit
+        ldiq t4, 4
+probe:  andi t5, t3, 7
+        beq  t5, hit
+        srli t3, t3, 3
+        addq s3, s3, t3
+        addqi t4, t4, -1
+        bne  t4, probe
+hit:    addq s3, s3, t3
+        addqi s1, s1, -1
+        bne  s1, word
+
+        andi a0, s3, 1048575
+        ldiq v0, 1
+        syscall
+        clr  v0
+        clr  a0
+        syscall
+
+; hash(a0) with the classic save idiom; constants recomputed every call
+; (program-constant reuse fodder, paper §2.2).
+hash:   lda  sp, -16(sp)
+        stq  s5, 8(sp)
+        mulqi t8, a0, 40503
+        srli t9, t8, 7
+        xor  s5, t8, t9
+        mov  v0, s5
+        ldq  s5, 8(sp)
+        lda  sp, 16(sp)
+        ret
+        .data
+dict:   .space 1024
+`

@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// SynthParams parameterizes the synthetic program generator used by
+// property tests and the customworkload example. All knobs are fractions
+// of the loop body except Iters and Seed.
+type SynthParams struct {
+	Seed       int64
+	Iters      int     // outer loop iterations (default 200)
+	BodyOps    int     // operations per loop body (default 12)
+	CallEvery  int     // 0 = no calls; otherwise one call per N body ops
+	MemFrac    float64 // fraction of body ops that are loads/stores
+	BranchFrac float64 // fraction of body ops guarded by a data branch
+	Invariants int     // un-hoisted loop-invariant ops per body
+}
+
+func (p SynthParams) withDefaults() SynthParams {
+	if p.Iters == 0 {
+		p.Iters = 200
+	}
+	if p.BodyOps == 0 {
+		p.BodyOps = 12
+	}
+	return p
+}
+
+// Synth generates a deterministic, self-terminating assembly program with
+// the requested shape. The returned Benchmark is not registered.
+func Synth(p SynthParams) Benchmark {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	var b strings.Builder
+	add := func(s string, args ...interface{}) {
+		fmt.Fprintf(&b, s+"\n", args...)
+	}
+
+	add("; synthetic workload (seed %d)", p.Seed)
+	add("        .text")
+	add("main:   lda  sp, -16(sp)")
+	add("        stq  ra, 0(sp)")
+	add("        ldiq s0, %d", p.Iters)
+	add("        ldiq s1, %d", 1+rng.Intn(1<<20))
+	add("        ldiq s2, data")
+	add("        clr  s3")
+	add("loop:")
+	for i := 0; i < p.BodyOps; i++ {
+		switch {
+		case p.CallEvery > 0 && i%p.CallEvery == p.CallEvery-1:
+			add("        mov  a0, s1")
+			add("        call helper")
+			add("        addq s3, s3, v0")
+		case rng.Float64() < p.MemFrac:
+			off := 8 * rng.Intn(8)
+			if rng.Intn(2) == 0 {
+				add("        ldq  t%d, %d(s2)", 1+rng.Intn(4), off)
+			} else {
+				add("        stq  s1, %d(s2)", off)
+			}
+		case rng.Float64() < p.BranchFrac:
+			add("        andi t5, s1, %d", 1+rng.Intn(15))
+			add("        beq  t5, sk%d", i)
+			add("        addqi s3, s3, %d", 1+rng.Intn(9))
+			add("sk%d:", i)
+		default:
+			switch rng.Intn(4) {
+			case 0:
+				add("        mulqi s1, s1, %d", 3+2*rng.Intn(8))
+			case 1:
+				add("        addqi s1, s1, %d", rng.Intn(99)-49)
+			case 2:
+				add("        xori t6, s1, %d", rng.Intn(1<<12))
+				add("        addq s3, s3, t6")
+			case 3:
+				add("        srli t7, s1, %d", 1+rng.Intn(9))
+				add("        subq s3, s3, t7")
+			}
+		}
+	}
+	for i := 0; i < p.Invariants; i++ {
+		add("        lda  t%d, %d(s2)", 8+i%3, 8*(1+rng.Intn(7)))
+		add("        addq s3, s3, t%d", 8+i%3)
+	}
+	add("        addqi s0, s0, -1")
+	add("        bne  s0, loop")
+	add("        andi a0, s3, 1048575")
+	add("        ldiq v0, 1")
+	add("        syscall")
+	add("        clr  v0")
+	add("        clr  a0")
+	add("        syscall")
+	add("helper: lda  sp, -16(sp)")
+	add("        stq  s5, 8(sp)")
+	add("        mulqi s5, a0, %d", 3+2*rng.Intn(20))
+	add("        srli t9, s5, %d", 2+rng.Intn(6))
+	add("        xor  v0, s5, t9")
+	add("        ldq  s5, 8(sp)")
+	add("        lda  sp, 16(sp)")
+	add("        ret")
+	add("        .data")
+	add("data:   .space 128")
+
+	return Benchmark{
+		Name:        fmt.Sprintf("synth-%d", p.Seed),
+		Class:       "synthetic",
+		Description: fmt.Sprintf("generated workload: %d iters, %d ops/body", p.Iters, p.BodyOps),
+		Source:      b.String(),
+	}
+}

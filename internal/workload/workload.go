@@ -1,0 +1,95 @@
+// Package workload provides the 16 synthetic benchmarks standing in for
+// the paper's SPEC2000 integer suite (see DESIGN.md for the substitution
+// rationale). Each program is written in rix assembly and engineered to
+// exhibit the workload property the paper attributes to its namesake:
+// call intensity and depth, save/restore frequency, un-hoisted loop
+// invariants, branch predictability, and cache behaviour. All programs
+// are self-checking: they print a checksum and exit 0.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"rix/internal/asm"
+	"rix/internal/emu"
+	"rix/internal/prog"
+)
+
+// Benchmark is one registered workload.
+type Benchmark struct {
+	Name        string
+	Description string
+	Class       string // "call-rich", "call-poor", "memory-bound", "mixed"
+	Source      string
+}
+
+var registry = map[string]Benchmark{}
+
+func register(b Benchmark) {
+	if _, dup := registry[b.Name]; dup {
+		panic("workload: duplicate benchmark " + b.Name)
+	}
+	registry[b.Name] = b
+}
+
+// Names returns the paper's benchmark order.
+func Names() []string {
+	return []string{
+		"bzip2", "crafty", "eon.c", "eon.k", "eon.r", "gap", "gcc", "gzip",
+		"mcf", "parser", "perl.d", "perl.s", "twolf", "vortex", "vpr.p", "vpr.r",
+	}
+}
+
+// All returns every benchmark in paper order.
+func All() []Benchmark {
+	out := make([]Benchmark, 0, len(registry))
+	for _, n := range Names() {
+		if b, ok := registry[n]; ok {
+			out = append(out, b)
+		}
+	}
+	// Any extras (e.g. test-only registrations) in name order.
+	known := map[string]bool{}
+	for _, n := range Names() {
+		known[n] = true
+	}
+	var extra []string
+	for n := range registry {
+		if !known[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	for _, n := range extra {
+		out = append(out, registry[n])
+	}
+	return out
+}
+
+// ByName finds a benchmark.
+func ByName(name string) (Benchmark, bool) {
+	b, ok := registry[name]
+	return b, ok
+}
+
+// MaxInstrs bounds golden-trace generation; every benchmark must halt
+// well within it.
+const MaxInstrs = 1 << 24
+
+// Build assembles the benchmark and produces its golden trace.
+func (b Benchmark) Build() (*prog.Program, []emu.TraceRec, error) {
+	p, err := asm.Assemble(b.Name+".s", b.Source)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload %s: %w", b.Name, err)
+	}
+	p.Name = b.Name
+	trace, e, err := emu.Trace(p, MaxInstrs)
+	if err != nil {
+		return nil, nil, fmt.Errorf("workload %s: %w", b.Name, err)
+	}
+	if e.ExitCode != 0 {
+		return nil, nil, fmt.Errorf("workload %s: exit code %d (self-check failed)", b.Name, e.ExitCode)
+	}
+	return p, trace, nil
+}
