@@ -1,7 +1,10 @@
-// rixbench regenerates the paper's tables and figures.
+// rixbench regenerates the paper's tables and figures by enumerating
+// the experiment-spec registry (internal/runner, populated by
+// internal/experiments).
 //
 // Usage:
 //
+//	rixbench -list                  # print registered specs
 //	rixbench -suite fig4            # Figure 4: extension impact
 //	rixbench -suite fig5            # Figure 5: integration stream analysis
 //	rixbench -suite fig6            # Figure 6: IT associativity and size
@@ -10,68 +13,106 @@
 //	rixbench -suite ablate          # design-choice ablations
 //	rixbench -suite all
 //	rixbench -suite fig4 -bench gzip,crafty -csv
+//	rixbench -suite all -json       # machine-readable results
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"rix/internal/experiments"
+	_ "rix/internal/experiments" // registers the paper's specs
+	"rix/internal/runner"
 	"rix/internal/stats"
 )
 
+// jsonTable / jsonSuite shape the -json output; one suite per spec run.
+type jsonTable struct {
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+type jsonSuite struct {
+	ID          string      `json:"id"`
+	Description string      `json:"description"`
+	Tables      []jsonTable `json:"tables"`
+}
+
 func main() {
-	suite := flag.String("suite", "all", "fig4|fig5|fig6|fig7|diag|ablate|all")
+	suite := flag.String("suite", "all", "comma-separated spec ids, or 'all' (see -list)")
 	benches := flag.String("bench", "", "comma-separated workload subset (default: full paper suite)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	list := flag.Bool("list", false, "list registered specs and exit")
 	parallel := flag.Int("j", 0, "max parallel simulations (default: NumCPU)")
 	flag.Parse()
+
+	if *list {
+		for _, s := range runner.Specs() {
+			fmt.Printf("%-8s %s\n", s.ID, s.Description)
+		}
+		return
+	}
 
 	var names []string
 	if *benches != "" {
 		names = strings.Split(*benches, ",")
 	}
-	cache, err := experiments.NewCache(names)
+	engine, err := runner.NewEngine(names)
 	if err != nil {
 		fatal(err)
 	}
 	if *parallel > 0 {
-		cache.Parallel = *parallel
+		engine.Parallel = *parallel
 	}
-
-	runners := map[string]func(*experiments.Cache) ([]*stats.Table, error){
-		"fig4":   experiments.Figure4,
-		"fig5":   experiments.Figure5,
-		"fig6":   experiments.Figure6,
-		"fig7":   experiments.Figure7,
-		"diag":   experiments.Diagnostics,
-		"ablate": experiments.Ablations,
-	}
-	order := []string{"fig4", "fig5", "fig6", "fig7", "diag", "ablate"}
 
 	selected := strings.Split(*suite, ",")
 	if *suite == "all" {
-		selected = order
+		selected = runner.IDs()
 	}
-	for _, s := range selected {
-		run, ok := runners[s]
+
+	var out []jsonSuite
+	for _, id := range selected {
+		spec, ok := runner.Lookup(id)
 		if !ok {
-			fatal(fmt.Errorf("unknown suite %q", s))
+			fatal(fmt.Errorf("unknown suite %q (registered: %s)", id, strings.Join(runner.IDs(), ", ")))
 		}
-		tables, err := run(cache)
+		tables, err := engine.RunSpec(id)
 		if err != nil {
 			fatal(err)
 		}
-		for _, t := range tables {
-			if *csv {
+		switch {
+		case *asJSON:
+			out = append(out, jsonSuite{ID: spec.ID, Description: spec.Description, Tables: toJSON(tables)})
+		case *csv:
+			for _, t := range tables {
 				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
-			} else {
+			}
+		default:
+			for _, t := range tables {
 				fmt.Println(t.String())
 			}
 		}
 	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func toJSON(tables []*stats.Table) []jsonTable {
+	out := make([]jsonTable, len(tables))
+	for i, t := range tables {
+		out[i] = jsonTable{Title: t.Title, Header: t.Header(), Rows: t.Rows(), Notes: t.Notes()}
+	}
+	return out
 }
 
 func fatal(err error) {

@@ -20,7 +20,8 @@
 //	internal/pipeline     13-stage 4-way out-of-order core
 //	internal/sim          named configuration presets
 //	internal/workload     16 synthetic SPEC2000int stand-ins
-//	internal/experiments  per-figure result regeneration
+//	internal/runner       experiment engine: spec registry, lazy builds, bounded streaming pool
+//	internal/experiments  the paper's figures/diagnostics as registered specs
 //	cmd/rixsim            single-run simulator driver
 //	cmd/rixbench          figure/table reproduction harness
 //	cmd/rixasm            assembler / disassembler

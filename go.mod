@@ -1,0 +1,3 @@
+module rix
+
+go 1.24

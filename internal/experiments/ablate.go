@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"rix/internal/runner"
 	"rix/internal/sim"
 	"rix/internal/stats"
 )
 
-// Ablations benchmarks the design choices DESIGN.md calls out, beyond the
-// paper's main configurations:
+// ablateSpec benchmarks the design choices DESIGN.md calls out, beyond
+// the paper's main configurations:
 //
 //   - generation-counter width (0 vs 2 vs 4 bits): register
 //     mis-integration suppression (§2.2; "4-bit counters eliminate
@@ -15,43 +16,42 @@ import (
 //   - LISP on/off (cost of un-suppressed load mis-integrations),
 //   - reverse entries for all stores and for invertible ALU immediates
 //     (the paper's future-work directions).
-func Ablations(c *Cache) ([]*stats.Table, error) {
-	benches := intersect(c.Names(), Fig5Benchmarks)
-	variants := []struct {
-		label string
-		opt   sim.Options
-	}{
-		{"default", sim.Options{Integration: sim.IntReverse}},
-		{"gen0", sim.Options{Integration: sim.IntReverse, NoGenCounters: true}},
-		{"gen2", sim.Options{Integration: sim.IntReverse, GenBits: 2}},
-		{"nodepth", sim.Options{Integration: sim.IntReverse, NoCallDepth: true}},
-		{"nolisp", sim.Options{Integration: sim.IntReverse, Suppression: sim.SuppressNone}},
-		{"rev-all-st", sim.Options{Integration: sim.IntReverse, ReverseAllStores: true}},
-		{"rev-alu", sim.Options{Integration: sim.IntReverse, ReverseALU: true}},
-	}
+var ablateSpec = runner.Spec{
+	ID:          "ablate",
+	Description: "Design-choice ablations: generation counters, call depth, LISP, reverse coverage",
+	Benchmarks:  Fig5Benchmarks,
+	Configs: append([]runner.Config{
+		{Label: "base", Opt: sim.Options{Integration: sim.IntNone}},
+	}, ablateVariants...),
+	Collect: collectAblate,
+}
 
-	var jobs []job
-	for _, b := range benches {
-		jobs = append(jobs, job{b, mustConfig(sim.Options{Integration: sim.IntNone})})
-		for _, v := range variants {
-			jobs = append(jobs, job{b, mustConfig(v.opt)})
-		}
-	}
-	res, err := c.runAll(jobs)
-	if err != nil {
-		return nil, err
-	}
+// ablateVariants are the ablation columns; the config label is the
+// column header.
+var ablateVariants = []runner.Config{
+	{Label: "default", Opt: sim.Options{Integration: sim.IntReverse}},
+	{Label: "gen0", Opt: sim.Options{Integration: sim.IntReverse, NoGenCounters: true}},
+	{Label: "gen2", Opt: sim.Options{Integration: sim.IntReverse, GenBits: 2}},
+	{Label: "nodepth", Opt: sim.Options{Integration: sim.IntReverse, NoCallDepth: true}},
+	{Label: "nolisp", Opt: sim.Options{Integration: sim.IntReverse, Suppression: sim.SuppressNone}},
+	{Label: "rev-all-st", Opt: sim.Options{Integration: sim.IntReverse, ReverseAllStores: true}},
+	{Label: "rev-alu", Opt: sim.Options{Integration: sim.IntReverse, ReverseALU: true}},
+}
 
-	speed := stats.NewTable("Ablations: speedup % vs no-integration baseline", header(variants)...)
-	mis := stats.NewTable("Ablations: mis-integrations per 1M retired (reg+load)", header(variants)...)
-	per := 1 + len(variants)
-	gm := make([][]float64, len(variants))
-	for i, b := range benches {
-		base := res[i*per]
+func collectAblate(rs *runner.ResultSet) ([]*stats.Table, error) {
+	header := []string{"bench"}
+	for _, v := range ablateVariants {
+		header = append(header, v.Label)
+	}
+	speed := stats.NewTable("Ablations: speedup % vs no-integration baseline", header...)
+	mis := stats.NewTable("Ablations: mis-integrations per 1M retired (reg+load)", header...)
+	gm := make([][]float64, len(ablateVariants))
+	for _, b := range rs.Benches() {
+		base := rs.Get(b, "base")
 		srow := []interface{}{b}
 		mrow := []interface{}{b}
-		for vi := range variants {
-			st := res[i*per+1+vi]
+		for vi, v := range ablateVariants {
+			st := rs.Get(b, v.Label)
 			su := st.IPC()/base.IPC() - 1
 			srow = append(srow, pct2(su))
 			mrow = append(mrow, int(st.MisIntPerMillion()))
@@ -61,21 +61,10 @@ func Ablations(c *Cache) ([]*stats.Table, error) {
 		mis.Row(mrow...)
 	}
 	grow := []interface{}{"GMean"}
-	for vi := range variants {
+	for vi := range ablateVariants {
 		grow = append(grow, pct2(stats.GeoMean(gm[vi])-1))
 	}
 	speed.Row(grow...)
 	mis.Note("gen0 disables generation counters: register mis-integrations reappear (§2.2)")
 	return []*stats.Table{speed, mis}, nil
-}
-
-func header(variants []struct {
-	label string
-	opt   sim.Options
-}) []string {
-	h := []string{"bench"}
-	for _, v := range variants {
-		h = append(h, v.label)
-	}
-	return h
 }

@@ -1,35 +1,36 @@
 package experiments
 
 import (
+	"rix/internal/runner"
 	"rix/internal/sim"
 	"rix/internal/stats"
 )
 
-// Diagnostics reproduces the scalar performance diagnostics quoted in
-// §3.2 and §3.5 of the paper:
+// diagSpec reproduces the scalar performance diagnostics quoted in §3.2
+// and §3.5 of the paper:
 //
 //   - mispredict resolution latency (paper: 26 -> 23.5 cycles),
 //   - fetched-instruction reduction (paper: -0.6%),
 //   - executed-instruction reduction (paper: -17%) and loads (-27%),
 //   - average reservation-station occupancy (paper: 31 -> 27),
 //   - per-type integration rates (loads 27%, stack loads 60%).
-func Diagnostics(c *Cache) ([]*stats.Table, error) {
-	var jobs []job
-	for _, b := range c.Names() {
-		jobs = append(jobs, job{b, mustConfig(sim.Options{Integration: sim.IntNone})})
-		jobs = append(jobs, job{b, mustConfig(sim.Options{Integration: sim.IntReverse, Suppression: sim.SuppressLISP})})
-	}
-	res, err := c.runAll(jobs)
-	if err != nil {
-		return nil, err
-	}
+var diagSpec = runner.Spec{
+	ID:          "diag",
+	Description: "§3.2/§3.5 scalar diagnostics: base vs +reverse",
+	Configs: []runner.Config{
+		{Label: "base", Opt: sim.Options{Integration: sim.IntNone}},
+		{Label: "+reverse/lisp", Opt: sim.Options{Integration: sim.IntReverse, Suppression: sim.SuppressLISP}},
+	},
+	Collect: collectDiag,
+}
 
+func collectDiag(rs *runner.ResultSet) ([]*stats.Table, error) {
 	t := stats.NewTable("§3.2/§3.5 diagnostics: base vs +reverse",
 		"bench", "resolve", "resolve+int", "fetchΔ%", "execΔ%", "loadExecΔ%",
 		"RSocc", "RSocc+int", "load-int%", "sp-load-int%")
 	var resolveB, resolveI, fetchD, execD, loadD, occB, occI, loadR, spR []float64
-	for i, b := range c.Names() {
-		base, integ := res[2*i], res[2*i+1]
+	for _, b := range rs.Benches() {
+		base, integ := rs.Get(b, "base"), rs.Get(b, "+reverse/lisp")
 		fd := float64(integ.Fetched)/float64(base.Fetched) - 1
 		ed := float64(integ.Executed)/float64(base.Executed) - 1
 		baseLoadsExec := float64(base.LoadsRetired) // loads that executed = retired loads in base

@@ -1,124 +1,52 @@
-// Package experiments regenerates every table and figure in the paper's
-// evaluation section (§3). Each FigureN function returns text tables whose
-// rows/series correspond to the paper's plots; cmd/rixbench prints them
-// and EXPERIMENTS.md records them against the paper's numbers.
+// Package experiments declares every table and figure in the paper's
+// evaluation section (§3) as a runner.Spec: a labeled matrix of
+// sim.Options crossed with workloads plus a collector that renders the
+// keyed results into text tables. The specs register with the
+// internal/runner registry at package init; cmd/rixbench enumerates and
+// executes them, and EXPERIMENTS.md records the results against the
+// paper's numbers and explains how to add a spec.
 package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
-	"rix/internal/emu"
-	"rix/internal/pipeline"
-	"rix/internal/prog"
-	"rix/internal/sim"
-	"rix/internal/workload"
+	"rix/internal/runner"
+	"rix/internal/stats"
 )
 
-// built is one assembled workload with its golden trace.
-type built struct {
-	prog  *prog.Program
-	trace []emu.TraceRec
+// Cache is the experiment engine (the name survives from the original
+// eager workload cache): workloads build lazily in parallel on first
+// use, and simulations run through a bounded worker pool.
+type Cache = runner.Engine
+
+// NewCache creates an engine over the named workloads (nil means the
+// full paper suite). Names are validated immediately; builds are lazy.
+func NewCache(names []string) (*Cache, error) { return runner.NewEngine(names) }
+
+// The paper's suites, registered in presentation order.
+func init() {
+	for _, s := range []runner.Spec{fig4Spec, fig5Spec, fig6Spec, fig7Spec, diagSpec, ablateSpec} {
+		runner.MustRegister(s)
+	}
 }
 
-// Cache holds built workloads and runs simulations over them, fanning
-// out across CPUs (each pipeline instance is independent; programs and
-// traces are shared read-only).
-type Cache struct {
-	names    []string
-	programs map[string]built
-	Parallel int
-}
+// Figure4 runs the registered "fig4" spec (extension impact).
+func Figure4(c *Cache) ([]*stats.Table, error) { return c.RunSpec("fig4") }
 
-// NewCache builds the named workloads (nil means the full paper suite).
-func NewCache(names []string) (*Cache, error) {
-	if names == nil {
-		names = workload.Names()
-	}
-	c := &Cache{
-		names:    names,
-		programs: make(map[string]built, len(names)),
-		Parallel: runtime.NumCPU(),
-	}
-	for _, n := range names {
-		b, ok := workload.ByName(n)
-		if !ok {
-			return nil, fmt.Errorf("experiments: unknown workload %q", n)
-		}
-		p, trace, err := b.Build()
-		if err != nil {
-			return nil, err
-		}
-		c.programs[n] = built{p, trace}
-	}
-	return c, nil
-}
+// Figure5 runs the registered "fig5" spec (integration stream analysis).
+func Figure5(c *Cache) ([]*stats.Table, error) { return c.RunSpec("fig5") }
 
-// Names returns the cached workload names in order.
-func (c *Cache) Names() []string { return c.names }
+// Figure6 runs the registered "fig6" spec (IT associativity and size).
+func Figure6(c *Cache) ([]*stats.Table, error) { return c.RunSpec("fig6") }
 
-// DynLen returns the dynamic instruction count of a workload.
-func (c *Cache) DynLen(name string) int { return len(c.programs[name].trace) }
+// Figure7 runs the registered "fig7" spec (reduced-complexity cores).
+func Figure7(c *Cache) ([]*stats.Table, error) { return c.RunSpec("fig7") }
 
-// job is one simulation request.
-type job struct {
-	bench string
-	cfg   pipeline.Config
-}
+// Diagnostics runs the registered "diag" spec (§3.2/§3.5 scalars).
+func Diagnostics(c *Cache) ([]*stats.Table, error) { return c.RunSpec("diag") }
 
-// runAll executes all jobs with bounded parallelism, preserving order.
-func (c *Cache) runAll(jobs []job) ([]*pipeline.Stats, error) {
-	results := make([]*pipeline.Stats, len(jobs))
-	errs := make([]error, len(jobs))
-	par := c.Parallel
-	if par < 1 {
-		par = 1
-	}
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			b := c.programs[j.bench]
-			st, err := pipeline.New(j.cfg, b.prog, b.trace).Run()
-			results[i], errs[i] = st, err
-		}(i, j)
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", jobs[i].bench, err)
-		}
-	}
-	return results, nil
-}
-
-// Run simulates one workload under named options.
-func (c *Cache) Run(name string, o sim.Options) (*pipeline.Stats, error) {
-	cfg, err := o.Config()
-	if err != nil {
-		return nil, err
-	}
-	b, ok := c.programs[name]
-	if !ok {
-		return nil, fmt.Errorf("experiments: workload %q not in cache", name)
-	}
-	return pipeline.New(cfg, b.prog, b.trace).Run()
-}
-
-// mustConfig converts options, panicking on programming errors (presets
-// are all statically known here).
-func mustConfig(o sim.Options) pipeline.Config {
-	cfg, err := o.Config()
-	if err != nil {
-		panic(err)
-	}
-	return cfg
-}
+// Ablations runs the registered "ablate" spec (design-choice ablations).
+func Ablations(c *Cache) ([]*stats.Table, error) { return c.RunSpec("ablate") }
 
 func pct(x float64) string  { return fmt.Sprintf("%.1f", 100*x) }
 func pct2(x float64) string { return fmt.Sprintf("%+.1f", 100*x) }

@@ -1,32 +1,37 @@
 package experiments
 
 import (
+	"rix/internal/runner"
 	"rix/internal/sim"
 	"rix/internal/stats"
 )
 
-// Figure4 reproduces the paper's primary result (Figure 4): the impact of
-// each extension — squash, +general, +opcode, +reverse — on speedup (top
-// graph) and integration rate with mis-integrations (bottom graph), each
-// under a realistic LISP and under oracle suppression.
+// fig4Spec reproduces the paper's primary result (Figure 4): the impact
+// of each extension — squash, +general, +opcode, +reverse — on speedup
+// (top graph) and integration rate with mis-integrations (bottom graph),
+// each under a realistic LISP and under oracle suppression.
 //
 // Paper reference points: squash 2%/1%, +general 10%/3.6%, +opcode
 // 12.3%/5%, +reverse 17%/8% (rate / speedup, realistic LISP).
-func Figure4(c *Cache) ([]*stats.Table, error) {
-	presets := sim.IntegrationPresets()
+var fig4Spec = runner.Spec{
+	ID:          "fig4",
+	Description: "Figure 4: per-extension speedup and integration rate, LISP vs oracle suppression",
+	Configs:     fig4Configs(),
+	Collect:     collectFig4,
+}
 
-	var jobs []job
-	for _, bench := range c.Names() {
-		jobs = append(jobs, job{bench, mustConfig(sim.Options{Integration: sim.IntNone})})
-		for _, p := range presets {
-			jobs = append(jobs, job{bench, mustConfig(sim.Options{Integration: p, Suppression: sim.SuppressLISP})})
-			jobs = append(jobs, job{bench, mustConfig(sim.Options{Integration: p, Suppression: sim.SuppressOracle})})
-		}
+func fig4Configs() []runner.Config {
+	cfgs := []runner.Config{{Label: "base", Opt: sim.Options{Integration: sim.IntNone}}}
+	for _, p := range sim.IntegrationPresets() {
+		cfgs = append(cfgs,
+			runner.Config{Label: p + "/lisp", Opt: sim.Options{Integration: p, Suppression: sim.SuppressLISP}},
+			runner.Config{Label: p + "/or", Opt: sim.Options{Integration: p, Suppression: sim.SuppressOracle}})
 	}
-	res, err := c.runAll(jobs)
-	if err != nil {
-		return nil, err
-	}
+	return cfgs
+}
+
+func collectFig4(rs *runner.ResultSet) ([]*stats.Table, error) {
+	presets := sim.IntegrationPresets()
 
 	speed := stats.NewTable("Figure 4 (top): speedup % over no-integration baseline",
 		"bench", "squash", "+general", "+opcode", "+reverse",
@@ -35,24 +40,19 @@ func Figure4(c *Cache) ([]*stats.Table, error) {
 		"bench", "squash", "+general", "+opcode", "+reverse", "rev-part",
 		"squash/or", "+general/or", "+opcode/or", "+reverse/or", "misint/M")
 
-	nCols := 1 + 2*len(presets)
 	var speedups [8][]float64 // per preset x suppression
 	var rates [8][]float64
-	k := 0
-	for _, bench := range c.Names() {
-		base := res[k]
+	for _, bench := range rs.Benches() {
+		base := rs.Get(bench, "base")
 		row := []interface{}{bench}
 		rrow := []interface{}{bench}
-		var lispVals, orVals []*float64
-		_ = lispVals
-		_ = orVals
 		// Collect per-preset stats: order lisp, oracle.
 		var sp [8]float64
 		var rt [8]float64
 		var revPart, misM float64
-		for pi := 0; pi < len(presets); pi++ {
-			lisp := res[k+1+2*pi]
-			orc := res[k+2+2*pi]
+		for pi, p := range presets {
+			lisp := rs.Get(bench, p+"/lisp")
+			orc := rs.Get(bench, p+"/or")
 			sp[pi] = lisp.IPC()/base.IPC() - 1
 			sp[4+pi] = orc.IPC()/base.IPC() - 1
 			rt[pi] = lisp.IntegrationRate()
@@ -84,7 +84,6 @@ func Figure4(c *Cache) ([]*stats.Table, error) {
 		}
 		rrow = append(rrow, int(misM))
 		rate.Row(rrow...)
-		k += nCols
 	}
 
 	// Means: geometric for speedups (paper), arithmetic for rates.

@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"rix/internal/core"
-	"rix/internal/pipeline"
+	"rix/internal/runner"
 	"rix/internal/sim"
 	"rix/internal/stats"
 )
@@ -13,22 +13,21 @@ var Fig5Benchmarks = []string{
 	"crafty", "eon.k", "gap", "gzip", "parser", "perl.s", "vortex", "vpr.r",
 }
 
-// Figure5 reproduces the integration-retirement-stream breakdowns of
+// fig5Spec reproduces the integration-retirement-stream breakdowns of
 // Figure 5: instruction Type, integration Distance, result Status at
-// integration time, and post-integration Refcount — all under the default
-// +reverse configuration with a realistic LISP.
-func Figure5(c *Cache) ([]*stats.Table, error) {
-	benches := intersect(c.Names(), Fig5Benchmarks)
-	var jobs []job
-	for _, b := range benches {
-		jobs = append(jobs, job{b, mustConfig(sim.Options{
-			Integration: sim.IntReverse, Suppression: sim.SuppressLISP})})
-	}
-	res, err := c.runAll(jobs)
-	if err != nil {
-		return nil, err
-	}
+// integration time, and post-integration Refcount — all under the
+// default +reverse configuration with a realistic LISP.
+var fig5Spec = runner.Spec{
+	ID:          "fig5",
+	Description: "Figure 5: integration stream breakdowns (type, distance, status, refcount)",
+	Benchmarks:  Fig5Benchmarks,
+	Configs: []runner.Config{
+		{Label: "+reverse/lisp", Opt: sim.Options{Integration: sim.IntReverse, Suppression: sim.SuppressLISP}},
+	},
+	Collect: collectFig5,
+}
 
+func collectFig5(rs *runner.ResultSet) ([]*stats.Table, error) {
 	typ := stats.NewTable("Figure 5 (Type): integration stream by instruction type, % of integrations",
 		"bench", "rate%", "load-sp", "load", "ALU", "branch", "FP")
 	dist := stats.NewTable("Figure 5 (Distance): rename-stream distance from entry creation, % of integrations",
@@ -38,8 +37,8 @@ func Figure5(c *Cache) ([]*stats.Table, error) {
 	ref := stats.NewTable("Figure 5 (Refcount): post-integration reference count, % of register integrations",
 		"bench", "=1", "<=3", "<=7", ">7")
 
-	for i, b := range benches {
-		st := res[i]
+	for _, b := range rs.Benches() {
+		st := rs.Get(b, "+reverse/lisp")
 		tot := float64(st.Integrated)
 		if tot == 0 {
 			tot = 1
@@ -72,24 +71,4 @@ func Figure5(c *Cache) ([]*stats.Table, error) {
 
 func pctOf(n uint64, tot float64) string {
 	return pct(float64(n) / tot)
-}
-
-func intersect(have, want []string) []string {
-	set := map[string]bool{}
-	for _, h := range have {
-		set[h] = true
-	}
-	var out []string
-	for _, w := range want {
-		if set[w] {
-			out = append(out, w)
-		}
-	}
-	return out
-}
-
-// typeRates computes the per-type integration rates quoted in §3.3
-// (loads 27%, stack loads 60%).
-func typeRates(st *pipeline.Stats) (loadRate, spLoadRate float64) {
-	return st.LoadIntegrationRate(), st.SPLoadIntegrationRate()
 }

@@ -1,92 +1,97 @@
 package experiments
 
 import (
-	"fmt"
-
+	"rix/internal/runner"
 	"rix/internal/sim"
 	"rix/internal/stats"
 )
 
-// Figure6 reproduces the IT-configuration study: speedup as a function of
-// IT associativity (1/2/4/full at 1K entries) and of IT size (64/256/1K/4K
-// fully associative; the 4K point also uses 4K physical registers), under
-// both realistic-LISP and oracle suppression, on the Figure 5 benchmark
-// subset, all with the full +reverse policy.
-func Figure6(c *Cache) ([]*stats.Table, error) {
-	benches := intersect(c.Names(), Fig5Benchmarks)
+// fig6Spec reproduces the IT-configuration study: speedup as a function
+// of IT associativity (1/2/4/full at 1K entries) and of IT size
+// (64/256/1K/4K fully associative; the 4K point also uses 4K physical
+// registers), under both realistic-LISP and oracle suppression, on the
+// Figure 5 benchmark subset, all with the full +reverse policy.
+var fig6Spec = runner.Spec{
+	ID:          "fig6",
+	Description: "Figure 6: speedup vs IT associativity and IT size",
+	Benchmarks:  Fig5Benchmarks,
+	Configs:     fig6Configs(),
+	Collect:     collectFig6,
+}
 
-	type variant struct {
-		label string
-		opt   sim.Options
-	}
-	assocs := []variant{
-		{"1-way", sim.Options{ITEntries: 1024, ITAssoc: 1}},
-		{"2-way", sim.Options{ITEntries: 1024, ITAssoc: 2}},
-		{"4-way", sim.Options{ITEntries: 1024, ITAssoc: 4}},
-		{"full", sim.Options{ITEntries: 1024, ITAssoc: -1}},
-	}
-	sizes := []variant{
-		{"64", sim.Options{ITEntries: 64, ITAssoc: -1}},
-		{"256", sim.Options{ITEntries: 256, ITAssoc: -1}},
-		{"1K", sim.Options{ITEntries: 1024, ITAssoc: -1}},
-		{"4K", sim.Options{ITEntries: 4096, ITAssoc: -1, PhysRegs: 4096}},
-	}
+// fig6Variant is one point on an IT axis.
+type fig6Variant struct {
+	label string
+	opt   sim.Options
+}
 
-	build := func(vs []variant, title string) (*stats.Table, error) {
-		var jobs []job
-		for _, b := range benches {
-			jobs = append(jobs, job{b, mustConfig(sim.Options{Integration: sim.IntNone})})
-			for _, v := range vs {
-				for _, sup := range []string{sim.SuppressLISP, sim.SuppressOracle} {
-					o := v.opt
-					o.Integration = sim.IntReverse
-					o.Suppression = sup
-					jobs = append(jobs, job{b, mustConfig(o)})
-				}
-			}
-		}
-		res, err := c.runAll(jobs)
-		if err != nil {
-			return nil, err
-		}
-		header := []string{"bench"}
+var fig6Assocs = []fig6Variant{
+	{"1-way", sim.Options{ITEntries: 1024, ITAssoc: 1}},
+	{"2-way", sim.Options{ITEntries: 1024, ITAssoc: 2}},
+	{"4-way", sim.Options{ITEntries: 1024, ITAssoc: 4}},
+	{"full", sim.Options{ITEntries: 1024, ITAssoc: -1}},
+}
+
+var fig6Sizes = []fig6Variant{
+	{"64", sim.Options{ITEntries: 64, ITAssoc: -1}},
+	{"256", sim.Options{ITEntries: 256, ITAssoc: -1}},
+	{"1K", sim.Options{ITEntries: 1024, ITAssoc: -1}},
+	{"4K", sim.Options{ITEntries: 4096, ITAssoc: -1, PhysRegs: 4096}},
+}
+
+func fig6Configs() []runner.Config {
+	cfgs := []runner.Config{{Label: "base", Opt: sim.Options{Integration: sim.IntNone}}}
+	add := func(group string, vs []fig6Variant) {
 		for _, v := range vs {
-			header = append(header, v.label, v.label+"/or")
-		}
-		t := stats.NewTable(title, header...)
-		per := 1 + 2*len(vs)
-		gm := make([][]float64, 2*len(vs))
-		for i, b := range benches {
-			base := res[i*per]
-			row := []interface{}{b}
-			for vi := range vs {
-				lisp := res[i*per+1+2*vi]
-				orc := res[i*per+2+2*vi]
-				su := lisp.IPC()/base.IPC() - 1
-				so := orc.IPC()/base.IPC() - 1
-				row = append(row, pct2(su), pct2(so))
-				gm[2*vi] = append(gm[2*vi], 1+su)
-				gm[2*vi+1] = append(gm[2*vi+1], 1+so)
+			for _, sup := range []string{sim.SuppressLISP, sim.SuppressOracle} {
+				o := v.opt
+				o.Integration = sim.IntReverse
+				o.Suppression = sup
+				cfgs = append(cfgs, runner.Config{Label: group + "/" + v.label + "/" + sup, Opt: o})
 			}
-			t.Row(row...)
 		}
-		grow := []interface{}{"GMean"}
-		for vi := range vs {
-			grow = append(grow, pct2(stats.GeoMean(gm[2*vi])-1), pct2(stats.GeoMean(gm[2*vi+1])-1))
-		}
-		t.Row(grow...)
-		return t, nil
 	}
+	add("assoc", fig6Assocs)
+	add("size", fig6Sizes)
+	return cfgs
+}
 
-	left, err := build(assocs, "Figure 6 (left): speedup % vs IT associativity (1K entries, +reverse)")
-	if err != nil {
-		return nil, err
+// fig6Table assembles one axis (assoc or size) into a speedup table.
+func fig6Table(rs *runner.ResultSet, group string, vs []fig6Variant, title string) *stats.Table {
+	header := []string{"bench"}
+	for _, v := range vs {
+		header = append(header, v.label, v.label+"/or")
 	}
+	t := stats.NewTable(title, header...)
+	gm := make([][]float64, 2*len(vs))
+	for _, b := range rs.Benches() {
+		base := rs.Get(b, "base")
+		row := []interface{}{b}
+		for vi, v := range vs {
+			lisp := rs.Get(b, group+"/"+v.label+"/"+sim.SuppressLISP)
+			orc := rs.Get(b, group+"/"+v.label+"/"+sim.SuppressOracle)
+			su := lisp.IPC()/base.IPC() - 1
+			so := orc.IPC()/base.IPC() - 1
+			row = append(row, pct2(su), pct2(so))
+			gm[2*vi] = append(gm[2*vi], 1+su)
+			gm[2*vi+1] = append(gm[2*vi+1], 1+so)
+		}
+		t.Row(row...)
+	}
+	grow := []interface{}{"GMean"}
+	for vi := range vs {
+		grow = append(grow, pct2(stats.GeoMean(gm[2*vi])-1), pct2(stats.GeoMean(gm[2*vi+1])-1))
+	}
+	t.Row(grow...)
+	return t
+}
+
+func collectFig6(rs *runner.ResultSet) ([]*stats.Table, error) {
+	left := fig6Table(rs, "assoc", fig6Assocs,
+		"Figure 6 (left): speedup % vs IT associativity (1K entries, +reverse)")
 	left.Note("paper: speedup only drops to 7%% (2-way) and 6%% (1-way); full assoc reaches 10%%")
-	right, err := build(sizes, "Figure 6 (right): speedup % vs IT size (fully associative, +reverse)")
-	if err != nil {
-		return nil, err
-	}
-	right.Note(fmt.Sprintf("4K point uses 4K physical registers, per the paper (benches: %d)", len(benches)))
+	right := fig6Table(rs, "size", fig6Sizes,
+		"Figure 6 (right): speedup % vs IT size (fully associative, +reverse)")
+	right.Note("4K point uses 4K physical registers, per the paper (benches: %d)", len(rs.Benches()))
 	return []*stats.Table{left, right}, nil
 }

@@ -1,69 +1,69 @@
 package experiments
 
 import (
+	"rix/internal/runner"
 	"rix/internal/sim"
 	"rix/internal/stats"
 )
 
-// Figure7 reproduces the complexity-reduction study: Base (4-way, 40 RS),
-// RS (20 reservation stations), IW (3-way issue with a single load/store
-// port), and IW+RS — each without integration and with the full +reverse
-// configuration under realistic and oracle suppression. Speedups are
-// relative to the un-integrated Base machine.
+// fig7Spec reproduces the complexity-reduction study: Base (4-way, 40
+// RS), RS (20 reservation stations), IW (3-way issue with a single
+// load/store port), and IW+RS — each without integration and with the
+// full +reverse configuration under realistic and oracle suppression.
+// Speedups are relative to the un-integrated Base machine.
 //
-// Paper reference points: IW costs 12% and integration recovers to within
-// 2% of base; RS costs 10%, recovered to within 1%; IW+RS costs 18%,
-// recovered to within 7%.
-func Figure7(c *Cache) ([]*stats.Table, error) {
-	cores := []string{sim.CoreBase, sim.CoreRS, sim.CoreIW, sim.CoreIWRS}
+// Paper reference points: IW costs 12% and integration recovers to
+// within 2% of base; RS costs 10%, recovered to within 1%; IW+RS costs
+// 18%, recovered to within 7%.
+var fig7Spec = runner.Spec{
+	ID:          "fig7",
+	Description: "Figure 7: reduced-complexity cores, with and without integration",
+	Configs:     fig7Configs(),
+	Collect:     collectFig7,
+}
 
-	var jobs []job
-	for _, b := range c.Names() {
-		for _, core := range cores {
-			jobs = append(jobs, job{b, mustConfig(sim.Options{Core: core, Integration: sim.IntNone})})
-			jobs = append(jobs, job{b, mustConfig(sim.Options{Core: core, Integration: sim.IntReverse, Suppression: sim.SuppressLISP})})
-			jobs = append(jobs, job{b, mustConfig(sim.Options{Core: core, Integration: sim.IntReverse, Suppression: sim.SuppressOracle})})
-		}
-	}
-	res, err := c.runAll(jobs)
-	if err != nil {
-		return nil, err
-	}
+var fig7Cores = []string{sim.CoreBase, sim.CoreRS, sim.CoreIW, sim.CoreIWRS}
 
+func fig7Configs() []runner.Config {
+	var cfgs []runner.Config
+	for _, core := range fig7Cores {
+		cfgs = append(cfgs,
+			runner.Config{Label: core + "/none", Opt: sim.Options{Core: core, Integration: sim.IntNone}},
+			runner.Config{Label: core + "/lisp", Opt: sim.Options{Core: core, Integration: sim.IntReverse, Suppression: sim.SuppressLISP}},
+			runner.Config{Label: core + "/or", Opt: sim.Options{Core: core, Integration: sim.IntReverse, Suppression: sim.SuppressOracle}})
+	}
+	return cfgs
+}
+
+func collectFig7(rs *runner.ResultSet) ([]*stats.Table, error) {
 	t := stats.NewTable("Figure 7: reduced-complexity cores, speedup % vs un-integrated Base",
 		"bench", "baseIPC",
 		"base+int", "RS", "RS+int", "IW", "IW+int", "IW+RS", "IW+RS+int",
 		"base+or", "RS+or", "IW+or", "IW+RS+or")
-	per := len(cores) * 3
-	gm := make([][]float64, 12)
-	for i, b := range c.Names() {
-		baseIPC := res[i*per].IPC()
+	// Column order: base+int, RS, RS+int, IW, IW+int, IWRS, IWRS+int,
+	// then the oracle column block.
+	cols := []string{
+		sim.CoreBase + "/lisp",
+		sim.CoreRS + "/none", sim.CoreRS + "/lisp",
+		sim.CoreIW + "/none", sim.CoreIW + "/lisp",
+		sim.CoreIWRS + "/none", sim.CoreIWRS + "/lisp",
+		sim.CoreBase + "/or", sim.CoreRS + "/or",
+		sim.CoreIW + "/or", sim.CoreIWRS + "/or",
+	}
+	gm := make([][]float64, len(cols))
+	for _, b := range rs.Benches() {
+		baseIPC := rs.Get(b, sim.CoreBase+"/none").IPC()
 		row := []interface{}{b, baseIPC}
-		var vals []float64
-		// Order: base+int, RS, RS+int, IW, IW+int, IWRS, IWRS+int, then oracles.
-		speedup := func(idx int) float64 { return res[i*per+idx].IPC()/baseIPC - 1 }
-		vals = append(vals,
-			speedup(1),  // base + int(lisp)
-			speedup(3),  // RS plain
-			speedup(4),  // RS + int
-			speedup(6),  // IW plain
-			speedup(7),  // IW + int
-			speedup(9),  // IW+RS plain
-			speedup(10), // IW+RS + int
-			speedup(2),  // base + oracle
-			speedup(5),  // RS + oracle
-			speedup(8),  // IW + oracle
-			speedup(11), // IW+RS + oracle
-		)
-		for vi, v := range vals {
+		for ci, label := range cols {
+			v := rs.Get(b, label).IPC()/baseIPC - 1
 			row = append(row, pct2(v))
-			gm[vi] = append(gm[vi], 1+v)
+			gm[ci] = append(gm[ci], 1+v)
 		}
 		t.Row(row...)
 	}
 	grow := []interface{}{"GMean", ""}
-	for vi := 0; vi < 11; vi++ {
-		grow = append(grow, pct2(stats.GeoMean(gm[vi])-1))
+	for ci := range cols {
+		grow = append(grow, pct2(stats.GeoMean(gm[ci])-1))
 	}
 	t.Row(grow...)
 	t.Note("paper: RS alone -10%%, IW alone -12%%, IW+RS -18%%; integration recovers to -1%%, -2%%, -7%%")

@@ -3,6 +3,7 @@ package experiments
 import (
 	"testing"
 
+	"rix/internal/runner"
 	"rix/internal/sim"
 	"rix/internal/stats"
 )
@@ -22,22 +23,27 @@ func TestPaperHeadline(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// An ad-hoc (unregistered) spec: baseline plus each extension stack
+	// under its default suppression.
+	spec := runner.Spec{
+		ID:      "headline",
+		Configs: []runner.Config{{Label: "base", Opt: sim.Options{Integration: sim.IntNone}}},
+	}
+	for _, p := range sim.IntegrationPresets() {
+		spec.Configs = append(spec.Configs, runner.Config{Label: p, Opt: sim.Options{Integration: p}})
+	}
+	rs, err := c.Gather(&spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	type res struct{ rate, reverse, speedup float64 }
 	means := map[string]res{}
 	perBench := map[string]map[string]res{}
 	for _, preset := range sim.IntegrationPresets() {
-		var jobs []job
-		for _, b := range c.Names() {
-			jobs = append(jobs, job{b, mustConfig(sim.Options{Integration: sim.IntNone})})
-			jobs = append(jobs, job{b, mustConfig(sim.Options{Integration: preset})})
-		}
-		out, err := c.runAll(jobs)
-		if err != nil {
-			t.Fatal(err)
-		}
 		var rates, sps []float64
-		for i, b := range c.Names() {
-			base, st := out[2*i], out[2*i+1]
+		for _, b := range rs.Benches() {
+			base, st := rs.Get(b, "base"), rs.Get(b, preset)
 			r := res{
 				rate:    st.IntegrationRate(),
 				reverse: st.ReverseRate(),

@@ -1,0 +1,225 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"rix/internal/emu"
+	"rix/internal/pipeline"
+	"rix/internal/prog"
+	"rix/internal/sim"
+	"rix/internal/stats"
+	"rix/internal/workload"
+)
+
+// WorkloadSource supplies built workloads to the engine. Get memoizes
+// per name; BuildAll warms a name set with bounded parallelism.
+// workload.Builder is the standard implementation.
+type WorkloadSource interface {
+	Get(name string) (*prog.Program, []emu.TraceRec, error)
+	BuildAll(names []string, parallel int) error
+}
+
+// Engine executes specs over a fixed workload set. Workloads are built
+// lazily — in parallel, memoized — the first time a spec (or DynLen/Run)
+// needs them, and the (workload x config) cross-product runs through a
+// worker pool that acquires its semaphore slot *before* spawning each
+// goroutine, so at most Parallel simulations are live at once and memory
+// stays bounded.
+type Engine struct {
+	// Parallel bounds concurrent workload builds and simulations
+	// (default NumCPU; values < 1 mean 1).
+	Parallel int
+
+	names    []string
+	src      WorkloadSource
+	simulate func(cfg pipeline.Config, p *prog.Program, trace []emu.TraceRec) (*pipeline.Stats, error)
+}
+
+// NewEngine creates an engine over the named workloads (nil means the
+// full paper suite). Names are validated against the workload registry
+// up front; nothing is built until first use.
+func NewEngine(names []string) (*Engine, error) {
+	if names == nil {
+		names = workload.Names()
+	}
+	for _, n := range names {
+		if _, ok := workload.ByName(n); !ok {
+			return nil, fmt.Errorf("runner: unknown workload %q", n)
+		}
+	}
+	return NewEngineWith(names, workload.NewBuilder()), nil
+}
+
+// NewEngineWith creates an engine over a custom workload source; names
+// are taken as-is. This is the seam for tests and unregistered
+// workloads.
+func NewEngineWith(names []string, src WorkloadSource) *Engine {
+	return &Engine{
+		Parallel: runtime.NumCPU(),
+		names:    append([]string(nil), names...),
+		src:      src,
+		simulate: func(cfg pipeline.Config, p *prog.Program, trace []emu.TraceRec) (*pipeline.Stats, error) {
+			return pipeline.New(cfg, p, trace).Run()
+		},
+	}
+}
+
+// Names returns the engine's workload names in order.
+func (e *Engine) Names() []string { return e.names }
+
+func (e *Engine) parallel() int {
+	if e.Parallel < 1 {
+		return 1
+	}
+	return e.Parallel
+}
+
+func (e *Engine) has(name string) bool {
+	for _, n := range e.names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// DynLen returns the dynamic instruction count of a workload (building
+// it on first use), or 0 if the workload is unknown or fails to build.
+func (e *Engine) DynLen(name string) int {
+	if !e.has(name) {
+		return 0
+	}
+	_, trace, err := e.src.Get(name)
+	if err != nil {
+		return 0
+	}
+	return len(trace)
+}
+
+// Run simulates one workload under the given options, outside any spec.
+func (e *Engine) Run(name string, o sim.Options) (*pipeline.Stats, error) {
+	if !e.has(name) {
+		return nil, fmt.Errorf("runner: workload %q not in engine", name)
+	}
+	return e.cell(name, Config{Label: o.Label(), Opt: o})
+}
+
+// cell executes one (workload, config) cell.
+func (e *Engine) cell(bench string, c Config) (*pipeline.Stats, error) {
+	cfg, err := c.Opt.Config()
+	if err != nil {
+		return nil, err
+	}
+	p, trace, err := e.src.Get(bench)
+	if err != nil {
+		return nil, err
+	}
+	return e.simulate(cfg, p, trace)
+}
+
+// prep normalizes a private copy of the spec so ad-hoc specs get the
+// same label defaulting and axis validation as registered ones.
+func (e *Engine) prep(s *Spec) (*Spec, error) {
+	c := *s
+	c.Configs = append([]Config(nil), s.Configs...)
+	if err := c.normalize(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Stream executes the spec's cross-product and calls fn once per
+// completed cell, in completion order, from a single goroutine. The
+// spec's workloads are built first — in parallel, memoized — and cells
+// are then scheduled through the bounded pool. On the first cell or fn
+// error, no further cells are scheduled; the error is returned after
+// in-flight simulations settle.
+func (e *Engine) Stream(s *Spec, fn func(Result) error) error {
+	sp, err := e.prep(s)
+	if err != nil {
+		return err
+	}
+	benches := sp.benchesFor(e.names)
+	par := e.parallel()
+	if err := e.src.BuildAll(benches, par); err != nil {
+		return err
+	}
+
+	sem := make(chan struct{}, par)
+	results := make(chan Result)
+	stop := make(chan struct{}) // closed on first error: stop scheduling
+	go func() {
+		defer close(results)
+		var wg sync.WaitGroup
+		defer wg.Wait()
+		for _, b := range benches {
+			for _, c := range sp.Configs {
+				select {
+				case <-stop: // checked alone first: select picks randomly among ready cases
+					return
+				default:
+				}
+				select {
+				case <-stop:
+					return
+				case sem <- struct{}{}: // acquire before spawning (back-pressure)
+				}
+				wg.Add(1)
+				go func(b string, c Config) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					st, err := e.cell(b, c)
+					results <- Result{Bench: b, Label: c.Label, Stats: st, Err: err}
+				}(b, c)
+			}
+		}
+	}()
+
+	var firstErr error
+	for r := range results {
+		if firstErr != nil {
+			continue // drain so workers can exit
+		}
+		if r.Err != nil {
+			firstErr = fmt.Errorf("runner: %s [%s]: %w", r.Bench, r.Label, r.Err)
+		} else if err := fn(r); err != nil {
+			firstErr = err
+		}
+		if firstErr != nil {
+			close(stop)
+		}
+	}
+	return firstErr
+}
+
+// Gather executes the spec and accumulates every cell into a keyed,
+// deterministically ordered ResultSet.
+func (e *Engine) Gather(s *Spec) (*ResultSet, error) {
+	sp, err := e.prep(s)
+	if err != nil {
+		return nil, err
+	}
+	rs := newResultSet(sp.benchesFor(e.names), sp.Configs)
+	if err := e.Stream(sp, func(r Result) error { rs.add(r); return nil }); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}
+
+// RunSpec looks a registered spec up, executes it, and renders its
+// tables through the spec's collector.
+func (e *Engine) RunSpec(id string) ([]*stats.Table, error) {
+	sp, ok := Lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("runner: unknown spec %q (registered: %s)",
+			id, strings.Join(SortedIDs(), ", "))
+	}
+	rs, err := e.Gather(sp)
+	if err != nil {
+		return nil, err
+	}
+	return sp.Collect(rs)
+}

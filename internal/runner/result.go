@@ -1,0 +1,62 @@
+package runner
+
+import (
+	"fmt"
+
+	"rix/internal/pipeline"
+)
+
+// Result is one completed cell of a spec's (workload x config) matrix,
+// streamed from the engine as simulations finish.
+type Result struct {
+	Bench string
+	Label string
+	Stats *pipeline.Stats
+	Err   error
+}
+
+// ResultSet holds a spec's completed cells keyed by (workload,
+// config-label). Iteration order is deterministic — benches in engine
+// order, labels in spec order — regardless of the order cells finished
+// in.
+type ResultSet struct {
+	benches []string
+	labels  []string
+	cells   map[string]map[string]*pipeline.Stats
+}
+
+func newResultSet(benches []string, cfgs []Config) *ResultSet {
+	rs := &ResultSet{
+		benches: benches,
+		labels:  make([]string, len(cfgs)),
+		cells:   make(map[string]map[string]*pipeline.Stats, len(benches)),
+	}
+	for i, c := range cfgs {
+		rs.labels[i] = c.Label
+	}
+	for _, b := range benches {
+		rs.cells[b] = make(map[string]*pipeline.Stats, len(cfgs))
+	}
+	return rs
+}
+
+func (rs *ResultSet) add(r Result) {
+	rs.cells[r.Bench][r.Label] = r.Stats
+}
+
+// Benches returns the workloads in deterministic (engine) order.
+func (rs *ResultSet) Benches() []string { return rs.benches }
+
+// Labels returns the config labels in spec order.
+func (rs *ResultSet) Labels() []string { return rs.labels }
+
+// Get returns the stats for one cell. A miss is a collector programming
+// error (the registry validated every label), so it panics with the
+// offending key rather than returning nil into arithmetic.
+func (rs *ResultSet) Get(bench, label string) *pipeline.Stats {
+	st, ok := rs.cells[bench][label]
+	if !ok {
+		panic(fmt.Sprintf("runner: no result cell (%s, %s)", bench, label))
+	}
+	return st
+}

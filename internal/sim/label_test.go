@@ -1,0 +1,29 @@
+package sim
+
+import "testing"
+
+func TestOptionsLabel(t *testing.T) {
+	cases := []struct {
+		opt  Options
+		want string
+	}{
+		{Options{}, "none"},
+		{Options{Integration: IntReverse}, "+reverse/lisp"},
+		{Options{Integration: IntReverse, Suppression: SuppressOracle}, "+reverse/oracle"},
+		{Options{Integration: IntGeneral, Suppression: SuppressNone}, "+general/off"},
+		{Options{Core: CoreIWRS}, "none/iw+rs"},
+		{Options{Integration: IntReverse, ITEntries: 1024, ITAssoc: -1}, "+reverse/lisp/it1024/afull"},
+		{Options{Integration: IntReverse, ITEntries: 64, ITAssoc: 2, PhysRegs: 4096}, "+reverse/lisp/it64/a2/pr4096"},
+		{Options{Integration: IntReverse, NoGenCounters: true, ReverseALU: true}, "+reverse/lisp/gen0/rev-alu"},
+		{Options{Integration: IntReverse, GenBits: 2, NoCallDepth: true}, "+reverse/lisp/gen2/nodepth"},
+	}
+	for _, c := range cases {
+		if got := c.opt.Label(); got != c.want {
+			t.Errorf("Label(%+v) = %q, want %q", c.opt, got, c.want)
+		}
+	}
+	// Equivalent option values must label identically (stable result keys).
+	if a, b := (Options{Integration: IntReverse}).Label(), (Options{Integration: IntReverse, Suppression: SuppressLISP}).Label(); a != b {
+		t.Errorf("default-suppression labels differ: %q vs %q", a, b)
+	}
+}

@@ -5,6 +5,7 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 
 	"rix/internal/core"
 	"rix/internal/emu"
@@ -60,6 +61,65 @@ type Options struct {
 	ReverseALU       bool
 	NoCallDepth      bool
 	PerfectMemory    bool
+}
+
+// Label renders a short canonical name for the option set, suitable as a
+// stable result key: the integration preset, then the suppression mode
+// (when integration is on), then every explicitly set axis. Unset (zero)
+// fields are normalized — Options values that differ only in spelled-out
+// vs defaulted integration/suppression label identically — but an axis
+// explicitly set to its machine default (e.g. ITEntries: 1024) still
+// appears, so such a value labels differently from one that leaves the
+// field unset.
+func (o Options) Label() string {
+	integ := o.Integration
+	if integ == "" {
+		integ = IntNone
+	}
+	parts := []string{integ}
+	if integ != IntNone {
+		sup := o.Suppression
+		if sup == "" {
+			sup = SuppressLISP
+		}
+		parts = append(parts, sup)
+	}
+	if o.Core != "" && o.Core != CoreBase {
+		parts = append(parts, o.Core)
+	}
+	if o.ITEntries > 0 {
+		parts = append(parts, fmt.Sprintf("it%d", o.ITEntries))
+	}
+	switch {
+	case o.ITAssoc > 0:
+		parts = append(parts, fmt.Sprintf("a%d", o.ITAssoc))
+	case o.ITAssoc < 0:
+		parts = append(parts, "afull")
+	}
+	if o.NoGenCounters {
+		parts = append(parts, "gen0")
+	} else if o.GenBits > 0 {
+		parts = append(parts, fmt.Sprintf("gen%d", o.GenBits))
+	}
+	if o.RefBits > 0 {
+		parts = append(parts, fmt.Sprintf("ref%d", o.RefBits))
+	}
+	if o.PhysRegs > 0 {
+		parts = append(parts, fmt.Sprintf("pr%d", o.PhysRegs))
+	}
+	if o.ReverseAllStores {
+		parts = append(parts, "rev-all-st")
+	}
+	if o.ReverseALU {
+		parts = append(parts, "rev-alu")
+	}
+	if o.NoCallDepth {
+		parts = append(parts, "nodepth")
+	}
+	if o.PerfectMemory {
+		parts = append(parts, "pmem")
+	}
+	return strings.Join(parts, "/")
 }
 
 // Policy translates the named integration preset into a core.Policy.

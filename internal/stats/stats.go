@@ -126,6 +126,21 @@ func (t *Table) Note(format string, args ...interface{}) {
 	t.noteSet = append(t.noteSet, fmt.Sprintf(format, args...))
 }
 
+// Header returns the column headers.
+func (t *Table) Header() []string { return append([]string(nil), t.header...) }
+
+// Rows returns the rendered data rows.
+func (t *Table) Rows() [][]string {
+	out := make([][]string, len(t.rows))
+	for i, r := range t.rows {
+		out[i] = append([]string(nil), r...)
+	}
+	return out
+}
+
+// Notes returns the attached footnotes.
+func (t *Table) Notes() []string { return append([]string(nil), t.noteSet...) }
+
 // NumRows returns the number of data rows.
 func (t *Table) NumRows() int { return len(t.rows) }
 

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rix/internal/emu"
+	"rix/internal/prog"
+)
+
+// Built pairs an assembled program with its golden trace.
+type Built struct {
+	Prog  *prog.Program
+	Trace []emu.TraceRec
+}
+
+// BuildFunc produces a built workload by name. The default implementation
+// assembles the registered benchmark and generates its golden trace.
+type BuildFunc func(name string) (*prog.Program, []emu.TraceRec, error)
+
+// RegistryBuild is the default BuildFunc: it looks the benchmark up in the
+// package registry and builds it.
+func RegistryBuild(name string) (*prog.Program, []emu.TraceRec, error) {
+	b, ok := ByName(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("workload: unknown benchmark %q", name)
+	}
+	return b.Build()
+}
+
+// slot memoizes one workload build. The sync.Once guarantees the build
+// runs exactly once even when many goroutines request the same name.
+type slot struct {
+	once  sync.Once
+	prog  *prog.Program
+	trace []emu.TraceRec
+	err   error
+}
+
+// Builder builds workloads on demand, memoizing each result. It is safe
+// for concurrent use: concurrent requests for the same name share one
+// build, and BuildAll fans distinct names out across CPUs.
+type Builder struct {
+	build BuildFunc
+
+	mu    sync.Mutex
+	slots map[string]*slot
+}
+
+// NewBuilder returns a Builder that assembles registered benchmarks.
+func NewBuilder() *Builder { return NewBuilderFunc(RegistryBuild) }
+
+// NewBuilderFunc returns a Builder with a custom build function — the
+// hook used by tests and by custom (unregistered) workload sources.
+func NewBuilderFunc(fn BuildFunc) *Builder {
+	return &Builder{build: fn, slots: make(map[string]*slot)}
+}
+
+func (b *Builder) slotFor(name string) *slot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s, ok := b.slots[name]
+	if !ok {
+		s = &slot{}
+		b.slots[name] = s
+	}
+	return s
+}
+
+// Get returns the built workload, building it on first use.
+func (b *Builder) Get(name string) (*prog.Program, []emu.TraceRec, error) {
+	s := b.slotFor(name)
+	s.once.Do(func() { s.prog, s.trace, s.err = b.build(name) })
+	return s.prog, s.trace, s.err
+}
+
+// BuildAll builds the named workloads with at most parallel concurrent
+// builds (<=0 means NumCPU). Already-built names cost nothing; the first
+// error is returned after all builds settle.
+func (b *Builder) BuildAll(names []string, parallel int) error {
+	if parallel <= 0 {
+		parallel = runtime.NumCPU()
+	}
+	sem := make(chan struct{}, parallel)
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, n := range names {
+		sem <- struct{}{} // acquire before spawning: bounds live goroutines
+		wg.Add(1)
+		go func(i int, n string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			_, _, errs[i] = b.Get(n)
+		}(i, n)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("workload: build %s: %w", names[i], err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rix/internal/emu"
+	"rix/internal/prog"
+)
+
+func TestBuilderMemoizesConcurrentGets(t *testing.T) {
+	var builds int64
+	b := NewBuilderFunc(func(name string) (*prog.Program, []emu.TraceRec, error) {
+		atomic.AddInt64(&builds, 1)
+		return &prog.Program{Name: name}, make([]emu.TraceRec, 7), nil
+	})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p, trace, err := b.Get("x")
+			if err != nil || p.Name != "x" || len(trace) != 7 {
+				t.Errorf("Get: %v %v %d", p, err, len(trace))
+			}
+		}()
+	}
+	wg.Wait()
+	if n := atomic.LoadInt64(&builds); n != 1 {
+		t.Errorf("built %d times, want 1", n)
+	}
+	if err := b.BuildAll([]string{"x", "y", "z"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	if n := atomic.LoadInt64(&builds); n != 3 {
+		t.Errorf("after BuildAll: %d builds, want 3 (x memoized)", n)
+	}
+}
+
+func TestBuilderPropagatesErrors(t *testing.T) {
+	b := NewBuilderFunc(func(name string) (*prog.Program, []emu.TraceRec, error) {
+		if name == "bad" {
+			return nil, nil, fmt.Errorf("no such thing")
+		}
+		return &prog.Program{Name: name}, nil, nil
+	})
+	err := b.BuildAll([]string{"ok", "bad"}, 4)
+	if err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Errorf("BuildAll error = %v", err)
+	}
+	if _, _, err := b.Get("bad"); err == nil {
+		t.Error("memoized error lost")
+	}
+}
+
+func TestRegistryBuildUnknown(t *testing.T) {
+	if _, _, err := RegistryBuild("not-a-benchmark"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
