@@ -1,0 +1,173 @@
+// benchgate converts `go test -bench` output into the committed
+// BENCH_pipeline.json artifact format and gates performance regressions
+// against a checked-in baseline.
+//
+// The JSON records, per benchmark: simulated-instruction throughput
+// (Minstr/s, when the benchmark reports it), ns/op, B/op and allocs/op.
+// The gate fails (exit 1) when any benchmark present in both files loses
+// more than -tolerance of its baseline Minstr/s.
+//
+// Usage:
+//
+//	go test -bench 'Pipeline|IntegrationTable|Regfile' -benchmem -run '^$' | \
+//	    benchgate -out BENCH_pipeline.json -baseline ci/bench_baseline.json
+//	benchgate -in bench.txt -out ci/bench_baseline.json        # refresh baseline
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measurements; committed format — do not
+// rename fields without updating ci/bench_baseline.json and the CI docs.
+type Result struct {
+	Name     string  `json:"name"`
+	NsOp     float64 `json:"ns_op"`
+	MinstrS  float64 `json:"minstr_s,omitempty"`
+	BOp      float64 `json:"b_op,omitempty"`
+	AllocsOp float64 `json:"allocs_op,omitempty"`
+}
+
+// File is the BENCH_pipeline.json envelope.
+type File struct {
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+var nameRe = regexp.MustCompile(`^Benchmark([^\s]+?)(-\d+)?$`)
+
+// parse extracts benchmark results from `go test -bench` output. Lines
+// look like:
+//
+//	BenchmarkPipeline/gzip/none-8  3  242527688 ns/op  0.9675 Minstr/s  3463296 B/op  4169 allocs/op
+func parse(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		m := nameRe.FindStringSubmatch(fields[0])
+		if m == nil {
+			continue
+		}
+		res := Result{Name: m[1]}
+		// fields[1] is the iteration count; the rest are (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchgate: bad value %q in %q", fields[i], sc.Text())
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsOp = v
+			case "Minstr/s":
+				res.MinstrS = v
+			case "B/op":
+				res.BOp = v
+			case "allocs/op":
+				res.AllocsOp = v
+			}
+		}
+		out = append(out, res)
+	}
+	return out, sc.Err()
+}
+
+func load(path string) (File, error) {
+	var f File
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	return f, json.Unmarshal(data, &f)
+}
+
+func write(path string, f File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// gate compares Minstr/s against the baseline; every benchmark that both
+// files measure must stay within tolerance of its baseline throughput.
+func gate(cur, base File, tolerance float64) (failures []string) {
+	baseBy := map[string]Result{}
+	for _, b := range base.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	for _, c := range cur.Benchmarks {
+		b, ok := baseBy[c.Name]
+		if !ok || b.MinstrS == 0 || c.MinstrS == 0 {
+			continue
+		}
+		floor := b.MinstrS * (1 - tolerance)
+		if c.MinstrS < floor {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.4f Minstr/s is %.1f%% below baseline %.4f (floor %.4f)",
+				c.Name, c.MinstrS, 100*(1-c.MinstrS/b.MinstrS), b.MinstrS, floor))
+		}
+	}
+	return failures
+}
+
+func main() {
+	in := flag.String("in", "", "bench output file (default stdin)")
+	out := flag.String("out", "BENCH_pipeline.json", "JSON artifact to write")
+	baseline := flag.String("baseline", "", "baseline JSON to gate against (no gate when empty)")
+	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional Minstr/s regression")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	results, err := parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results found in input"))
+	}
+	cur := File{Benchmarks: results}
+	if err := write(*out, cur); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchgate: wrote %s (%d benchmarks)\n", *out, len(results))
+
+	if *baseline == "" {
+		return
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fatal(fmt.Errorf("load baseline: %w", err))
+	}
+	if failures := gate(cur, base, *tolerance); len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "benchgate: REGRESSION:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: within %.0f%% of baseline %s\n", 100**tolerance, *baseline)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: rix
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPipeline/gzip/none-8         	       3	 242527688 ns/op	         0.9675 Minstr/s	 3463296 B/op	    4169 allocs/op
+BenchmarkPipeline/gzip/+reverse-8     	       3	 261206425 ns/op	         0.8983 Minstr/s	 3463296 B/op	    4169 allocs/op
+BenchmarkRegfile-8                    	  203942	      5967 ns/op	    8320 B/op	       4 allocs/op
+PASS
+ok  	rix	4.939s
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	p := results[0]
+	if p.Name != "Pipeline/gzip/none" || p.MinstrS != 0.9675 || p.AllocsOp != 4169 || p.NsOp != 242527688 {
+		t.Errorf("first result: %+v", p)
+	}
+	if r := results[2]; r.Name != "Regfile" || r.MinstrS != 0 || r.AllocsOp != 4 {
+		t.Errorf("regfile result: %+v", r)
+	}
+}
+
+func TestGate(t *testing.T) {
+	base := File{Benchmarks: []Result{
+		{Name: "Pipeline/gzip/none", MinstrS: 1.0},
+		{Name: "Pipeline/gzip/+reverse", MinstrS: 1.0},
+		{Name: "Regfile", NsOp: 100}, // no Minstr/s: never gated
+	}}
+	cur := File{Benchmarks: []Result{
+		{Name: "Pipeline/gzip/none", MinstrS: 0.86},     // within 15%
+		{Name: "Pipeline/gzip/+reverse", MinstrS: 0.80}, // 20% down: fails
+		{Name: "Regfile", NsOp: 500},
+		{Name: "NewBench", MinstrS: 0.1}, // not in baseline: ignored
+	}}
+	failures := gate(cur, base, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "+reverse") {
+		t.Errorf("failures = %v, want exactly the +reverse regression", failures)
+	}
+	if got := gate(cur, base, 0.25); len(got) != 0 {
+		t.Errorf("25%% tolerance should pass, got %v", got)
+	}
+}

@@ -40,25 +40,31 @@ func main() {
 		return
 	}
 
+	// The golden trace streams from the emulator into the pipeline with
+	// O(ROB) buffering; nothing materializes the full trace.
 	var p *prog.Program
-	var trace []emu.TraceRec
+	var src emu.TraceSource
 	var err error
 	switch {
 	case *file != "":
-		src, rerr := os.ReadFile(*file)
+		text, rerr := os.ReadFile(*file)
 		if rerr != nil {
 			fatal(rerr)
 		}
-		p, err = asm.Assemble(*file, string(src))
+		p, err = asm.Assemble(*file, string(text))
 		if err == nil {
-			trace, _, err = emu.Trace(p, workload.MaxInstrs)
+			src = emu.Stream(p, workload.MaxInstrs)
 		}
 	case *bench != "":
 		b, ok := workload.ByName(*bench)
 		if !ok {
 			fatal(fmt.Errorf("unknown workload %q (try -list)", *bench))
 		}
-		p, trace, err = b.Build()
+		var bw workload.Built
+		bw, err = b.Build()
+		if err == nil {
+			p, src = bw.Prog, bw.Source()
+		}
 	default:
 		fatal(fmt.Errorf("one of -bench or -file is required"))
 	}
@@ -73,7 +79,7 @@ func main() {
 		ITEntries:   *itEntries,
 		ITAssoc:     *itAssoc,
 	}
-	st, err := sim.Run(p, trace, o)
+	st, err := sim.Run(p, src, o)
 	if err != nil {
 		fatal(err)
 	}

@@ -2,10 +2,17 @@
 // reports its dynamic profile: instruction mix, call-depth distribution,
 // save/restore density, and program output.
 //
+// The profile is computed from the streaming emu.TraceSource — records
+// are folded into counters as they are produced, so memory stays O(1)
+// regardless of trace length (the pre-streaming version materialized the
+// whole trace first).
+//
 // Usage:
 //
 //	rixtrace -bench vortex
-//	rixtrace -file prog.s -mix
+//	rixtrace -file prog.s
+//	rixtrace -bench gcc -max 1048576    # bound the streamed instruction budget
+//	rixtrace -bench perl.d -out 256     # cap the echoed program output bytes
 package main
 
 import (
@@ -23,6 +30,8 @@ import (
 func main() {
 	bench := flag.String("bench", "", "workload name")
 	file := flag.String("file", "", "assembly file")
+	maxInstrs := flag.Uint64("max", workload.MaxInstrs, "instruction budget for the streamed trace")
+	outCap := flag.Int("out", 1<<10, "max program-output bytes to echo (0 = none)")
 	flag.Parse()
 
 	var p *prog.Program
@@ -48,15 +57,17 @@ func main() {
 		fatal(err)
 	}
 
-	trace, e, err := emu.Trace(p, workload.MaxInstrs)
-	if err != nil {
-		fatal(err)
-	}
+	src := emu.Stream(p, *maxInstrs)
 
-	var loads, stores, branches, taken, calls, rets, alu, fp, spStores, spLoads uint64
+	var n, loads, stores, branches, taken, calls, rets, alu, fp, spStores, spLoads uint64
 	depth, maxDepth := 0, 0
 	depthSum := uint64(0)
-	for _, r := range trace {
+	for {
+		r, ok := src.Next()
+		if !ok {
+			break
+		}
+		n++
 		in := p.Code[r.CodeIdx]
 		switch in.Op.ClassOf() {
 		case isa.ClassLoad:
@@ -92,7 +103,10 @@ func main() {
 		}
 		depthSum += uint64(depth)
 	}
-	n := uint64(len(trace))
+	if err := src.Err(); err != nil {
+		fatal(err)
+	}
+	e := src.Emulator()
 	pc := func(v uint64) string { return fmt.Sprintf("%5.1f%%", 100*float64(v)/float64(n)) }
 
 	fmt.Printf("workload     %s\n", p.Name)
@@ -105,8 +119,12 @@ func main() {
 	fmt.Printf("fp           %8d %s\n", fp, pc(fp))
 	fmt.Printf("alu/other    %8d %s\n", alu, pc(alu))
 	fmt.Printf("call depth   avg %.2f, max %d\n", float64(depthSum)/float64(n), maxDepth)
-	if len(e.Output) > 0 {
-		fmt.Printf("output       %q\n", e.Output)
+	if out := e.Output; len(out) > 0 && *outCap > 0 {
+		if len(out) > *outCap {
+			fmt.Printf("output       %q... (%d bytes total)\n", out[:*outCap], len(out))
+		} else {
+			fmt.Printf("output       %q\n", out)
+		}
 	}
 }
 

@@ -7,6 +7,22 @@
 // table indexing, and reverse integration (speculative memory bypassing
 // for stack saves and restores).
 //
+// # Streaming trace pipeline
+//
+// Golden traces are produced and consumed through the emu.TraceSource
+// contract (Next/Err/Rewind/SizeHint): the emulator is an incremental
+// producer (emu.Stream), the pipeline buffers only a sliding window of
+// O(ROB + fetch queue) records, and workload.Built mints an independent
+// source per simulation so concurrent configs of one workload never
+// share a cursor. Memory per simulation is therefore bounded by the
+// machine's in-flight window, not by trace length (formerly up to
+// 24 bytes x 2^24 records materialized per workload). emu.FromSlice
+// adapts recorded traces, and emu.Materialize / workload.Built.Materialize
+// flatten a stream for tests and small traces. The pipeline's steady
+// state allocates nothing: uops recycle through a free list sized to the
+// in-flight window, completion events reuse a pooled ring of buffers,
+// and the issue stage sorts candidates in preallocated scratch.
+//
 // Layout:
 //
 //	internal/isa          Alpha-flavoured 64-bit RISC ISA
@@ -22,10 +38,11 @@
 //	internal/workload     16 synthetic SPEC2000int stand-ins
 //	internal/runner       experiment engine: spec registry, lazy builds, bounded streaming pool
 //	internal/experiments  the paper's figures/diagnostics as registered specs
-//	cmd/rixsim            single-run simulator driver
+//	cmd/rixsim            single-run simulator driver (streams the golden trace)
 //	cmd/rixbench          figure/table reproduction harness
 //	cmd/rixasm            assembler / disassembler
-//	cmd/rixtrace          functional profiler
+//	cmd/rixtrace          functional profiler (streaming; -max/-out flags)
+//	cmd/benchgate         bench output -> BENCH_pipeline.json + perf regression gate
 //	examples/             quickstart, membypass, complexity, customworkload
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for measured

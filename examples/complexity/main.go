@@ -19,12 +19,13 @@ func main() {
 	if !ok {
 		log.Fatalf("unknown workload %s", bench)
 	}
-	p, trace, err := b.Build()
+	bw, err := b.Build()
 	if err != nil {
 		log.Fatal(err)
 	}
+	p := bw.Prog
 	fmt.Printf("workload: %s (%s), %d dynamic instructions\n\n",
-		b.Name, b.Description, len(trace))
+		b.Name, b.Description, bw.DynLen)
 
 	cores := []struct {
 		name, core string
@@ -35,18 +36,18 @@ func main() {
 		{"IW+RS: both reductions", sim.CoreIWRS},
 	}
 
-	baseStats, err := sim.Run(p, trace, sim.Options{Core: sim.CoreBase, Integration: sim.IntNone})
+	baseStats, err := sim.Run(p, bw.Source(), sim.Options{Core: sim.CoreBase, Integration: sim.IntNone})
 	if err != nil {
 		log.Fatal(err)
 	}
 	baseIPC := baseStats.IPC()
 	fmt.Printf("%-34s %10s %12s %14s\n", "core", "plain", "+integration", "int. recovers")
 	for _, c := range cores {
-		plain, err := sim.Run(p, trace, sim.Options{Core: c.core, Integration: sim.IntNone})
+		plain, err := sim.Run(p, bw.Source(), sim.Options{Core: c.core, Integration: sim.IntNone})
 		if err != nil {
 			log.Fatal(err)
 		}
-		integ, err := sim.Run(p, trace, sim.Options{Core: c.core, Integration: sim.IntReverse})
+		integ, err := sim.Run(p, bw.Source(), sim.Options{Core: c.core, Integration: sim.IntReverse})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -25,15 +25,15 @@ func main() {
 			BranchFrac: 0.15,
 			Invariants: 1,
 		})
-		p, trace, err := b.Build()
+		bw, err := b.Build()
 		if err != nil {
 			log.Fatal(err)
 		}
-		base, err := sim.Run(p, trace, sim.Options{Integration: sim.IntNone})
+		base, err := sim.Run(bw.Prog, bw.Source(), sim.Options{Integration: sim.IntNone})
 		if err != nil {
 			log.Fatal(err)
 		}
-		full, err := sim.Run(p, trace, sim.Options{Integration: sim.IntReverse})
+		full, err := sim.Run(bw.Prog, bw.Source(), sim.Options{Integration: sim.IntReverse})
 		if err != nil {
 			log.Fatal(err)
 		}

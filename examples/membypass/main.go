@@ -135,15 +135,12 @@ func pipelineDemo() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	trace, _, err := emu.Trace(p, 1<<22)
+	// Each run streams its own golden trace straight from the emulator.
+	noRev, err := sim.Run(p, emu.Stream(p, 1<<22), sim.Options{Integration: sim.IntOpcode})
 	if err != nil {
 		log.Fatal(err)
 	}
-	noRev, err := sim.Run(p, trace, sim.Options{Integration: sim.IntOpcode})
-	if err != nil {
-		log.Fatal(err)
-	}
-	rev, err := sim.Run(p, trace, sim.Options{Integration: sim.IntReverse})
+	rev, err := sim.Run(p, emu.Stream(p, 1<<22), sim.Options{Integration: sim.IntReverse})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -56,6 +56,8 @@ func main() {
 	}
 	// Golden trace: the architectural execution every configuration is
 	// validated against (this is also how DIVA re-execution is modelled).
+	// It is small here, so materialize it once for the banner; the
+	// simulator itself consumes a streaming source with O(ROB) buffering.
 	trace, e, err := emu.Trace(p, 1<<22)
 	if err != nil {
 		log.Fatal(err)
@@ -63,11 +65,11 @@ func main() {
 	fmt.Printf("program: %d static, %d dynamic instructions, output %q\n\n",
 		len(p.Code), len(trace), e.Output)
 
-	base, err := sim.Run(p, trace, sim.Options{Integration: sim.IntNone})
+	base, err := sim.Run(p, emu.FromSlice(trace), sim.Options{Integration: sim.IntNone})
 	if err != nil {
 		log.Fatal(err)
 	}
-	full, err := sim.Run(p, trace, sim.Options{Integration: sim.IntReverse})
+	full, err := sim.Run(p, emu.FromSlice(trace), sim.Options{Integration: sim.IntReverse})
 	if err != nil {
 		log.Fatal(err)
 	}

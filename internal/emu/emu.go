@@ -177,19 +177,14 @@ func (e *Emulator) Run(maxInstrs uint64) error {
 }
 
 // Trace executes until halt, recording the golden trace. The returned
-// slice has one record per retired instruction, in program order.
+// slice has one record per retired instruction, in program order. It is
+// the materialized convenience over Stream + Materialize; long traces
+// should stay streaming via Stream.
 func Trace(p *prog.Program, maxInstrs uint64) ([]TraceRec, *Emulator, error) {
-	e := New(p)
-	recs := make([]TraceRec, 0, 1<<16)
-	for !e.Halted {
-		if e.Count >= maxInstrs {
-			return nil, nil, fmt.Errorf("emu: %s did not halt within %d instructions", p.Name, maxInstrs)
-		}
-		rec, err := e.Step()
-		if err != nil {
-			return nil, nil, err
-		}
-		recs = append(recs, rec)
+	s := Stream(p, maxInstrs)
+	recs, err := Materialize(s)
+	if err != nil {
+		return nil, nil, err
 	}
-	return recs, e, nil
+	return recs, s.Emulator(), nil
 }

@@ -1,0 +1,148 @@
+package emu
+
+import (
+	"fmt"
+
+	"rix/internal/prog"
+)
+
+// TraceSource streams golden-trace records one at a time. It is the
+// producer half of the simulator's producer/consumer decomposition: the
+// emulator (or any recorded trace) produces records incrementally and the
+// pipeline consumes them with O(ROB) buffering, so trace length no longer
+// bounds resident memory.
+//
+// A source is single-consumer and not safe for concurrent use; consumers
+// that need independent cursors over the same workload should each mint
+// their own source (see workload.Built.Source).
+type TraceSource interface {
+	// Next returns the next record in program order. ok is false when the
+	// stream is exhausted — either because the traced program halted
+	// cleanly or because production failed; Err distinguishes the two.
+	Next() (TraceRec, bool)
+
+	// Err returns the terminal production error, or nil after a clean end
+	// of stream. It is meaningful only once Next has returned ok=false.
+	Err() error
+
+	// Rewind resets the source to the beginning of the stream so a single
+	// build can feed multiple sequential pipeline configurations. For
+	// emulator-backed sources this re-executes the program.
+	Rewind() error
+
+	// SizeHint returns the expected total number of records, or 0 when
+	// unknown. Materialize uses it to pre-size; consumers must not rely
+	// on it for correctness.
+	SizeHint() int
+}
+
+// Streamer is the emulator-backed TraceSource: it executes the program
+// incrementally, producing one TraceRec per retired instruction without
+// materializing the trace. After the stream ends, Emulator exposes the
+// final architectural state (exit code, program output).
+type Streamer struct {
+	p         *prog.Program
+	maxInstrs uint64
+	e         *Emulator
+	err       error
+	hint      int
+}
+
+// Stream returns a TraceSource that executes p incrementally, failing the
+// stream if the program does not halt within maxInstrs instructions.
+func Stream(p *prog.Program, maxInstrs uint64) *Streamer {
+	return &Streamer{p: p, maxInstrs: maxInstrs, e: New(p)}
+}
+
+// SetSizeHint records the known dynamic instruction count (e.g. from a
+// prior validation pass) so SizeHint is accurate before the first pass
+// completes.
+func (s *Streamer) SetSizeHint(n int) {
+	if n > s.hint {
+		s.hint = n
+	}
+}
+
+// Next executes one instruction and returns its trace record.
+func (s *Streamer) Next() (TraceRec, bool) {
+	if s.err != nil || s.e.Halted {
+		return TraceRec{}, false
+	}
+	if s.e.Count >= s.maxInstrs {
+		s.err = fmt.Errorf("emu: %s did not halt within %d instructions", s.p.Name, s.maxInstrs)
+		return TraceRec{}, false
+	}
+	rec, err := s.e.Step()
+	if err != nil {
+		s.err = err
+		return TraceRec{}, false
+	}
+	if s.e.Halted && int(s.e.Count) > s.hint {
+		s.hint = int(s.e.Count)
+	}
+	return rec, true
+}
+
+// Err reports why the stream ended, if it ended abnormally.
+func (s *Streamer) Err() error { return s.err }
+
+// Rewind restarts execution from the program entry point. The size hint
+// learned from a completed pass is preserved.
+func (s *Streamer) Rewind() error {
+	s.e = New(s.p)
+	s.err = nil
+	return nil
+}
+
+// SizeHint returns the dynamic instruction count once known (after a
+// complete pass or SetSizeHint), else 0.
+func (s *Streamer) SizeHint() int { return s.hint }
+
+// Emulator returns the backing emulator, exposing final architectural
+// state (ExitCode, Output, Count) once the stream is drained.
+func (s *Streamer) Emulator() *Emulator { return s.e }
+
+// sliceSource adapts a materialized trace to the TraceSource interface.
+type sliceSource struct {
+	recs []TraceRec
+	pos  int
+}
+
+// FromSlice returns a TraceSource over an in-memory trace. Rewind resets
+// the cursor; Err is always nil.
+func FromSlice(recs []TraceRec) TraceSource { return &sliceSource{recs: recs} }
+
+func (s *sliceSource) Next() (TraceRec, bool) {
+	if s.pos >= len(s.recs) {
+		return TraceRec{}, false
+	}
+	rec := s.recs[s.pos]
+	s.pos++
+	return rec, true
+}
+
+func (s *sliceSource) Err() error    { return nil }
+func (s *sliceSource) Rewind() error { s.pos = 0; return nil }
+func (s *sliceSource) SizeHint() int { return len(s.recs) }
+
+// Materialize drains a source into a slice, pre-sized from the source's
+// hint. It is the adapter for tests and for small traces where random
+// access is worth the memory.
+func Materialize(src TraceSource) ([]TraceRec, error) {
+	capHint := src.SizeHint()
+	if capHint <= 0 {
+		capHint = 1 << 10
+	}
+	recs := make([]TraceRec, 0, capHint)
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	if err := src.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}

@@ -1,0 +1,119 @@
+package emu
+
+import (
+	"testing"
+
+	"rix/internal/prog"
+)
+
+// tinyProg assembles a minimal program: clr v0 (exit fn), syscall.
+func tinyProg(t *testing.T) *prog.Program {
+	t.Helper()
+	return assemble(t, `
+        .text
+main:   clr  v0
+        syscall
+`)
+}
+
+func TestStreamMatchesTrace(t *testing.T) {
+	p := tinyProg(t)
+	recs, _, err := Trace(p, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Stream(p, 100)
+	for i, want := range recs {
+		got, ok := s.Next()
+		if !ok || got != want {
+			t.Fatalf("record %d: got %+v ok=%v, want %+v", i, got, ok, want)
+		}
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("stream longer than materialized trace")
+	}
+	if err := s.Err(); err != nil {
+		t.Errorf("clean end of stream reported error: %v", err)
+	}
+	if s.SizeHint() != len(recs) {
+		t.Errorf("size hint %d after full pass, want %d", s.SizeHint(), len(recs))
+	}
+}
+
+func TestStreamRewind(t *testing.T) {
+	p := tinyProg(t)
+	s := Stream(p, 100)
+	first, _ := s.Next()
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+	}
+	if err := s.Rewind(); err != nil {
+		t.Fatal(err)
+	}
+	again, ok := s.Next()
+	if !ok || again != first {
+		t.Errorf("rewind: got %+v ok=%v, want %+v", again, ok, first)
+	}
+	if s.SizeHint() == 0 {
+		t.Error("size hint lost across Rewind")
+	}
+}
+
+func TestStreamBudgetExhaustion(t *testing.T) {
+	p := tinyProg(t)
+	s := Stream(p, 1) // too small: program needs 2 instructions
+	if _, ok := s.Next(); !ok {
+		t.Fatal("first step should succeed")
+	}
+	if _, ok := s.Next(); ok {
+		t.Fatal("budget exhausted but stream continued")
+	}
+	if s.Err() == nil {
+		t.Error("did-not-halt not reported via Err")
+	}
+	if _, err := Materialize(Stream(p, 1)); err == nil {
+		t.Error("Materialize swallowed the production error")
+	}
+}
+
+// TestMaterializeSizesFromHint covers the pre-sizing fix: the adapter
+// must allocate from the source's hint rather than a fixed guess.
+func TestMaterializeSizesFromHint(t *testing.T) {
+	recs := make([]TraceRec, 5000)
+	for i := range recs {
+		recs[i].CodeIdx = uint32(i)
+	}
+	got, err := Materialize(FromSlice(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) || cap(got) != len(recs) {
+		t.Errorf("materialized len=%d cap=%d, want len=cap=%d (sized from hint)",
+			len(got), cap(got), len(recs))
+	}
+	// A hinted streamer must pre-size the same way.
+	p := tinyProg(t)
+	s := Stream(p, 100)
+	s.SetSizeHint(2)
+	out, err := Materialize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || cap(out) != 2 {
+		t.Errorf("hinted streamer: len=%d cap=%d, want 2/2", len(out), cap(out))
+	}
+}
+
+func TestFromSliceRewind(t *testing.T) {
+	src := FromSlice([]TraceRec{{CodeIdx: 1}, {CodeIdx: 2}})
+	a, _ := src.Next()
+	if err := src.Rewind(); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := src.Next()
+	if a != b {
+		t.Errorf("rewind changed first record: %+v vs %+v", a, b)
+	}
+}

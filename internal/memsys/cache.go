@@ -51,8 +51,11 @@ func NewCache(cfg CacheConfig) *Cache {
 	for s := uint64(1); s < uint64(cfg.LineBytes); s <<= 1 {
 		c.setShift++
 	}
+	// One flat backing array sliced per set: building a pipeline is two
+	// allocations per cache, not one per set.
+	lines := make([]cacheLine, nLines)
 	for i := range c.sets {
-		c.sets[i] = make([]cacheLine, cfg.Assoc)
+		c.sets[i], lines = lines[:cfg.Assoc:cfg.Assoc], lines[cfg.Assoc:]
 	}
 	return c
 }

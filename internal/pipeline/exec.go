@@ -5,16 +5,21 @@ import (
 	"rix/internal/regfile"
 )
 
-// completeStage drains this cycle's completion events.
+// completeStage drains this cycle's completion events and returns the
+// slot's buffer to the reuse pool; schedule can never append to the
+// current slot mid-drain because events always land at least one cycle
+// out.
 func (pl *Pipeline) completeStage() {
 	slot := pl.now % eventHorizon
 	evs := pl.events[slot]
-	if len(evs) == 0 {
+	if evs == nil {
 		return
 	}
 	pl.events[slot] = nil
 	for _, ev := range evs {
-		if ev.u.squashed {
+		// Drop events for squashed uops — including recycled carcasses,
+		// whose sequence number no longer matches the stamp.
+		if ev.u.squashed || ev.u.seq != ev.seq {
 			continue
 		}
 		switch ev.kind {
@@ -30,6 +35,7 @@ func (pl *Pipeline) completeStage() {
 			pl.storeExec(ev.u)
 		}
 	}
+	pl.evFree = append(pl.evFree, evs[:0])
 }
 
 // val reads a source physical register's value.

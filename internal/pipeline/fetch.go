@@ -13,7 +13,7 @@ func (pl *Pipeline) fetchStage() {
 	if pl.fetchPC == 0 || pl.now < pl.fetchReadyAt {
 		return
 	}
-	if len(pl.fq) >= pl.cfg.FetchQueue {
+	if pl.fqLen >= pl.cfg.FetchQueue {
 		return
 	}
 
@@ -29,7 +29,7 @@ func (pl *Pipeline) fetchStage() {
 	}
 	pl.icachePaid = false
 
-	for n := 0; n < pl.cfg.FetchWidth && len(pl.fq) < pl.cfg.FetchQueue; n++ {
+	for n := 0; n < pl.cfg.FetchWidth && pl.fqLen < pl.cfg.FetchQueue; n++ {
 		in, ok := pl.prog.InstrAt(pl.fetchPC)
 		if !ok {
 			// Wrong-path fetch ran off the text segment; wait for a
@@ -37,23 +37,23 @@ func (pl *Pipeline) fetchStage() {
 			pl.fetchPC = 0
 			return
 		}
-		u := &uop{
-			pc:          pl.fetchPC,
-			in:          in,
-			fetchCycle:  pl.now,
-			renameReady: pl.now + pl.cfg.FrontendDepth,
-			rsIdx:       -1,
-			lsqPos:      -1,
-			traceIdx:    -1,
-			callDepth:   pl.ras.Depth(),
-			rasSnap:     pl.ras.Snapshot(),
-			histSnap:    pl.pred.HistSnapshot(),
-		}
+		u := pl.newUop()
+		u.pc = pl.fetchPC
+		u.in = in
+		u.fetchCycle = pl.now
+		u.renameReady = pl.now + pl.cfg.FrontendDepth
+		u.rsIdx = -1
+		u.lsqPos = -1
+		u.traceIdx = -1
+		u.callDepth = pl.ras.Depth()
+		u.rasSnap = pl.ras.Snapshot()
+		u.histSnap = pl.pred.HistSnapshot()
 
 		// Golden-trace tracking: on the correct path, the fetch PC must
-		// equal the next trace record's PC.
-		if pl.onPath && pl.cursor < len(pl.trace) {
-			if pl.trace[pl.cursor].PC(pl.prog) == pl.fetchPC {
+		// equal the next trace record's PC (pulled incrementally from the
+		// streaming source).
+		if pl.onPath && pl.win.has(pl.cursor) {
+			if pl.win.at(pl.cursor).PC(pl.prog) == pl.fetchPC {
 				u.traceIdx = int64(pl.cursor)
 				pl.cursor++
 			} else {
@@ -113,7 +113,7 @@ func (pl *Pipeline) fetchStage() {
 			groupEnds = true
 		}
 
-		pl.fq = append(pl.fq, u)
+		pl.fqPush(u)
 		pl.fetchPC = nextPC
 		if groupEnds || nextPC == 0 {
 			return

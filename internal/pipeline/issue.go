@@ -1,8 +1,6 @@
 package pipeline
 
 import (
-	"sort"
-
 	"rix/internal/isa"
 	"rix/internal/regfile"
 )
@@ -85,7 +83,7 @@ func (pl *Pipeline) issueStage() {
 	storePorts := pl.cfg.StorePorts
 	budget := pl.cfg.IssueWidth
 
-	var cand []*uop
+	cand := pl.cand[:0] // scratch preallocated to NumRS: no per-cycle allocation
 	for _, u := range pl.rs {
 		if u == nil || u.issued || u.squashed {
 			continue
@@ -101,13 +99,22 @@ func (pl *Pipeline) issueStage() {
 	if len(cand) == 0 {
 		return
 	}
-	sort.Slice(cand, func(i, j int) bool {
-		pi, pj := priorityOf(cand[i]), priorityOf(cand[j])
-		if pi != pj {
-			return pi < pj
+	// Insertion sort by (priority, seq); seq is unique, so the order is
+	// total and matches what sort.Slice produced.
+	for i := 1; i < len(cand); i++ {
+		u := cand[i]
+		pu := priorityOf(u)
+		j := i - 1
+		for j >= 0 {
+			pj := priorityOf(cand[j])
+			if pj < pu || (pj == pu && cand[j].seq < u.seq) {
+				break
+			}
+			cand[j+1] = cand[j]
+			j--
 		}
-		return cand[i].seq < cand[j].seq
-	})
+		cand[j+1] = u
+	}
 
 	for _, u := range cand {
 		if budget == 0 {

@@ -99,15 +99,16 @@ const (
 type event struct {
 	kind eventKind
 	u    *uop
+	seq  uint64 // u.seq at schedule time; a recycled uop has a newer seq
 	val  uint64 // payload: load value for evLoadDone
 }
 
-// Pipeline is one simulated machine instance bound to a program and its
-// golden trace.
+// Pipeline is one simulated machine instance bound to a program and a
+// streaming view of its golden trace.
 type Pipeline struct {
-	cfg   Config
-	prog  *prog.Program
-	trace []emu.TraceRec
+	cfg  Config
+	prog *prog.Program
+	win  traceWindow
 
 	rf    *regfile.File
 	front *rename.MapTable
@@ -129,8 +130,10 @@ type Pipeline struct {
 	robHead int
 	robLen  int
 
-	// Fetch queue (fetched, not yet renamed).
-	fq []*uop
+	// Fetch queue: ring of fetched, not-yet-renamed uops.
+	fq     []*uop
+	fqHead int
+	fqLen  int
 
 	// Reservation stations.
 	rs     []*uop
@@ -158,19 +161,28 @@ type Pipeline struct {
 	events       [][]event
 	pendingFlush bool
 
-	// Oracle probe plumbing (current rename candidate).
+	// Steady-state allocation pools: recycled uops (sized to the
+	// in-flight window), recycled event buffers (one per future cycle
+	// with pending completions), and the issue-candidate scratch slice.
+	uopFree []*uop
+	evFree  [][]event
+	cand    []*uop
+
+	// Oracle probe plumbing (current rename candidate). prb is the probe
+	// boxed once so rename does not allocate an interface per uop.
 	probeU *uop
+	prb    core.ProducerProbe
 
 	Stats Stats
 }
 
-// New builds a pipeline for a program with its golden trace (from
-// emu.Trace).
-func New(cfg Config, p *prog.Program, trace []emu.TraceRec) *Pipeline {
+// New builds a pipeline for a program with a golden trace source (from
+// emu.Stream, emu.FromSlice, or workload.Built.Source). The source is
+// consumed incrementally with O(ROB) buffering.
+func New(cfg Config, p *prog.Program, src emu.TraceSource) *Pipeline {
 	pl := &Pipeline{
-		cfg:   cfg,
-		prog:  p,
-		trace: trace,
+		cfg:  cfg,
+		prog: p,
 		rf: regfile.New(regfile.Config{
 			NumRegs: cfg.PhysRegs, GenBits: cfg.GenBits, RefBits: cfg.RefBits,
 			GeneralMode: cfg.Policy.GeneralReuse,
@@ -186,11 +198,16 @@ func New(cfg Config, p *prog.Program, trace []emu.TraceRec) *Pipeline {
 		rob:     make([]*uop, cfg.ROBSize),
 		rs:      make([]*uop, cfg.NumRS),
 		lsq:     make([]*uop, cfg.LSQSize),
+		fq:      make([]*uop, cfg.FetchQueue),
 		events:  make([][]event, eventHorizon),
+		uopFree: make([]*uop, 0, cfg.ROBSize+cfg.FetchQueue+1),
+		cand:    make([]*uop, 0, cfg.NumRS),
 		fetchPC: p.Entry,
 		onPath:  true,
 	}
+	pl.win.init(src, cfg.ROBSize+cfg.FetchQueue+8)
 	pl.integ = core.New(cfg.Policy, cfg.IT, cfg.LISP, pl.rf)
+	pl.prb = probe{pl}
 	pl.prod = make([]*uop, cfg.PhysRegs)
 	pl.archMem.LoadImage(p.DataBase, p.Data)
 
@@ -244,10 +261,70 @@ func (pl *Pipeline) Run() (*Stats, error) {
 		pl.step()
 	}
 	pl.Stats.Cycles = pl.now
+	pl.Stats.TraceWindowPeak = uint64(pl.win.peak)
+	if err := pl.win.err(); err != nil {
+		return nil, fmt.Errorf("pipeline: golden trace source failed: %w", err)
+	}
 	if err := pl.auditRegisters(); err != nil {
 		return nil, err
 	}
 	return &pl.Stats, nil
+}
+
+// newUop returns a zeroed uop, recycling from the free list. Steady-state
+// fetch allocates nothing: the pool is bounded by the in-flight window
+// (ROB + fetch queue).
+func (pl *Pipeline) newUop() *uop {
+	n := len(pl.uopFree)
+	if n == 0 {
+		return &uop{}
+	}
+	u := pl.uopFree[n-1]
+	pl.uopFree = pl.uopFree[:n-1]
+	*u = uop{}
+	return u
+}
+
+// freeUop returns a dead uop to the pool. Fields are cleared on reuse,
+// not here, so callers (e.g. squash recovery reading checkpoint
+// snapshots) may still read the carcass until the next newUop. Stale
+// completion events are fenced by the (seq, squashed) guard in
+// completeStage.
+func (pl *Pipeline) freeUop(u *uop) { pl.uopFree = append(pl.uopFree, u) }
+
+// fqPush appends a fetched uop; the ring is sized to cfg.FetchQueue and
+// callers check fqLen first.
+func (pl *Pipeline) fqPush(u *uop) {
+	pl.fq[(pl.fqHead+pl.fqLen)%len(pl.fq)] = u
+	pl.fqLen++
+}
+
+// fqPop removes and returns the oldest fetched uop.
+func (pl *Pipeline) fqPop() *uop {
+	u := pl.fq[pl.fqHead]
+	pl.fq[pl.fqHead] = nil
+	pl.fqHead = (pl.fqHead + 1) % len(pl.fq)
+	pl.fqLen--
+	return u
+}
+
+// fqDrain squashes and recycles every fetched-but-unrenamed uop,
+// returning the oldest (the squash recovery checkpoint), or nil when the
+// queue was empty.
+func (pl *Pipeline) fqDrain() *uop {
+	var oldest *uop
+	for i := 0; i < pl.fqLen; i++ {
+		pos := (pl.fqHead + i) % len(pl.fq)
+		v := pl.fq[pos]
+		pl.fq[pos] = nil
+		v.squashed = true
+		if oldest == nil {
+			oldest = v
+		}
+		pl.freeUop(v)
+	}
+	pl.fqLen = 0
+	return oldest
 }
 
 // step advances one cycle. Stages run back-to-front so that same-cycle
@@ -265,7 +342,10 @@ func (pl *Pipeline) step() {
 	pl.now++
 }
 
-// schedule registers a completion event.
+// schedule registers a completion event, stamping the uop's current
+// sequence number so stale events for recycled uops are discarded at
+// dispatch. Empty slots draw a reusable buffer from the pool instead of
+// growing a fresh slice, so steady state schedules allocation-free.
 func (pl *Pipeline) schedule(at uint64, ev event) {
 	if at <= pl.now {
 		at = pl.now + 1
@@ -273,8 +353,16 @@ func (pl *Pipeline) schedule(at uint64, ev event) {
 	if at-pl.now >= eventHorizon {
 		panic("pipeline: event beyond horizon")
 	}
+	ev.seq = ev.u.seq
 	slot := at % eventHorizon
-	pl.events[slot] = append(pl.events[slot], ev)
+	buf := pl.events[slot]
+	if buf == nil {
+		if n := len(pl.evFree); n > 0 {
+			buf = pl.evFree[n-1]
+			pl.evFree = pl.evFree[:n-1]
+		}
+	}
+	pl.events[slot] = append(buf, ev)
 }
 
 // auditRegisters verifies at halt that no physical registers leaked: once
@@ -296,9 +384,12 @@ func (pl *Pipeline) auditRegisters() error {
 // drainInFlight squashes everything still in flight (post-halt cleanup).
 func (pl *Pipeline) drainInFlight() {
 	for pl.robLen > 0 {
-		u := pl.rob[(pl.robHead+pl.robLen-1)%len(pl.rob)]
+		tail := (pl.robHead + pl.robLen - 1) % len(pl.rob)
+		u := pl.rob[tail]
 		pl.undoUop(u)
+		pl.rob[tail] = nil
 		pl.robLen--
+		pl.freeUop(u)
 	}
-	pl.fq = pl.fq[:0]
+	pl.fqDrain()
 }

@@ -39,7 +39,7 @@ func runWith(t *testing.T, p *prog.Program, trace []emu.TraceRec, pol core.Polic
 	t.Helper()
 	cfg := DefaultConfig()
 	cfg.Policy = pol
-	st, err := New(cfg, p, trace).Run()
+	st, err := New(cfg, p, emu.FromSlice(trace)).Run()
 	if err != nil {
 		t.Fatalf("run (%+v): %v", pol, err)
 	}

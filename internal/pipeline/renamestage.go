@@ -33,7 +33,7 @@ func (p probe) OracleValue() (uint64, bool) {
 	if u == nil || u.traceIdx < 0 {
 		return 0, false
 	}
-	return p.pl.trace[u.traceIdx].Value, true
+	return p.pl.win.at(int(u.traceIdx)).Value, true
 }
 
 // PregValue reports the eventual value of preg when determinable: either
@@ -44,7 +44,7 @@ func (p probe) PregValue(preg regfile.PReg) (uint64, bool) {
 		return p.pl.rf.Value(preg), true
 	}
 	if prod := p.pl.prod[preg]; prod != nil && prod.traceIdx >= 0 {
-		return p.pl.trace[prod.traceIdx].Value, true
+		return p.pl.win.at(int(prod.traceIdx)).Value, true
 	}
 	return 0, false
 }
@@ -65,10 +65,10 @@ func needsExecution(in isa.Instr) bool {
 // running the integration logic on each (the paper's critical loop).
 func (pl *Pipeline) renameStage() {
 	for n := 0; n < pl.cfg.RenameWidth; n++ {
-		if len(pl.fq) == 0 {
+		if pl.fqLen == 0 {
 			return
 		}
-		u := pl.fq[0]
+		u := pl.fq[pl.fqHead]
 		if u.renameReady > pl.now {
 			return
 		}
@@ -91,7 +91,7 @@ func (pl *Pipeline) renameStage() {
 			return
 		}
 
-		pl.fq = pl.fq[1:]
+		pl.fqPop()
 		pl.seqCounter++
 		u.seq = pl.seqCounter
 		pl.Stats.Renamed++
@@ -112,7 +112,7 @@ func (pl *Pipeline) renameStage() {
 		// Integration attempt (the paper's rename-stage logic).
 		pl.probeU = u
 		res, status, integrated := pl.integ.TryIntegrate(
-			u.in, u.pc, u.callDepth, u.seq, pl.front, probe{pl})
+			u.in, u.pc, u.callDepth, u.seq, pl.front, pl.prb)
 		pl.probeU = nil
 
 		switch {
@@ -208,7 +208,7 @@ func (pl *Pipeline) allocRS(u *uop) {
 // disagrees with the fetch-time prediction: drop the (younger) fetch
 // queue, repair history, and refetch.
 func (pl *Pipeline) renameRedirect(u *uop, target uint64) {
-	pl.fq = pl.fq[:0]
+	pl.fqDrain()
 	pl.pred.RestoreAfter(u.histSnap, u.resolvedTaken)
 	pl.ras.Restore(u.rasSnap) // conditional branches have no RAS effect
 	cursorAt := int64(-1)

@@ -28,7 +28,7 @@ func (pl *Pipeline) retireStage() {
 			panic(fmt.Sprintf("pipeline: retirement stream diverged at %d: uop trace %d pc %#x",
 				pl.Stats.Retired, u.traceIdx, u.pc))
 		}
-		rec := pl.trace[u.traceIdx]
+		rec := pl.win.at(int(u.traceIdx))
 		if rec.PC(pl.prog) != u.pc {
 			panic("pipeline: retiring PC does not match golden trace")
 		}
@@ -86,7 +86,10 @@ func (pl *Pipeline) retireStage() {
 			pl.popLSQHead(u)
 		}
 		pl.Stats.Retired++
-		if int(pl.Stats.Retired) == len(pl.trace) {
+		pl.win.release(int(pl.Stats.Retired))
+		pl.freeUop(u)
+		if !pl.win.has(int(pl.Stats.Retired)) {
+			// End of golden stream: the whole trace has retired.
 			pl.halted = true
 			return
 		}
@@ -118,7 +121,7 @@ const (
 
 // divaCheck compares the uop's committed effect against the golden trace.
 func (pl *Pipeline) divaCheck(u *uop) (bool, divaKind) {
-	rec := pl.trace[u.traceIdx]
+	rec := pl.win.at(int(u.traceIdx))
 	var bad bool
 	switch {
 	case u.isStore:
@@ -164,8 +167,9 @@ func (pl *Pipeline) handleDIVAFault(u *uop, kind divaKind) {
 		pl.cht.Train(u.pc)
 	}
 	pl.Stats.DIVAFlushes++
+	pc, cursorAt := u.pc, u.traceIdx // capture: the inclusive squash recycles u
 	pl.squashFrom(u, true)
-	pl.redirectFetch(u.pc, u.traceIdx)
+	pl.redirectFetch(pc, cursorAt)
 }
 
 // commitStore writes the store architecturally and charges the write

@@ -32,16 +32,11 @@ func (pl *Pipeline) undoUop(u *uop) {
 func (pl *Pipeline) squashFrom(u *uop, inclusive bool) {
 	pl.Stats.Squashes++
 
-	var oldest *uop
 	// The fetch queue holds only instructions younger than anything
-	// renamed; all of it goes.
-	if len(pl.fq) > 0 {
-		oldest = pl.fq[0]
-		for _, v := range pl.fq {
-			v.squashed = true
-		}
-		pl.fq = pl.fq[:0]
-	}
+	// renamed; all of it goes. Recycled carcasses keep their checkpoint
+	// snapshots readable until the next fetch, so restoring from oldest
+	// below stays valid.
+	oldest := pl.fqDrain()
 
 	for pl.robLen > 0 {
 		tail := (pl.robHead + pl.robLen - 1) % len(pl.rob)
@@ -55,6 +50,7 @@ func (pl *Pipeline) squashFrom(u *uop, inclusive bool) {
 		}
 		pl.rob[tail] = nil
 		pl.robLen--
+		pl.freeUop(v)
 		oldest = v
 		if v == u {
 			break

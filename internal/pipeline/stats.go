@@ -51,6 +51,12 @@ type Stats struct {
 	// Stalls.
 	RenameStallsResources uint64
 	FetchStallsICache     uint64
+
+	// Streaming: peak golden-trace records buffered by the sliding
+	// window. Bounded by the in-flight window (ROB + fetch queue), never
+	// by trace length — the machine-checkable form of "the stream is
+	// consumed incrementally".
+	TraceWindowPeak uint64
 }
 
 // IPC is retired instructions per cycle.

@@ -13,7 +13,7 @@ import (
 
 func runCfg(t *testing.T, p *prog.Program, trace []emu.TraceRec, cfg Config) *Stats {
 	t.Helper()
-	st, err := New(cfg, p, trace).Run()
+	st, err := New(cfg, p, emu.FromSlice(trace)).Run()
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -300,7 +300,7 @@ func TestManyRandomProgramsAllConfigs(t *testing.T) {
 			BranchFrac: rng.Float64() * 0.3,
 			Invariants: rng.Intn(3),
 		})
-		p, trace, err := b.Build()
+		bw, err := b.Build()
 		if err != nil {
 			t.Fatalf("prog %d: %v", i, err)
 		}
@@ -312,7 +312,7 @@ func TestManyRandomProgramsAllConfigs(t *testing.T) {
 				cfg.IssueWidth = 3
 				cfg.CombinedLS = true
 			}
-			if _, err := New(cfg, p, trace).Run(); err != nil {
+			if _, err := New(cfg, bw.Prog, bw.Source()).Run(); err != nil {
 				t.Fatalf("prog %d cfg %s: %v", i, name, err)
 			}
 		}

@@ -15,10 +15,11 @@ import (
 )
 
 // WorkloadSource supplies built workloads to the engine. Get memoizes
-// per name; BuildAll warms a name set with bounded parallelism.
-// workload.Builder is the standard implementation.
+// per name and returns a workload.Built whose Source method mints
+// independent golden-trace streams; BuildAll warms a name set with
+// bounded parallelism. workload.Builder is the standard implementation.
 type WorkloadSource interface {
-	Get(name string) (*prog.Program, []emu.TraceRec, error)
+	Get(name string) (workload.Built, error)
 	BuildAll(names []string, parallel int) error
 }
 
@@ -35,7 +36,7 @@ type Engine struct {
 
 	names    []string
 	src      WorkloadSource
-	simulate func(cfg pipeline.Config, p *prog.Program, trace []emu.TraceRec) (*pipeline.Stats, error)
+	simulate func(cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error)
 }
 
 // NewEngine creates an engine over the named workloads (nil means the
@@ -61,8 +62,8 @@ func NewEngineWith(names []string, src WorkloadSource) *Engine {
 		Parallel: runtime.NumCPU(),
 		names:    append([]string(nil), names...),
 		src:      src,
-		simulate: func(cfg pipeline.Config, p *prog.Program, trace []emu.TraceRec) (*pipeline.Stats, error) {
-			return pipeline.New(cfg, p, trace).Run()
+		simulate: func(cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error) {
+			return pipeline.New(cfg, p, src).Run()
 		},
 	}
 }
@@ -92,11 +93,11 @@ func (e *Engine) DynLen(name string) int {
 	if !e.has(name) {
 		return 0
 	}
-	_, trace, err := e.src.Get(name)
+	bw, err := e.src.Get(name)
 	if err != nil {
 		return 0
 	}
-	return len(trace)
+	return bw.DynLen
 }
 
 // Run simulates one workload under the given options, outside any spec.
@@ -107,17 +108,19 @@ func (e *Engine) Run(name string, o sim.Options) (*pipeline.Stats, error) {
 	return e.cell(name, Config{Label: o.Label(), Opt: o})
 }
 
-// cell executes one (workload, config) cell.
+// cell executes one (workload, config) cell. Each cell mints its own
+// trace source, so concurrent cells over the same workload stream
+// independently at O(ROB) memory apiece.
 func (e *Engine) cell(bench string, c Config) (*pipeline.Stats, error) {
 	cfg, err := c.Opt.Config()
 	if err != nil {
 		return nil, err
 	}
-	p, trace, err := e.src.Get(bench)
+	bw, err := e.src.Get(bench)
 	if err != nil {
 		return nil, err
 	}
-	return e.simulate(cfg, p, trace)
+	return e.simulate(cfg, bw.Prog, bw.Source())
 }
 
 // prep normalizes a private copy of the spec so ad-hoc specs get the

@@ -20,12 +20,12 @@ import (
 // program carrying its name, and buildCount records how often each name
 // was actually built (memoization should pin this at one).
 func testSource(counts *sync.Map) *workload.Builder {
-	return workload.NewBuilderFunc(func(name string) (*prog.Program, []emu.TraceRec, error) {
+	return workload.NewBuilderFunc(func(name string) (workload.Built, error) {
 		if v, _ := counts.LoadOrStore(name, new(int64)); true {
 			atomic.AddInt64(v.(*int64), 1)
 		}
 		time.Sleep(time.Millisecond) // widen the double-build race window
-		return &prog.Program{Name: name}, make([]emu.TraceRec, 100), nil
+		return workload.BuiltFromTrace(&prog.Program{Name: name}, make([]emu.TraceRec, 100)), nil
 	})
 }
 
@@ -34,7 +34,7 @@ func testSource(counts *sync.Map) *workload.Builder {
 // received the right cell regardless of completion order.
 func testEngine(names []string, counts *sync.Map) *Engine {
 	e := NewEngineWith(names, testSource(counts))
-	e.simulate = func(cfg pipeline.Config, p *prog.Program, trace []emu.TraceRec) (*pipeline.Stats, error) {
+	e.simulate = func(cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error) {
 		// Finish later cells sooner to scramble completion order.
 		time.Sleep(time.Duration(5000/cfg.IT.Entries) * time.Microsecond)
 		return &pipeline.Stats{Retired: cellTag(p.Name, cfg.IT.Entries)}, nil
@@ -187,7 +187,7 @@ func TestWorkerPoolBound(t *testing.T) {
 	e.Parallel = 3
 
 	var inflight, peak int64
-	e.simulate = func(cfg pipeline.Config, p *prog.Program, trace []emu.TraceRec) (*pipeline.Stats, error) {
+	e.simulate = func(cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error) {
 		n := atomic.AddInt64(&inflight, 1)
 		for {
 			old := atomic.LoadInt64(&peak)
@@ -249,7 +249,7 @@ func TestDeterministicCollectorOrdering(t *testing.T) {
 func TestStreamErrorPropagation(t *testing.T) {
 	var counts sync.Map
 	e := testEngine([]string{"a", "b"}, &counts)
-	e.simulate = func(cfg pipeline.Config, p *prog.Program, trace []emu.TraceRec) (*pipeline.Stats, error) {
+	e.simulate = func(cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error) {
 		if p.Name == "b" && cfg.IT.Entries == 128 {
 			return nil, fmt.Errorf("boom")
 		}
@@ -267,7 +267,7 @@ func TestStreamAbortsSchedulingOnError(t *testing.T) {
 	e := testEngine([]string{"a"}, &counts)
 	e.Parallel = 1
 	var simulated int64
-	e.simulate = func(cfg pipeline.Config, p *prog.Program, trace []emu.TraceRec) (*pipeline.Stats, error) {
+	e.simulate = func(cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error) {
 		atomic.AddInt64(&simulated, 1)
 		if cfg.IT.Entries == 64 { // the very first cell fails
 			return nil, fmt.Errorf("boom")

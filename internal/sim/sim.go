@@ -205,16 +205,19 @@ func (o Options) Config() (pipeline.Config, error) {
 	return cfg, nil
 }
 
-// Run simulates the program under the options and returns its stats.
-func Run(p *prog.Program, trace []emu.TraceRec, o Options) (*pipeline.Stats, error) {
+// Run simulates the program under the options, consuming the golden
+// trace source incrementally, and returns its stats. Sources are
+// single-consumer: mint a fresh one (workload.Built.Source, emu.Stream)
+// or Rewind between runs.
+func Run(p *prog.Program, src emu.TraceSource, o Options) (*pipeline.Stats, error) {
 	cfg, err := o.Config()
 	if err != nil {
 		return nil, err
 	}
-	return pipeline.New(cfg, p, trace).Run()
+	return pipeline.New(cfg, p, src).Run()
 }
 
 // RunConfig simulates with an explicit pipeline configuration.
-func RunConfig(p *prog.Program, trace []emu.TraceRec, cfg pipeline.Config) (*pipeline.Stats, error) {
-	return pipeline.New(cfg, p, trace).Run()
+func RunConfig(p *prog.Program, src emu.TraceSource, cfg pipeline.Config) (*pipeline.Stats, error) {
+	return pipeline.New(cfg, p, src).Run()
 }

@@ -95,23 +95,24 @@ func TestPerfectMemoryOption(t *testing.T) {
 
 func TestRunEndToEnd(t *testing.T) {
 	b := workload.Synth(workload.SynthParams{Seed: 99, Iters: 300, CallEvery: 4, MemFrac: 0.2})
-	p, trace, err := b.Build()
+	bw, err := b.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := Run(p, trace, Options{Integration: IntReverse})
+	p := bw.Prog
+	st, err := Run(p, bw.Source(), Options{Integration: IntReverse})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Retired != uint64(len(trace)) {
-		t.Errorf("retired %d != %d", st.Retired, len(trace))
+	if st.Retired != uint64(bw.DynLen) {
+		t.Errorf("retired %d != %d", st.Retired, bw.DynLen)
 	}
 	if st.IntegratedReverse == 0 {
 		t.Error("call-dense synth workload produced no reverse integrations")
 	}
 	// Perfect memory must never be slower than the real hierarchy.
 	real := st
-	perf, err := Run(p, trace, Options{Integration: IntReverse, PerfectMemory: true})
+	perf, err := Run(p, bw.Source(), Options{Integration: IntReverse, PerfectMemory: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 	// RunConfig path.
 	cfg, _ := Options{}.Config()
-	if _, err := RunConfig(p, trace, cfg); err != nil {
+	if _, err := RunConfig(p, bw.Source(), cfg); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -9,22 +9,53 @@ import (
 	"rix/internal/prog"
 )
 
-// Built pairs an assembled program with its golden trace.
+// Built pairs an assembled program with a factory for independent golden
+// trace sources. Holding a Built costs O(program) memory, not O(trace):
+// each Source call mints a fresh stream, so concurrent simulations of the
+// same workload each get their own cursor.
 type Built struct {
-	Prog  *prog.Program
-	Trace []emu.TraceRec
+	Prog   *prog.Program
+	DynLen int // validated dynamic instruction count
+
+	open func() emu.TraceSource
+}
+
+// Source returns a fresh, independent golden trace source positioned at
+// the first instruction. Every caller gets its own cursor.
+func (b Built) Source() emu.TraceSource {
+	if b.open == nil {
+		return emu.FromSlice(nil)
+	}
+	return b.open()
+}
+
+// Materialize drains one source into a slice sized from the dynamic
+// length hint — the adapter for tests and small traces.
+func (b Built) Materialize() ([]emu.TraceRec, error) {
+	return emu.Materialize(b.Source())
+}
+
+// BuiltFromTrace wraps an already-materialized trace as a Built; sources
+// minted from it replay the slice.
+func BuiltFromTrace(p *prog.Program, recs []emu.TraceRec) Built {
+	return Built{
+		Prog:   p,
+		DynLen: len(recs),
+		open:   func() emu.TraceSource { return emu.FromSlice(recs) },
+	}
 }
 
 // BuildFunc produces a built workload by name. The default implementation
-// assembles the registered benchmark and generates its golden trace.
-type BuildFunc func(name string) (*prog.Program, []emu.TraceRec, error)
+// assembles the registered benchmark and validates it with one streaming
+// pass.
+type BuildFunc func(name string) (Built, error)
 
 // RegistryBuild is the default BuildFunc: it looks the benchmark up in the
 // package registry and builds it.
-func RegistryBuild(name string) (*prog.Program, []emu.TraceRec, error) {
+func RegistryBuild(name string) (Built, error) {
 	b, ok := ByName(name)
 	if !ok {
-		return nil, nil, fmt.Errorf("workload: unknown benchmark %q", name)
+		return Built{}, fmt.Errorf("workload: unknown benchmark %q", name)
 	}
 	return b.Build()
 }
@@ -33,14 +64,14 @@ func RegistryBuild(name string) (*prog.Program, []emu.TraceRec, error) {
 // runs exactly once even when many goroutines request the same name.
 type slot struct {
 	once  sync.Once
-	prog  *prog.Program
-	trace []emu.TraceRec
+	built Built
 	err   error
 }
 
 // Builder builds workloads on demand, memoizing each result. It is safe
 // for concurrent use: concurrent requests for the same name share one
-// build, and BuildAll fans distinct names out across CPUs.
+// build, and BuildAll fans distinct names out across CPUs. Memoization
+// holds programs and validation metadata only; golden traces stream.
 type Builder struct {
 	build BuildFunc
 
@@ -69,10 +100,10 @@ func (b *Builder) slotFor(name string) *slot {
 }
 
 // Get returns the built workload, building it on first use.
-func (b *Builder) Get(name string) (*prog.Program, []emu.TraceRec, error) {
+func (b *Builder) Get(name string) (Built, error) {
 	s := b.slotFor(name)
-	s.once.Do(func() { s.prog, s.trace, s.err = b.build(name) })
-	return s.prog, s.trace, s.err
+	s.once.Do(func() { s.built, s.err = b.build(name) })
+	return s.built, s.err
 }
 
 // BuildAll builds the named workloads with at most parallel concurrent
@@ -91,7 +122,7 @@ func (b *Builder) BuildAll(names []string, parallel int) error {
 		go func(i int, n string) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			_, _, errs[i] = b.Get(n)
+			_, errs[i] = b.Get(n)
 		}(i, n)
 	}
 	wg.Wait()

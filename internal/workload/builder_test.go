@@ -13,18 +13,18 @@ import (
 
 func TestBuilderMemoizesConcurrentGets(t *testing.T) {
 	var builds int64
-	b := NewBuilderFunc(func(name string) (*prog.Program, []emu.TraceRec, error) {
+	b := NewBuilderFunc(func(name string) (Built, error) {
 		atomic.AddInt64(&builds, 1)
-		return &prog.Program{Name: name}, make([]emu.TraceRec, 7), nil
+		return BuiltFromTrace(&prog.Program{Name: name}, make([]emu.TraceRec, 7)), nil
 	})
 	var wg sync.WaitGroup
 	for i := 0; i < 16; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			p, trace, err := b.Get("x")
-			if err != nil || p.Name != "x" || len(trace) != 7 {
-				t.Errorf("Get: %v %v %d", p, err, len(trace))
+			bw, err := b.Get("x")
+			if err != nil || bw.Prog.Name != "x" || bw.DynLen != 7 {
+				t.Errorf("Get: %+v %v", bw, err)
 			}
 		}()
 	}
@@ -41,23 +41,41 @@ func TestBuilderMemoizesConcurrentGets(t *testing.T) {
 }
 
 func TestBuilderPropagatesErrors(t *testing.T) {
-	b := NewBuilderFunc(func(name string) (*prog.Program, []emu.TraceRec, error) {
+	b := NewBuilderFunc(func(name string) (Built, error) {
 		if name == "bad" {
-			return nil, nil, fmt.Errorf("no such thing")
+			return Built{}, fmt.Errorf("no such thing")
 		}
-		return &prog.Program{Name: name}, nil, nil
+		return BuiltFromTrace(&prog.Program{Name: name}, nil), nil
 	})
 	err := b.BuildAll([]string{"ok", "bad"}, 4)
 	if err == nil || !strings.Contains(err.Error(), "bad") {
 		t.Errorf("BuildAll error = %v", err)
 	}
-	if _, _, err := b.Get("bad"); err == nil {
+	if _, err := b.Get("bad"); err == nil {
 		t.Error("memoized error lost")
 	}
 }
 
 func TestRegistryBuildUnknown(t *testing.T) {
-	if _, _, err := RegistryBuild("not-a-benchmark"); err == nil {
+	if _, err := RegistryBuild("not-a-benchmark"); err == nil {
 		t.Error("unknown benchmark accepted")
+	}
+}
+
+// TestBuiltSourcesAreIndependent verifies that every Source call gets its
+// own cursor — the property concurrent simulation cells rely on.
+func TestBuiltSourcesAreIndependent(t *testing.T) {
+	recs := []emu.TraceRec{{CodeIdx: 0}, {CodeIdx: 1}, {CodeIdx: 2}}
+	bw := BuiltFromTrace(&prog.Program{Name: "t"}, recs)
+	s1, s2 := bw.Source(), bw.Source()
+	r1, _ := s1.Next()
+	r2, _ := s1.Next()
+	q1, _ := s2.Next()
+	if r1.CodeIdx != 0 || r2.CodeIdx != 1 || q1.CodeIdx != 0 {
+		t.Errorf("sources share a cursor: %d %d %d", r1.CodeIdx, r2.CodeIdx, q1.CodeIdx)
+	}
+	got, err := bw.Materialize()
+	if err != nil || len(got) != 3 {
+		t.Errorf("Materialize: %d records, err %v", len(got), err)
 	}
 }

@@ -25,7 +25,7 @@ func TestSynthBuildsAndHalts(t *testing.T) {
 			CallEvery: int(seed % 4), MemFrac: 0.25, BranchFrac: 0.2,
 			Invariants: int(seed % 3),
 		})
-		if _, _, err := b.Build(); err != nil {
+		if _, err := b.Build(); err != nil {
 			t.Errorf("seed %d: %v", seed, err)
 		}
 	}
@@ -34,7 +34,7 @@ func TestSynthBuildsAndHalts(t *testing.T) {
 func TestSynthCallDensity(t *testing.T) {
 	count := func(callEvery int) float64 {
 		b := Synth(SynthParams{Seed: 3, Iters: 100, BodyOps: 12, CallEvery: callEvery})
-		p, trace, err := b.Build()
+		p, trace, err := b.BuildMaterialized()
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +59,7 @@ func TestSynthCallDensity(t *testing.T) {
 
 func TestSynthMemFraction(t *testing.T) {
 	b := Synth(SynthParams{Seed: 5, Iters: 80, BodyOps: 16, MemFrac: 0.5})
-	p, trace, err := b.Build()
+	p, trace, err := b.BuildMaterialized()
 	if err != nil {
 		t.Fatal(err)
 	}

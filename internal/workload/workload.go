@@ -77,19 +77,54 @@ func ByName(name string) (Benchmark, bool) {
 // well within it.
 const MaxInstrs = 1 << 24
 
-// Build assembles the benchmark and produces its golden trace.
-func (b Benchmark) Build() (*prog.Program, []emu.TraceRec, error) {
+// Build assembles the benchmark and validates it with one streaming
+// emulation pass (halts within budget, self-check exit 0) without
+// materializing the trace. The returned Built mints independent golden
+// trace sources on demand; Materialize is the adapter for consumers that
+// still want the full slice.
+func (b Benchmark) Build() (Built, error) {
 	p, err := asm.Assemble(b.Name+".s", b.Source)
 	if err != nil {
-		return nil, nil, fmt.Errorf("workload %s: %w", b.Name, err)
+		return Built{}, fmt.Errorf("workload %s: %w", b.Name, err)
 	}
 	p.Name = b.Name
-	trace, e, err := emu.Trace(p, MaxInstrs)
-	if err != nil {
-		return nil, nil, fmt.Errorf("workload %s: %w", b.Name, err)
+	// Eager validation: drain one stream at O(1) memory.
+	s := emu.Stream(p, MaxInstrs)
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
 	}
+	if err := s.Err(); err != nil {
+		return Built{}, fmt.Errorf("workload %s: %w", b.Name, err)
+	}
+	e := s.Emulator()
 	if e.ExitCode != 0 {
-		return nil, nil, fmt.Errorf("workload %s: exit code %d (self-check failed)", b.Name, e.ExitCode)
+		return Built{}, fmt.Errorf("workload %s: exit code %d (self-check failed)", b.Name, e.ExitCode)
 	}
-	return p, trace, nil
+	n := int(e.Count)
+	return Built{
+		Prog:   p,
+		DynLen: n,
+		open: func() emu.TraceSource {
+			src := emu.Stream(p, MaxInstrs)
+			src.SetSizeHint(n)
+			return src
+		},
+	}, nil
+}
+
+// BuildMaterialized assembles the benchmark and returns its fully
+// materialized golden trace — the pre-streaming contract, kept for tests
+// and small traces.
+func (b Benchmark) BuildMaterialized() (*prog.Program, []emu.TraceRec, error) {
+	bw, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	trace, err := bw.Materialize()
+	if err != nil {
+		return nil, nil, err
+	}
+	return bw.Prog, trace, nil
 }

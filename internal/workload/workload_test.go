@@ -14,18 +14,18 @@ func TestAllBenchmarksBuild(t *testing.T) {
 	for _, b := range All() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			p, trace, err := b.Build()
+			bw, err := b.Build()
 			if err != nil {
 				t.Fatal(err)
 			}
-			n := len(trace)
+			n := bw.DynLen
 			if n < 40_000 {
 				t.Errorf("%s: only %d dynamic instructions (too short to measure)", b.Name, n)
 			}
 			if n > 2_000_000 {
 				t.Errorf("%s: %d dynamic instructions (too long for the harness)", b.Name, n)
 			}
-			if err := p.Validate(); err != nil {
+			if err := bw.Prog.Validate(); err != nil {
 				t.Errorf("%s: %v", b.Name, err)
 			}
 		})
@@ -38,12 +38,18 @@ func TestBenchmarkMixes(t *testing.T) {
 	for _, b := range All() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			p, trace, err := b.Build()
+			bw, err := b.Build()
 			if err != nil {
 				t.Fatal(err)
 			}
+			p := bw.Prog
 			var calls, loads, stores, branches uint64
-			for _, r := range trace {
+			src := bw.Source()
+			for {
+				r, ok := src.Next()
+				if !ok {
+					break
+				}
 				in := p.Code[r.CodeIdx]
 				switch {
 				case in.Op.IsCall():
@@ -56,7 +62,10 @@ func TestBenchmarkMixes(t *testing.T) {
 					branches++
 				}
 			}
-			n := uint64(len(trace))
+			if err := src.Err(); err != nil {
+				t.Fatal(err)
+			}
+			n := uint64(bw.DynLen)
 			callRate := float64(calls) / float64(n)
 			memRate := float64(loads+stores) / float64(n)
 			switch b.Class {
@@ -116,7 +125,7 @@ func TestStackDiscipline(t *testing.T) {
 		}
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
-			p, trace, err := b.Build()
+			p, trace, err := b.BuildMaterialized()
 			if err != nil {
 				t.Fatal(err)
 			}
