@@ -16,6 +16,7 @@ import (
 	"rix/internal/pipeline"
 	"rix/internal/prog"
 	"rix/internal/regfile"
+	"rix/internal/sample"
 	"rix/internal/sim"
 	"rix/internal/stats"
 	"rix/internal/workload"
@@ -90,15 +91,19 @@ func BenchmarkPipeline(b *testing.B) {
 					b.Fatal(err)
 				}
 				b.ResetTimer()
-				var retired uint64
+				var retired, peak uint64
 				for i := 0; i < b.N; i++ {
 					st, err := pipeline.New(cfg, p, emu.FromSlice(trace)).Run()
 					if err != nil {
 						b.Fatal(err)
 					}
 					retired += st.Retired
+					if st.TraceWindowPeak > peak {
+						peak = st.TraceWindowPeak
+					}
 				}
 				b.ReportMetric(float64(retired)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+				b.ReportMetric(float64(peak), "trace-peak")
 			})
 		}
 	}
@@ -118,15 +123,46 @@ func BenchmarkPipelineStreaming(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
-	var retired uint64
+	var retired, peak uint64
 	for i := 0; i < b.N; i++ {
 		st, err := pipeline.New(cfg, bw.Prog, bw.Source()).Run()
 		if err != nil {
 			b.Fatal(err)
 		}
 		retired += st.Retired
+		if st.TraceWindowPeak > peak {
+			peak = st.TraceWindowPeak
+		}
 	}
 	b.ReportMetric(float64(retired)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+	b.ReportMetric(float64(peak), "trace-peak")
+}
+
+// BenchmarkPipelineSampled measures the interval-sampling engine
+// end-to-end (functional fast-forward with warming + detailed windows)
+// on the configuration rixbench -sample runs. Minstr/s counts every
+// program instruction covered, not just the detailed ones, so the
+// number is directly comparable to BenchmarkPipelineStreaming.
+func BenchmarkPipelineSampled(b *testing.B) {
+	bench, _ := workload.ByName("gzip")
+	bw, err := bench.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := sim.Options{Integration: sim.IntReverse}.Config()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var covered uint64
+	for i := 0; i < b.N; i++ {
+		est, err := sample.Run(bw.Prog, bw.DynLen, cfg, sample.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		covered += est.TotalInstrs
+	}
+	b.ReportMetric(float64(covered)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 }
 
 // BenchmarkEmulator measures functional-emulation throughput.

@@ -3,15 +3,22 @@
 // against a checked-in baseline.
 //
 // The JSON records, per benchmark: simulated-instruction throughput
-// (Minstr/s, when the benchmark reports it), ns/op, B/op and allocs/op.
-// The gate fails (exit 1) when any benchmark present in both files loses
-// more than -tolerance of its baseline Minstr/s.
+// (Minstr/s, when the benchmark reports it), ns/op, B/op, allocs/op,
+// and the peak golden-trace window occupancy (trace-peak, when the
+// benchmark reports it). The gate fails (exit 1) when any benchmark
+// present in both files:
+//
+//   - loses more than -tolerance of its baseline Minstr/s,
+//   - grows allocs/op past baseline×(1+-alloc-tolerance) plus a small
+//     absolute slack (the zero-allocation hot loop must stay that way), or
+//   - grows trace-peak past baseline×(1+-peak-tolerance) (the O(ROB)
+//     streaming bound must not quietly become O(trace)).
 //
 // Usage:
 //
 //	go test -bench 'Pipeline|IntegrationTable|Regfile' -benchmem -run '^$' | \
 //	    benchgate -out BENCH_pipeline.json -baseline ci/bench_baseline.json
-//	benchgate -in bench.txt -out ci/bench_baseline.json        # refresh baseline
+//	benchgate -in bench.txt -baseline ci/bench_baseline.json -update   # refresh baseline
 package main
 
 import (
@@ -34,6 +41,10 @@ type Result struct {
 	MinstrS  float64 `json:"minstr_s,omitempty"`
 	BOp      float64 `json:"b_op,omitempty"`
 	AllocsOp float64 `json:"allocs_op,omitempty"`
+	// TracePeak is the peak golden-trace window occupancy
+	// (pipeline.Stats.TraceWindowPeak) the benchmark observed — the
+	// machine-checkable form of the O(ROB) streaming guarantee.
+	TracePeak float64 `json:"trace_peak,omitempty"`
 }
 
 // File is the BENCH_pipeline.json envelope.
@@ -76,6 +87,8 @@ func parse(r io.Reader) ([]Result, error) {
 				res.BOp = v
 			case "allocs/op":
 				res.AllocsOp = v
+			case "trace-peak":
+				res.TracePeak = v
 			}
 		}
 		out = append(out, res)
@@ -100,23 +113,48 @@ func write(path string, f File) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// gate compares Minstr/s against the baseline; every benchmark that both
-// files measure must stay within tolerance of its baseline throughput.
-func gate(cur, base File, tolerance float64) (failures []string) {
+// tolerances bundles the per-metric gate thresholds.
+type tolerances struct {
+	MinstrS float64 // allowed fractional Minstr/s loss
+	Allocs  float64 // allowed fractional allocs/op growth
+	Peak    float64 // allowed fractional trace-peak growth
+}
+
+// allocSlack is the absolute allocs/op headroom under the relative
+// ceiling, so near-zero baselines (the zero-allocation hot loop) do not
+// flake on a couple of one-off allocations.
+const allocSlack = 16
+
+// gate compares every benchmark both files measure against the baseline:
+// Minstr/s must not fall below its floor, allocs/op and trace-peak must
+// not grow past their ceilings.
+func gate(cur, base File, tol tolerances) (failures []string) {
 	baseBy := map[string]Result{}
 	for _, b := range base.Benchmarks {
 		baseBy[b.Name] = b
 	}
 	for _, c := range cur.Benchmarks {
 		b, ok := baseBy[c.Name]
-		if !ok || b.MinstrS == 0 || c.MinstrS == 0 {
+		if !ok {
 			continue
 		}
-		floor := b.MinstrS * (1 - tolerance)
-		if c.MinstrS < floor {
+		if b.MinstrS > 0 && c.MinstrS > 0 {
+			floor := b.MinstrS * (1 - tol.MinstrS)
+			if c.MinstrS < floor {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.4f Minstr/s is %.1f%% below baseline %.4f (floor %.4f)",
+					c.Name, c.MinstrS, 100*(1-c.MinstrS/b.MinstrS), b.MinstrS, floor))
+			}
+		}
+		if ceil := b.AllocsOp*(1+tol.Allocs) + allocSlack; c.AllocsOp > ceil {
 			failures = append(failures, fmt.Sprintf(
-				"%s: %.4f Minstr/s is %.1f%% below baseline %.4f (floor %.4f)",
-				c.Name, c.MinstrS, 100*(1-c.MinstrS/b.MinstrS), b.MinstrS, floor))
+				"%s: %.0f allocs/op exceeds baseline %.0f (ceiling %.0f)",
+				c.Name, c.AllocsOp, b.AllocsOp, ceil))
+		}
+		if b.TracePeak > 0 && c.TracePeak > b.TracePeak*(1+tol.Peak) {
+			failures = append(failures, fmt.Sprintf(
+				"%s: trace-peak %.0f exceeds baseline %.0f (ceiling %.0f): streaming window no longer O(ROB)?",
+				c.Name, c.TracePeak, b.TracePeak, b.TracePeak*(1+tol.Peak)))
 		}
 	}
 	return failures
@@ -127,6 +165,10 @@ func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "JSON artifact to write")
 	baseline := flag.String("baseline", "", "baseline JSON to gate against (no gate when empty)")
 	tolerance := flag.Float64("tolerance", 0.15, "allowed fractional Minstr/s regression")
+	allocTol := flag.Float64("alloc-tolerance", 0.10, "allowed fractional allocs/op growth")
+	peakTol := flag.Float64("peak-tolerance", 0.10, "allowed fractional trace-peak growth")
+	update := flag.Bool("update", false,
+		"rewrite the -baseline file from the current results instead of gating")
 	flag.Parse()
 
 	src := io.Reader(os.Stdin)
@@ -152,19 +194,33 @@ func main() {
 	fmt.Printf("benchgate: wrote %s (%d benchmarks)\n", *out, len(results))
 
 	if *baseline == "" {
+		if *update {
+			fatal(fmt.Errorf("-update requires -baseline"))
+		}
+		return
+	}
+	if *update {
+		// Intentional perf change: the new numbers become the baseline,
+		// ending the era of hand-edited baseline bumps.
+		if err := write(*baseline, cur); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchgate: baseline %s updated (%d benchmarks)\n", *baseline, len(results))
 		return
 	}
 	base, err := load(*baseline)
 	if err != nil {
 		fatal(fmt.Errorf("load baseline: %w", err))
 	}
-	if failures := gate(cur, base, *tolerance); len(failures) > 0 {
+	tol := tolerances{MinstrS: *tolerance, Allocs: *allocTol, Peak: *peakTol}
+	if failures := gate(cur, base, tol); len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "benchgate: REGRESSION:", f)
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: within %.0f%% of baseline %s\n", 100**tolerance, *baseline)
+	fmt.Printf("benchgate: within tolerance of baseline %s (Minstr/s %.0f%%, allocs %.0f%%, trace-peak %.0f%%)\n",
+		*baseline, 100**tolerance, 100**allocTol, 100**peakTol)
 }
 
 func fatal(err error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -9,8 +10,8 @@ const sample = `goos: linux
 goarch: amd64
 pkg: rix
 cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
-BenchmarkPipeline/gzip/none-8         	       3	 242527688 ns/op	         0.9675 Minstr/s	 3463296 B/op	    4169 allocs/op
-BenchmarkPipeline/gzip/+reverse-8     	       3	 261206425 ns/op	         0.8983 Minstr/s	 3463296 B/op	    4169 allocs/op
+BenchmarkPipeline/gzip/none-8         	       3	 242527688 ns/op	         0.9675 Minstr/s	       152.0 trace-peak	 3463296 B/op	    4169 allocs/op
+BenchmarkPipeline/gzip/+reverse-8     	       3	 261206425 ns/op	         0.8983 Minstr/s	       160.0 trace-peak	 3463296 B/op	    4169 allocs/op
 BenchmarkRegfile-8                    	  203942	      5967 ns/op	    8320 B/op	       4 allocs/op
 PASS
 ok  	rix	4.939s
@@ -25,19 +26,22 @@ func TestParse(t *testing.T) {
 		t.Fatalf("parsed %d results, want 3", len(results))
 	}
 	p := results[0]
-	if p.Name != "Pipeline/gzip/none" || p.MinstrS != 0.9675 || p.AllocsOp != 4169 || p.NsOp != 242527688 {
+	if p.Name != "Pipeline/gzip/none" || p.MinstrS != 0.9675 || p.AllocsOp != 4169 ||
+		p.NsOp != 242527688 || p.TracePeak != 152 {
 		t.Errorf("first result: %+v", p)
 	}
-	if r := results[2]; r.Name != "Regfile" || r.MinstrS != 0 || r.AllocsOp != 4 {
+	if r := results[2]; r.Name != "Regfile" || r.MinstrS != 0 || r.AllocsOp != 4 || r.TracePeak != 0 {
 		t.Errorf("regfile result: %+v", r)
 	}
 }
 
-func TestGate(t *testing.T) {
+var defaultTol = tolerances{MinstrS: 0.15, Allocs: 0.10, Peak: 0.10}
+
+func TestGateMinstr(t *testing.T) {
 	base := File{Benchmarks: []Result{
 		{Name: "Pipeline/gzip/none", MinstrS: 1.0},
 		{Name: "Pipeline/gzip/+reverse", MinstrS: 1.0},
-		{Name: "Regfile", NsOp: 100}, // no Minstr/s: never gated
+		{Name: "Regfile", NsOp: 100}, // no Minstr/s: never throughput-gated
 	}}
 	cur := File{Benchmarks: []Result{
 		{Name: "Pipeline/gzip/none", MinstrS: 0.86},     // within 15%
@@ -45,11 +49,86 @@ func TestGate(t *testing.T) {
 		{Name: "Regfile", NsOp: 500},
 		{Name: "NewBench", MinstrS: 0.1}, // not in baseline: ignored
 	}}
-	failures := gate(cur, base, 0.15)
+	failures := gate(cur, base, defaultTol)
 	if len(failures) != 1 || !strings.Contains(failures[0], "+reverse") {
 		t.Errorf("failures = %v, want exactly the +reverse regression", failures)
 	}
-	if got := gate(cur, base, 0.25); len(got) != 0 {
+	tol := defaultTol
+	tol.MinstrS = 0.25
+	if got := gate(cur, base, tol); len(got) != 0 {
 		t.Errorf("25%% tolerance should pass, got %v", got)
+	}
+}
+
+func TestGateAllocs(t *testing.T) {
+	base := File{Benchmarks: []Result{
+		{Name: "Pipeline/gzip/none", MinstrS: 1.0, AllocsOp: 4000},
+		{Name: "Regfile", AllocsOp: 3},
+	}}
+	// Within relative tolerance: passes.
+	cur := File{Benchmarks: []Result{
+		{Name: "Pipeline/gzip/none", MinstrS: 1.0, AllocsOp: 4300},
+		{Name: "Regfile", AllocsOp: 5}, // tiny absolute growth under slack
+	}}
+	if got := gate(cur, base, defaultTol); len(got) != 0 {
+		t.Errorf("within-tolerance allocs should pass, got %v", got)
+	}
+	// Past the ceiling: fails.
+	cur.Benchmarks[0].AllocsOp = 5000
+	failures := gate(cur, base, defaultTol)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/op") {
+		t.Errorf("failures = %v, want the allocs regression", failures)
+	}
+	// A zero-alloc baseline exploding past the absolute slack: fails.
+	base.Benchmarks[1].AllocsOp = 0
+	cur.Benchmarks[0].AllocsOp = 4000
+	cur.Benchmarks[1].AllocsOp = 100
+	failures = gate(cur, base, defaultTol)
+	if len(failures) != 1 || !strings.Contains(failures[0], "Regfile") {
+		t.Errorf("failures = %v, want the Regfile alloc explosion", failures)
+	}
+}
+
+func TestGateTracePeak(t *testing.T) {
+	base := File{Benchmarks: []Result{
+		{Name: "PipelineStreaming", MinstrS: 1.0, TracePeak: 150},
+		{Name: "Regfile"}, // no peak: never peak-gated
+	}}
+	cur := File{Benchmarks: []Result{
+		{Name: "PipelineStreaming", MinstrS: 1.0, TracePeak: 160},
+		{Name: "Regfile"},
+	}}
+	if got := gate(cur, base, defaultTol); len(got) != 0 {
+		t.Errorf("within-tolerance peak should pass, got %v", got)
+	}
+	cur.Benchmarks[0].TracePeak = 4000 // window grew to O(trace): fails
+	failures := gate(cur, base, defaultTol)
+	if len(failures) != 1 || !strings.Contains(failures[0], "trace-peak") {
+		t.Errorf("failures = %v, want the trace-peak regression", failures)
+	}
+}
+
+// TestUpdateRoundTrip exercises the -update flow's write/load pair: the
+// written baseline reads back identically, so refreshes are mechanical.
+func TestUpdateRoundTrip(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := write(path, File{Benchmarks: results}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != len(results) {
+		t.Fatalf("round-trip lost benchmarks: %d != %d", len(back.Benchmarks), len(results))
+	}
+	for i := range results {
+		if back.Benchmarks[i] != results[i] {
+			t.Errorf("benchmark %d: %+v != %+v", i, back.Benchmarks[i], results[i])
+		}
 	}
 }

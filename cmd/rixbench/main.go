@@ -14,6 +14,8 @@
 //	rixbench -suite all
 //	rixbench -suite fig4 -bench gzip,crafty -csv
 //	rixbench -suite all -json       # machine-readable results
+//	rixbench -suite all -sample default         # interval-sampled matrix (fast)
+//	rixbench -suite fig4 -sample 16000/600/300  # explicit interval/window/warmup
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 
 	_ "rix/internal/experiments" // registers the paper's specs
 	"rix/internal/runner"
+	"rix/internal/sim"
 	"rix/internal/stats"
 )
 
@@ -49,7 +52,18 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	list := flag.Bool("list", false, "list registered specs and exit")
 	parallel := flag.Int("j", 0, "max parallel simulations (default: NumCPU)")
+	sampleSpec := flag.String("sample", "",
+		"run interval-sampled variants of the selected specs: 'default' or interval/window[/warmup]")
 	flag.Parse()
+
+	var sampling *sim.Sampling
+	if *sampleSpec != "" {
+		sp, err := sim.ParseSampling(*sampleSpec)
+		if err != nil {
+			fatal(err)
+		}
+		sampling = &sp
+	}
 
 	if *list {
 		for _, s := range runner.Specs() {
@@ -81,7 +95,22 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("unknown suite %q (registered: %s)", id, strings.Join(runner.IDs(), ", ")))
 		}
-		tables, err := engine.RunSpec(id)
+		var tables []*stats.Table
+		var err error
+		if sampling != nil {
+			// Sampled variant: same matrix and collector, every cell
+			// through the interval-sampling engine. The variant's
+			// id/description replace the original's in all output so
+			// sampled estimates are never mistaken for full detail.
+			sampled := runner.Sampled(spec, *sampling)
+			spec = &sampled
+			var rs *runner.ResultSet
+			if rs, err = engine.Gather(&sampled); err == nil {
+				tables, err = sampled.Collect(rs)
+			}
+		} else {
+			tables, err = engine.RunSpec(id)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -89,10 +118,16 @@ func main() {
 		case *asJSON:
 			out = append(out, jsonSuite{ID: spec.ID, Description: spec.Description, Tables: toJSON(tables)})
 		case *csv:
+			if sampling != nil {
+				fmt.Printf("# %s\n", spec.Description)
+			}
 			for _, t := range tables {
 				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
 			}
 		default:
+			if sampling != nil {
+				fmt.Printf("## %s\n\n", spec.Description)
+			}
 			for _, t := range tables {
 				fmt.Println(t.String())
 			}

@@ -7,6 +7,12 @@
 //	rixsim -bench crafty -int +reverse            # full paper configuration
 //	rixsim -bench gap -int +general -suppress oracle -core iw+rs
 //	rixsim -file prog.s -int +reverse             # assemble and run a file
+//
+// Sampled simulation (checkpointed fast-forward + interval measurement):
+//
+//	rixsim -bench gcc -int +reverse -sample default
+//	rixsim -bench gcc -int +reverse -sample 16000/600/300 -ckpt /tmp/ck
+//	rixsim -bench gcc -int +reverse -sample default -ckpt /tmp/ck -resume
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"rix/internal/emu"
 	"rix/internal/pipeline"
 	"rix/internal/prog"
+	"rix/internal/sample"
 	"rix/internal/sim"
 	"rix/internal/workload"
 )
@@ -30,6 +37,10 @@ func main() {
 	coreV := flag.String("core", "base", "core variant: base|rs|iw|iw+rs")
 	itEntries := flag.Int("it", 1024, "integration table entries")
 	itAssoc := flag.Int("assoc", 4, "integration table associativity (-1 = full)")
+	sampleSpec := flag.String("sample", "",
+		"interval sampling: 'default' or interval/window[/warmup] in dynamic instructions")
+	ckptDir := flag.String("ckpt", "", "checkpoint directory (written during -sample, read by -resume)")
+	resume := flag.Bool("resume", false, "re-run the windows checkpointed in -ckpt instead of fast-forwarding")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
 
@@ -79,11 +90,53 @@ func main() {
 		ITEntries:   *itEntries,
 		ITAssoc:     *itAssoc,
 	}
+
+	if *sampleSpec != "" || *resume {
+		runSampled(p, src, o, *sampleSpec, *ckptDir, *resume)
+		return
+	}
+
 	st, err := sim.Run(p, src, o)
 	if err != nil {
 		fatal(err)
 	}
 	printStats(p.Name, st)
+}
+
+// runSampled executes the sampled path: a fresh sampled run (optionally
+// writing checkpoints), or a resume that re-runs previously checkpointed
+// windows — bit-identical to the run that wrote them.
+func runSampled(p *prog.Program, src emu.TraceSource, o sim.Options, spec, ckptDir string, resume bool) {
+	cfg, err := o.Config()
+	if err != nil {
+		fatal(err)
+	}
+	sp := sim.DefaultSampling()
+	if spec != "" {
+		if sp, err = sim.ParseSampling(spec); err != nil {
+			fatal(err)
+		}
+	}
+	// The dynamic length scales whole-run estimates; measure it from the
+	// already-built source's hint when available.
+	dynLen := src.SizeHint()
+	sc := sample.Config{Sampling: sp, CheckpointDir: ckptDir}
+
+	var est *sample.Estimate
+	if resume {
+		if ckptDir == "" {
+			fatal(fmt.Errorf("-resume requires -ckpt"))
+		}
+		est, err = sample.Resume(p, dynLen, cfg, sc)
+	} else {
+		est, err = sample.Run(p, dynLen, cfg, sc)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(est.String())
+	fmt.Println()
+	printStats(p.Name+" (sampled windows)", est.StatsEstimate())
 }
 
 func printStats(name string, st *pipeline.Stats) {

@@ -23,6 +23,20 @@
 // in-flight window, completion events reuse a pooled ring of buffers,
 // and the issue stage sorts candidates in preallocated scratch.
 //
+// # Sampled simulation
+//
+// internal/sample layers checkpointed interval sampling on the
+// streaming contract: functional fast-forward with microarchitectural
+// warming (caches, TLBs, branch predictors, BTB, RAS), periodic
+// detailed measurement windows booted mid-trace via pipeline.BootState
+// (a warmup prefix with statistics gated off warms the
+// rename-dependent state), per-window Stats aggregated into estimates
+// with confidence half-widths, and gob checkpoints per window boundary
+// so runs resume and windows shard across processes. sim.Options.Sampling
+// selects it per cell; runner routes sampled cells automatically and
+// runner.Sampled derives sampled variants of whole specs
+// (rixbench -sample).
+//
 // Layout:
 //
 //	internal/isa          Alpha-flavoured 64-bit RISC ISA
@@ -34,15 +48,16 @@
 //	internal/rename       pointer-based map table
 //	internal/core         the paper's contribution: IT, LISP, logic
 //	internal/pipeline     13-stage 4-way out-of-order core
-//	internal/sim          named configuration presets
+//	internal/sim          named configuration presets + sampling knobs
+//	internal/sample       checkpointed interval-sampling engine
 //	internal/workload     16 synthetic SPEC2000int stand-ins
 //	internal/runner       experiment engine: spec registry, lazy builds, bounded streaming pool
 //	internal/experiments  the paper's figures/diagnostics as registered specs
-//	cmd/rixsim            single-run simulator driver (streams the golden trace)
-//	cmd/rixbench          figure/table reproduction harness
+//	cmd/rixsim            single-run simulator driver (full-detail or -sample)
+//	cmd/rixbench          figure/table reproduction harness (-sample for the fast matrix)
 //	cmd/rixasm            assembler / disassembler
-//	cmd/rixtrace          functional profiler (streaming; -max/-out flags)
-//	cmd/benchgate         bench output -> BENCH_pipeline.json + perf regression gate
+//	cmd/rixtrace          functional profiler (streaming; -out records the trace)
+//	cmd/benchgate         bench output -> BENCH_pipeline.json + perf gates (-update refreshes baseline)
 //	examples/             quickstart, membypass, complexity, customworkload
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for measured

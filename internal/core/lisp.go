@@ -46,8 +46,10 @@ func NewLISP(cfg LISPConfig) *LISP {
 		nSets = 1
 	}
 	l := &LISP{sets: make([][]lispEntry, nSets), assoc: cfg.Assoc}
+	// One flat backing array sliced per set (cf. Table, memsys.Cache).
+	entries := make([]lispEntry, nSets*cfg.Assoc)
 	for i := range l.sets {
-		l.sets[i] = make([]lispEntry, cfg.Assoc)
+		l.sets[i], entries = entries[:cfg.Assoc:cfg.Assoc], entries[cfg.Assoc:]
 	}
 	return l
 }

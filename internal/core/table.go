@@ -123,8 +123,11 @@ func NewTable(cfg TableConfig) *Table {
 		nSets = 1
 	}
 	t := &Table{cfg: cfg, sets: make([][]Entry, nSets)}
+	// One flat backing array sliced per set: building a table is two
+	// allocations, not one per set.
+	entries := make([]Entry, nSets*cfg.Assoc)
 	for i := range t.sets {
-		t.sets[i] = make([]Entry, cfg.Assoc)
+		t.sets[i], entries = entries[:cfg.Assoc:cfg.Assoc], entries[cfg.Assoc:]
 	}
 	return t
 }

@@ -4,8 +4,14 @@ package emu
 // unmapped memory return zero without allocating; writes allocate pages on
 // demand. It serves as both the functional emulator's memory and the
 // pipeline's architectural memory image.
+//
+// A one-entry page cache short-circuits the map lookup on the common
+// same-page access streak (stack traffic, sequential buffers); it is
+// derived state and never serialized.
 type Memory struct {
-	pages map[uint64]*page
+	pages  map[uint64]*page
+	lastPN uint64
+	last   *page
 }
 
 const (
@@ -28,9 +34,32 @@ func (m *Memory) LoadImage(base uint64, img []byte) {
 	}
 }
 
+// lookup returns the page holding addr, or nil when unmapped.
+func (m *Memory) lookup(pn uint64) *page {
+	if m.last != nil && m.lastPN == pn {
+		return m.last
+	}
+	p := m.pages[pn]
+	if p != nil {
+		m.lastPN, m.last = pn, p
+	}
+	return p
+}
+
+// ensure returns the page holding addr, allocating it if needed.
+func (m *Memory) ensure(pn uint64) *page {
+	if p := m.lookup(pn); p != nil {
+		return p
+	}
+	p := new(page)
+	m.pages[pn] = p
+	m.lastPN, m.last = pn, p
+	return p
+}
+
 // Read8 reads one byte.
 func (m *Memory) Read8(addr uint64) byte {
-	p := m.pages[addr>>pageShift]
+	p := m.lookup(addr >> pageShift)
 	if p == nil {
 		return 0
 	}
@@ -39,20 +68,14 @@ func (m *Memory) Read8(addr uint64) byte {
 
 // Write8 writes one byte, allocating the page if needed.
 func (m *Memory) Write8(addr uint64, v byte) {
-	pn := addr >> pageShift
-	p := m.pages[pn]
-	if p == nil {
-		p = new(page)
-		m.pages[pn] = p
-	}
-	p[addr&pageMask] = v
+	m.ensure(addr >> pageShift)[addr&pageMask] = v
 }
 
 // Read64 reads a little-endian 64-bit word (no alignment requirement; the
 // fast path handles the aligned, single-page case).
 func (m *Memory) Read64(addr uint64) uint64 {
 	if addr&7 == 0 {
-		if p := m.pages[addr>>pageShift]; p != nil {
+		if p := m.lookup(addr >> pageShift); p != nil {
 			off := addr & pageMask
 			b := p[off : off+8 : off+8]
 			return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
@@ -70,12 +93,7 @@ func (m *Memory) Read64(addr uint64) uint64 {
 // Write64 writes a little-endian 64-bit word.
 func (m *Memory) Write64(addr uint64, v uint64) {
 	if addr&7 == 0 {
-		pn := addr >> pageShift
-		p := m.pages[pn]
-		if p == nil {
-			p = new(page)
-			m.pages[pn] = p
-		}
+		p := m.ensure(addr >> pageShift)
 		off := addr & pageMask
 		b := p[off : off+8 : off+8]
 		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)

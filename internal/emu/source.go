@@ -46,6 +46,7 @@ type Streamer struct {
 	e         *Emulator
 	err       error
 	hint      int
+	resume    *State // non-nil for resumed streams: Rewind target
 }
 
 // Stream returns a TraceSource that executes p incrementally, failing the
@@ -86,10 +87,19 @@ func (s *Streamer) Next() (TraceRec, bool) {
 // Err reports why the stream ended, if it ended abnormally.
 func (s *Streamer) Err() error { return s.err }
 
-// Rewind restarts execution from the program entry point. The size hint
-// learned from a completed pass is preserved.
+// Rewind restarts execution from the stream origin: the program entry
+// point, or the checkpoint for resumed streams. The size hint learned
+// from a completed pass is preserved.
 func (s *Streamer) Rewind() error {
-	s.e = New(s.p)
+	if s.resume != nil {
+		e, err := NewFromState(s.p, *s.resume)
+		if err != nil {
+			return err
+		}
+		s.e = e
+	} else {
+		s.e = New(s.p)
+	}
 	s.err = nil
 	return nil
 }
@@ -101,6 +111,51 @@ func (s *Streamer) SizeHint() int { return s.hint }
 // Emulator returns the backing emulator, exposing final architectural
 // state (ExitCode, Output, Count) once the stream is drained.
 func (s *Streamer) Emulator() *Emulator { return s.e }
+
+// Checkpoint captures the emulator state at the current stream position
+// (deep copy; streaming may continue afterwards). Restoring it with
+// ResumeStream yields a source producing exactly the remaining records.
+func (s *Streamer) Checkpoint() State { return s.e.State() }
+
+// ResumeStream mints a TraceSource that continues execution from a
+// checkpointed emulator state: its first record is dynamic instruction
+// st.Count. maxInstrs bounds the absolute retired count, exactly as for
+// Stream. Rewind on a resumed stream returns to the checkpoint, not the
+// program entry.
+func ResumeStream(p *prog.Program, st State, maxInstrs uint64) (*Streamer, error) {
+	e, err := NewFromState(p, st)
+	if err != nil {
+		return nil, err
+	}
+	return &Streamer{p: p, maxInstrs: maxInstrs, e: e, resume: &st}, nil
+}
+
+// Seek positions the stream so the next record is dynamic instruction n,
+// fast-forwarding (or rewinding, then fast-forwarding) by architectural
+// execution. Seeking before a resumed stream's checkpoint, or past the
+// end of the program, fails.
+func (s *Streamer) Seek(n uint64) error {
+	if n < s.e.Count {
+		if err := s.Rewind(); err != nil {
+			return err
+		}
+	}
+	if n < s.e.Count {
+		return fmt.Errorf("emu: seek to %d before stream origin %d", n, s.e.Count)
+	}
+	for s.e.Count < n {
+		if s.e.Halted {
+			return fmt.Errorf("emu: seek to %d past program end at %d", n, s.e.Count)
+		}
+		if s.e.Count >= s.maxInstrs {
+			return fmt.Errorf("emu: %s did not halt within %d instructions", s.p.Name, s.maxInstrs)
+		}
+		if _, err := s.e.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // sliceSource adapts a materialized trace to the TraceSource interface.
 type sliceSource struct {
@@ -124,6 +179,105 @@ func (s *sliceSource) Next() (TraceRec, bool) {
 func (s *sliceSource) Err() error    { return nil }
 func (s *sliceSource) Rewind() error { s.pos = 0; return nil }
 func (s *sliceSource) SizeHint() int { return len(s.recs) }
+
+// Seek positions the cursor at record n.
+func (s *sliceSource) Seek(n uint64) error {
+	if n > uint64(len(s.recs)) {
+		return fmt.Errorf("emu: seek to %d past end of %d-record trace", n, len(s.recs))
+	}
+	s.pos = int(n)
+	return nil
+}
+
+// Seeker is the optional fast-positioning extension of TraceSource:
+// sources that can jump to dynamic instruction n (Seek) and report the
+// index of the next record they would produce (Pos) without the
+// consumer draining records one by one. Streamer (architectural
+// fast-forward) and slice sources (cursor move) implement it; Skip uses
+// it when present and falls back to draining otherwise.
+type Seeker interface {
+	Seek(n uint64) error
+	Pos() uint64
+}
+
+// Skip advances src by n records: via Seek when the source supports it,
+// else by draining. It fails if the stream ends first.
+func Skip(src TraceSource, n uint64) error {
+	if n == 0 {
+		return nil
+	}
+	if sk, ok := src.(Seeker); ok {
+		return sk.Seek(sk.Pos() + n)
+	}
+	for i := uint64(0); i < n; i++ {
+		if _, ok := src.Next(); !ok {
+			if err := src.Err(); err != nil {
+				return err
+			}
+			return fmt.Errorf("emu: skip of %d records hit end of stream at %d", n, i)
+		}
+	}
+	return nil
+}
+
+// Pos reports the dynamic instruction index of the next record.
+func (s *Streamer) Pos() uint64 { return s.e.Count }
+
+// Pos reports the cursor position.
+func (s *sliceSource) Pos() uint64 { return uint64(s.pos) }
+
+// limitSource truncates a source after n records, ending the stream
+// cleanly (Err is nil for a truncation; underlying production errors
+// still surface).
+type limitSource struct {
+	src  TraceSource
+	n    uint64 // total budget, for Rewind
+	left uint64
+	cut  bool // true when we truncated before the source ended
+}
+
+// Limit returns a view of src ending after at most n records — the
+// windowing adapter for sampled simulation: a pipeline consuming a
+// limited source halts after the window retires.
+func Limit(src TraceSource, n uint64) TraceSource {
+	return &limitSource{src: src, n: n, left: n}
+}
+
+func (l *limitSource) Next() (TraceRec, bool) {
+	if l.left == 0 {
+		l.cut = true
+		return TraceRec{}, false
+	}
+	rec, ok := l.src.Next()
+	if !ok {
+		return TraceRec{}, false
+	}
+	l.left--
+	return rec, true
+}
+
+func (l *limitSource) Err() error {
+	if l.cut {
+		return nil
+	}
+	return l.src.Err()
+}
+
+func (l *limitSource) Rewind() error {
+	if err := l.src.Rewind(); err != nil {
+		return err
+	}
+	l.left, l.cut = l.n, false
+	return nil
+}
+
+func (l *limitSource) SizeHint() int {
+	h := l.src.SizeHint()
+	if h == 0 || uint64(h) > l.n {
+		h = int(l.n)
+	}
+	return h
+}
 
 // Materialize drains a source into a slice, pre-sized from the source's
 // hint. It is the adapter for tests and for small traces where random

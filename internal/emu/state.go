@@ -1,0 +1,95 @@
+package emu
+
+import (
+	"fmt"
+
+	"rix/internal/isa"
+	"rix/internal/prog"
+)
+
+// State is the complete serializable architectural state of an Emulator at
+// an instruction boundary: registers, PC, halt status, program output, the
+// retired-instruction count, and the memory image. It is the emulator half
+// of a sampling checkpoint (internal/sample) — restoring a State and
+// stepping forward reproduces execution exactly.
+//
+// All fields are exported so the struct round-trips through encoding/gob
+// unchanged; State and MemState must remain stable once checkpoints are
+// written to disk (bump sample's checkpoint format version on change).
+type State struct {
+	Regs     [isa.NumLogical]uint64
+	PC       uint64
+	Halted   bool
+	ExitCode uint64
+	Output   []byte
+	Count    uint64
+	Mem      MemState
+}
+
+// MemState is the serializable form of a sparse Memory: page number →
+// page image. Only resident pages appear.
+type MemState struct {
+	Pages map[uint64][]byte
+}
+
+// State deep-copies the memory into its serializable form.
+func (m *Memory) State() MemState {
+	st := MemState{Pages: make(map[uint64][]byte, len(m.pages))}
+	for pn, p := range m.pages {
+		img := make([]byte, pageSize)
+		copy(img, p[:])
+		st.Pages[pn] = img
+	}
+	return st
+}
+
+// NewMemoryFromState rebuilds an address space from a snapshot. Pages of
+// the wrong size are rejected.
+func NewMemoryFromState(st MemState) (*Memory, error) {
+	m := NewMemory()
+	for pn, img := range st.Pages {
+		if len(img) != pageSize {
+			return nil, fmt.Errorf("emu: page %#x has %d bytes, want %d", pn, len(img), pageSize)
+		}
+		p := new(page)
+		copy(p[:], img)
+		m.pages[pn] = p
+	}
+	return m, nil
+}
+
+// State captures the emulator's architectural state (deep copy; the
+// emulator may keep running afterwards).
+func (e *Emulator) State() State {
+	st := State{
+		Regs:     e.Regs,
+		PC:       e.PC,
+		Halted:   e.Halted,
+		ExitCode: e.ExitCode,
+		Count:    e.Count,
+		Mem:      e.Mem.State(),
+	}
+	st.Output = append([]byte(nil), e.Output...)
+	return st
+}
+
+// NewFromState rebuilds an emulator mid-execution. The program must be the
+// one the state was captured from; the emulator resumes at st.PC with
+// st.Count instructions already retired.
+func NewFromState(p *prog.Program, st State) (*Emulator, error) {
+	mem, err := NewMemoryFromState(st.Mem)
+	if err != nil {
+		return nil, err
+	}
+	e := &Emulator{
+		Prog:     p,
+		Mem:      mem,
+		Regs:     st.Regs,
+		PC:       st.PC,
+		Halted:   st.Halted,
+		ExitCode: st.ExitCode,
+		Count:    st.Count,
+	}
+	e.Output = append([]byte(nil), st.Output...)
+	return e, nil
+}

@@ -1,0 +1,212 @@
+package emu
+
+import (
+	"reflect"
+	"testing"
+
+	"rix/internal/asm"
+	"rix/internal/prog"
+)
+
+// stateProg is a small looping program with memory traffic so state
+// snapshots cover registers, memory, and output.
+const stateProgSrc = `
+        .text
+main:   clr   t0
+        ldiq  t1, 64
+loop:   stq   t0, 0(gp)
+        ldq   t2, 0(gp)
+        addq  t0, t2, t0
+        addqi t0, t0, 1
+        addqi t1, t1, -1
+        bne   t1, loop
+        andi  a0, t0, 65535
+        ldiq  v0, 1
+        syscall
+        clr   v0
+        clr   a0
+        syscall
+        .data
+buf:    .space 64
+`
+
+func buildStateProg(t *testing.T) *prog.Program {
+	t.Helper()
+	p, err := asm.Assemble("state.s", stateProgSrc)
+	if err != nil {
+		t.Fatalf("state test program does not assemble: %v", err)
+	}
+	return p
+}
+
+// TestStateResumeEquivalence checkpoints mid-run and verifies the
+// resumed emulator produces exactly the remaining trace.
+func TestStateResumeEquivalence(t *testing.T) {
+	p := buildStateProg(t)
+	full, _, err := Trace(p, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) < 20 {
+		t.Fatalf("test program too short: %d records", len(full))
+	}
+	cut := len(full) / 2
+
+	s := Stream(p, 1<<20)
+	for i := 0; i < cut; i++ {
+		if _, ok := s.Next(); !ok {
+			t.Fatalf("stream ended early at %d", i)
+		}
+	}
+	ck := s.Checkpoint()
+	if ck.Count != uint64(cut) {
+		t.Fatalf("checkpoint count %d, want %d", ck.Count, cut)
+	}
+
+	rs, err := ResumeStream(p, ck, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rest, err := Materialize(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rest, full[cut:]) {
+		t.Fatalf("resumed trace diverges from the original suffix")
+	}
+	// Rewind on a resumed stream returns to the checkpoint, not entry.
+	if err := rs.Rewind(); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Materialize(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again, full[cut:]) {
+		t.Fatalf("rewound resumed stream diverges")
+	}
+}
+
+// TestSeek verifies architectural fast-forward positioning on streamer
+// and slice sources, including rewind-then-forward and error cases.
+func TestSeek(t *testing.T) {
+	p := buildStateProg(t)
+	full, _, err := Trace(p, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := uint64(len(full))
+
+	s := Stream(p, 1<<20)
+	if err := s.Seek(n / 2); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := s.Next()
+	if !ok || rec != full[n/2] {
+		t.Fatalf("after Seek(%d): rec %+v ok=%v, want %+v", n/2, rec, ok, full[n/2])
+	}
+	// Backward seek rewinds and replays.
+	if err := s.Seek(3); err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := s.Next(); rec != full[3] {
+		t.Fatalf("backward seek landed wrong: %+v want %+v", rec, full[3])
+	}
+	if err := s.Seek(n + 100); err == nil {
+		t.Error("seek past program end succeeded")
+	}
+
+	ss := FromSlice(full).(*sliceSource)
+	if err := ss.Seek(n - 1); err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := ss.Next(); rec != full[n-1] {
+		t.Fatalf("slice seek landed wrong")
+	}
+	if err := ss.Seek(n + 1); err == nil {
+		t.Error("slice seek past end succeeded")
+	}
+
+	// Skip uses the seek fast path on both and draining on wrappers.
+	s2 := Stream(p, 1<<20)
+	if err := Skip(s2, 5); err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := s2.Next(); rec != full[5] {
+		t.Fatalf("Skip landed wrong on streamer")
+	}
+	lim := Limit(Stream(p, 1<<20), n)
+	if err := Skip(lim, 7); err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := lim.Next(); rec != full[7] {
+		t.Fatalf("Skip landed wrong on limited source")
+	}
+}
+
+// TestLimit verifies clean truncation semantics: bounded record count,
+// nil Err on the cut, rewind restoring the budget, and size hints.
+func TestLimit(t *testing.T) {
+	p := buildStateProg(t)
+	full, _, err := Trace(p, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := Limit(FromSlice(full), 10)
+	got, err := Materialize(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || !reflect.DeepEqual(got, full[:10]) {
+		t.Fatalf("limited stream: %d records", len(got))
+	}
+	if err := lim.Err(); err != nil {
+		t.Fatalf("truncation reported error: %v", err)
+	}
+	if err := lim.Rewind(); err != nil {
+		t.Fatal(err)
+	}
+	if h := lim.SizeHint(); h != 10 {
+		t.Fatalf("SizeHint = %d, want 10", h)
+	}
+	again, err := Materialize(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 10 {
+		t.Fatalf("rewound limited stream: %d records", len(again))
+	}
+	// A limit past the end passes the stream through unchanged.
+	all, err := Materialize(Limit(FromSlice(full), uint64(len(full))+100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(full) {
+		t.Fatalf("over-limit stream truncated: %d of %d", len(all), len(full))
+	}
+}
+
+// TestMemoryStateRoundTrip pins the memory snapshot encoding.
+func TestMemoryStateRoundTrip(t *testing.T) {
+	m := NewMemory()
+	m.Write64(0x1000, 0xdeadbeefcafe)
+	m.Write32(0x2004, 0x1234)
+	m.Write8(0x7ffff8, 0xab)
+	st := m.State()
+	back, err := NewMemoryFromState(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, addr := range []uint64{0x1000, 0x2004, 0x7ffff8, 0x9999} {
+		if got, want := back.Read64(addr), m.Read64(addr); got != want {
+			t.Errorf("addr %#x: %#x != %#x", addr, got, want)
+		}
+	}
+	if back.PageCount() != m.PageCount() {
+		t.Errorf("page count %d != %d", back.PageCount(), m.PageCount())
+	}
+	st.Pages[0] = []byte{1, 2, 3} // short page must be rejected
+	if _, err := NewMemoryFromState(st); err == nil {
+		t.Error("short page accepted")
+	}
+}

@@ -1,0 +1,162 @@
+package memsys
+
+import "fmt"
+
+// This file holds the serializable tag-state snapshots of the memory
+// hierarchy, plus the Warm* accessors the sampling subsystem's functional
+// fast-forward uses to keep cache and TLB contents hot without paying for
+// (or perturbing) the timing model. Snapshots capture behavioral state —
+// line tags, dirty bits, LRU stamps and the LRU clock — so a restored
+// hierarchy makes byte-identical replacement decisions; transient timing
+// state (MSHRs, write buffer, bus reservations) is empty at an
+// instruction boundary by construction and is not serialized.
+
+// CacheLineState is one line's serializable tag state.
+type CacheLineState struct {
+	Valid bool
+	Dirty bool
+	Tag   uint64
+	LRU   uint64
+}
+
+// CacheState is the serializable tag state of one cache (or of a TLB's
+// backing tag array): lines flattened set-major, plus the LRU clock.
+type CacheState struct {
+	Lines []CacheLineState
+	Tick  uint64
+}
+
+// State deep-copies the cache's tag state.
+func (c *Cache) State() CacheState {
+	st := CacheState{Lines: make([]CacheLineState, 0, len(c.sets)*c.cfg.Assoc), Tick: c.tick}
+	for _, set := range c.sets {
+		for i := range set {
+			l := &set[i]
+			st.Lines = append(st.Lines, CacheLineState{Valid: l.valid, Dirty: l.dirty, Tag: l.tag, LRU: l.lru})
+		}
+	}
+	return st
+}
+
+// SetState restores a snapshot; the geometry (total line count) must
+// match.
+func (c *Cache) SetState(st CacheState) error {
+	if len(st.Lines) != len(c.sets)*c.cfg.Assoc {
+		return fmt.Errorf("memsys: %s state has %d lines, want %d",
+			c.cfg.Name, len(st.Lines), len(c.sets)*c.cfg.Assoc)
+	}
+	k := 0
+	for _, set := range c.sets {
+		for i := range set {
+			l := st.Lines[k]
+			set[i] = cacheLine{valid: l.Valid, dirty: l.Dirty, tag: l.Tag, lru: l.LRU}
+			k++
+		}
+	}
+	c.tick = st.Tick
+	return nil
+}
+
+// State deep-copies the TLB's tag state.
+func (t *TLB) State() CacheState { return t.cache.State() }
+
+// SetState restores a TLB snapshot.
+func (t *TLB) SetState(st CacheState) error { return t.cache.SetState(st) }
+
+// Clone returns an independent cache with the same geometry and tag
+// state — the fast path for per-window hierarchy cloning (straight
+// line-array copies, no intermediate state slice).
+func (c *Cache) Clone() *Cache {
+	n := NewCache(c.cfg)
+	for i := range c.sets {
+		copy(n.sets[i], c.sets[i])
+	}
+	n.tick = c.tick
+	return n
+}
+
+// Clone returns an independent TLB with the same state.
+func (t *TLB) Clone() *TLB {
+	return &TLB{cache: t.cache.Clone(), missPenalty: t.missPenalty}
+}
+
+// WarmState bundles the hierarchy state that functional warmup carries
+// across fast-forwarded regions and into detailed measurement windows.
+type WarmState struct {
+	L1I, L1D, L2 CacheState
+	ITLB, DTLB   CacheState
+}
+
+// WarmState snapshots every warmable structure.
+func (h *Hierarchy) WarmState() WarmState {
+	return WarmState{
+		L1I:  h.L1I.State(),
+		L1D:  h.L1D.State(),
+		L2:   h.L2.State(),
+		ITLB: h.ITLB.State(),
+		DTLB: h.DTLB.State(),
+	}
+}
+
+// SetWarmState restores a warm snapshot into a hierarchy of the same
+// geometry.
+func (h *Hierarchy) SetWarmState(st WarmState) error {
+	if err := h.L1I.SetState(st.L1I); err != nil {
+		return err
+	}
+	if err := h.L1D.SetState(st.L1D); err != nil {
+		return err
+	}
+	if err := h.L2.SetState(st.L2); err != nil {
+		return err
+	}
+	if err := h.ITLB.SetState(st.ITLB); err != nil {
+		return err
+	}
+	return h.DTLB.SetState(st.DTLB)
+}
+
+// CloneWarm returns a fresh hierarchy of the same configuration carrying
+// this hierarchy's warm tag state. Timing state (MSHRs, write buffer,
+// buses) starts empty, as at any quiesced instruction boundary.
+func (h *Hierarchy) CloneWarm() *Hierarchy {
+	return &Hierarchy{
+		cfg:      h.cfg,
+		L1I:      h.L1I.Clone(),
+		L1D:      h.L1D.Clone(),
+		L2:       h.L2.Clone(),
+		ITLB:     h.ITLB.Clone(),
+		DTLB:     h.DTLB.Clone(),
+		MSHRs:    NewMSHRFile(h.cfg.MSHRs),
+		WriteBuf: NewWriteBuffer(h.cfg.WriteBufEntries, 1),
+		Backside: NewBus(h.cfg.BacksideBusBytes, 1),
+		MemBus:   NewBus(h.cfg.MemBusBytes, h.cfg.MemBusClockDiv),
+	}
+}
+
+// WarmFetch touches the instruction-side tag state for the fetch of pc:
+// ITLB, L1I, and the L2 on an L1I miss. No timing is accounted.
+func (h *Hierarchy) WarmFetch(pc uint64) {
+	h.ITLB.Penalty(pc)
+	if hit, _, _ := h.L1I.Access(pc, false); !hit {
+		h.L2.Access(pc, false)
+	}
+}
+
+// WarmLoad touches the data-side tag state for a load of addr.
+func (h *Hierarchy) WarmLoad(addr uint64) {
+	h.DTLB.Penalty(addr)
+	if hit, _, _ := h.L1D.Access(addr, false); !hit {
+		h.L2.Access(addr, false)
+	}
+}
+
+// WarmStore touches the data-side tag state for a store to addr
+// (write-allocate: the line lands dirty in the L1D, filling from L2 tags
+// on a miss, exactly as the timing model's background allocate does).
+func (h *Hierarchy) WarmStore(addr uint64) {
+	h.DTLB.Penalty(addr)
+	if hit, _, _ := h.L1D.Access(addr, true); !hit {
+		h.L2.Access(addr, false)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"rix/internal/bpred"
 	"rix/internal/core"
 	"rix/internal/emu"
+	"rix/internal/isa"
 	"rix/internal/memsys"
 	"rix/internal/prog"
 	"rix/internal/regfile"
@@ -83,7 +84,14 @@ func DefaultConfig() Config {
 	}
 }
 
-const eventHorizon = 1 << 16
+// eventHorizon bounds how far ahead a completion event may be scheduled.
+// Worst-case latency chains (TLB miss + L2 miss + memory + bus + MSHR
+// retry) stay well under a thousand cycles; 8K slots leaves an order of
+// magnitude of slack while keeping the per-pipeline ring at 64KB — it
+// used to be 512KB, which dominated the allocation cost of the sampling
+// subsystem's per-window pipelines. schedule panics loudly if an event
+// ever lands beyond the horizon.
+const eventHorizon = 1 << 13
 
 // eventKind discriminates completion events.
 type eventKind uint8
@@ -180,6 +188,43 @@ type Pipeline struct {
 // emu.Stream, emu.FromSlice, or workload.Built.Source). The source is
 // consumed incrementally with O(ROB) buffering.
 func New(cfg Config, p *prog.Program, src emu.TraceSource) *Pipeline {
+	return NewFrom(cfg, p, src, nil)
+}
+
+// BootState positions a pipeline at a mid-trace instruction boundary —
+// the detailed-window entry point of the sampling subsystem. PC and Regs
+// come from an emulator checkpoint (emu.State); Mem is the architectural
+// memory at that boundary (the pipeline takes ownership — pass a clone if
+// it is shared). The structure pointers inject pre-warmed front-end and
+// memory-system state; nil fields get cold defaults sized from the
+// Config. Injected structures must match the Config's geometry and are
+// owned by the pipeline afterwards.
+type BootState struct {
+	PC   uint64
+	Regs [isa.NumLogical]uint64
+	Mem  *emu.Memory
+
+	Pred *bpred.Predictor
+	BTB  *bpred.BTB
+	RAS  *bpred.RAS
+	CHT  *bpred.CHT
+	Hier *memsys.Hierarchy
+
+	// IT and LISP seed the integrator. IT entries name physical
+	// registers, which only mean something inside one pipeline, so a
+	// seeded IT is for tests and controlled replays; the LISP is
+	// PC-keyed and safe to carry between pipelines.
+	IT   *core.Table
+	LISP *core.LISP
+}
+
+// NewFrom builds a pipeline booted from an explicit state instead of the
+// program entry point. The golden trace source must produce records
+// starting at the boot PC's dynamic instruction (emu.ResumeStream from
+// the same checkpoint, usually wrapped in emu.Limit for a bounded
+// window). A nil boot is exactly New: entry point, SP/GP boot values,
+// cold structures.
+func NewFrom(cfg Config, p *prog.Program, src emu.TraceSource, boot *BootState) *Pipeline {
 	pl := &Pipeline{
 		cfg:  cfg,
 		prog: p,
@@ -205,18 +250,75 @@ func New(cfg Config, p *prog.Program, src emu.TraceSource) *Pipeline {
 		fetchPC: p.Entry,
 		onPath:  true,
 	}
+	if boot != nil {
+		if boot.Pred != nil {
+			pl.pred = boot.Pred
+		}
+		if boot.BTB != nil {
+			pl.btb = boot.BTB
+		}
+		if boot.RAS != nil {
+			pl.ras = boot.RAS
+		}
+		if boot.CHT != nil {
+			pl.cht = boot.CHT
+		}
+		if boot.Hier != nil {
+			pl.mem = boot.Hier
+		}
+		pl.fetchPC = boot.PC
+	}
 	pl.win.init(src, cfg.ROBSize+cfg.FetchQueue+8)
 	pl.integ = core.New(cfg.Policy, cfg.IT, cfg.LISP, pl.rf)
+	if boot != nil {
+		if boot.IT != nil {
+			pl.integ.Table = boot.IT
+		}
+		if boot.LISP != nil {
+			pl.integ.LISP = boot.LISP
+		}
+	}
 	pl.prb = probe{pl}
 	pl.prod = make([]*uop, cfg.PhysRegs)
-	pl.archMem.LoadImage(p.DataBase, p.Data)
 
-	// Architectural boot state: SP and GP mappings with their boot
-	// values, everything else on the zero register.
-	pl.bootReg(30, p.StackTop) // sp
-	pl.bootReg(29, p.DataBase) // gp
+	if boot == nil {
+		pl.archMem.LoadImage(p.DataBase, p.Data)
+		// Architectural boot state: SP and GP mappings with their boot
+		// values, everything else on the zero register.
+		pl.bootReg(30, p.StackTop) // sp
+		pl.bootReg(29, p.DataBase) // gp
+		return pl
+	}
+
+	if boot.Mem != nil {
+		pl.archMem = boot.Mem
+	} else {
+		pl.archMem.LoadImage(p.DataBase, p.Data)
+	}
+	// Boot every live architectural register value. SP and GP first so a
+	// count-0 checkpoint allocates physical registers in exactly the
+	// order New does; zero-valued registers stay on the pinned zero
+	// register (reads yield 0, as architecturally required).
+	for _, l := range bootOrder {
+		if v := boot.Regs[l]; v != 0 {
+			pl.bootReg(l, v)
+		}
+	}
 	return pl
 }
+
+// bootOrder lists logical registers in boot-mapping order: SP, GP, then
+// the rest ascending. The hardwired zero register (isa.RegZero) never
+// boots — it stays pinned to the zero physical register.
+var bootOrder = func() []int {
+	order := []int{int(isa.RegSP), int(isa.RegGP)}
+	for l := 0; l < isa.NumLogical; l++ {
+		if l != int(isa.RegSP) && l != int(isa.RegGP) && l != int(isa.RegZero) {
+			order = append(order, l)
+		}
+	}
+	return order
+}()
 
 func (pl *Pipeline) bootReg(l int, v uint64) {
 	preg, ok := pl.rf.Alloc()
@@ -269,6 +371,67 @@ func (pl *Pipeline) Run() (*Stats, error) {
 		return nil, err
 	}
 	return &pl.Stats, nil
+}
+
+// Integrator exposes the integration machinery for diagnostics (match
+// and rejection counters, table occupancy). Mutating it mid-run corrupts
+// the simulation.
+func (pl *Pipeline) Integrator() *core.Integrator { return pl.integ }
+
+// RunWindow simulates a measurement window in three phases. The first
+// warmup retired instructions run in warmup mode — the machine executes
+// in full detail (filling the integration table, LISP, register file and
+// any residual cache/predictor state) while the statistics are gated
+// off. The next measure instructions are the measurement: their Stats
+// delta is the result. The run then stops at the measurement boundary
+// with the pipeline still full — the caller's source should extend a
+// drain pad beyond warmup+measure (emu.Limit(src, warmup+measure+pad))
+// so the end-of-window drain overlaps with later instructions exactly as
+// in a full run, instead of deflating the measured IPC.
+//
+// Both boundaries land at the end of the first cycle in which cumulative
+// retirement reaches them (exact to within one retire group, and
+// deterministic). If the stream ends before the warmup boundary the
+// measured window is empty: all-zero Stats; if it ends inside the
+// measurement, the delta covers what retired (including the genuine
+// final drain when the program itself ends there, as in a full run).
+// Stats.TraceWindowPeak reports the whole run's peak, warmup included —
+// it is a memory bound, not a windowed counter.
+func (pl *Pipeline) RunWindow(warmup, measure uint64) (*Stats, error) {
+	var base *Stats
+	if warmup == 0 {
+		base = &Stats{} // measure from the very first cycle
+	}
+	end := warmup + measure
+	for !pl.halted {
+		if pl.now >= pl.cfg.MaxCycles {
+			return nil, fmt.Errorf("pipeline: %s exceeded cycle budget at %d retired",
+				pl.prog.Name, pl.Stats.Retired)
+		}
+		pl.step()
+		if base == nil && pl.Stats.Retired >= warmup {
+			b := pl.Stats
+			b.Cycles = pl.now
+			base = &b
+		}
+		if pl.Stats.Retired >= end {
+			pl.halted = true
+		}
+	}
+	pl.Stats.Cycles = pl.now
+	pl.Stats.TraceWindowPeak = uint64(pl.win.peak)
+	if err := pl.win.err(); err != nil {
+		return nil, fmt.Errorf("pipeline: golden trace source failed: %w", err)
+	}
+	if err := pl.auditRegisters(); err != nil {
+		return nil, err
+	}
+	if base == nil {
+		// Stream ended inside warmup: nothing was measured.
+		return &Stats{}, nil
+	}
+	m := pl.Stats.Delta(base)
+	return &m, nil
 }
 
 // newUop returns a zeroed uop, recycling from the free list. Steady-state
@@ -393,3 +556,12 @@ func (pl *Pipeline) drainInFlight() {
 	}
 	pl.fqDrain()
 }
+
+// CHT exposes the collision history table for diagnostics and for the
+// sampling engine's feedback chaining. Mutating it mid-run corrupts the
+// simulation.
+func (pl *Pipeline) CHT() *bpred.CHT { return pl.cht }
+
+// Predictor exposes the branch direction predictor for diagnostics.
+// Mutating it mid-run corrupts the simulation.
+func (pl *Pipeline) Predictor() *bpred.Predictor { return pl.pred }

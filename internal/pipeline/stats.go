@@ -1,6 +1,10 @@
 package pipeline
 
-import "rix/internal/core"
+import (
+	"reflect"
+
+	"rix/internal/core"
+)
 
 // Stats aggregates everything the paper's evaluation section reports.
 type Stats struct {
@@ -57,6 +61,62 @@ type Stats struct {
 	// by trace length — the machine-checkable form of "the stream is
 	// consumed incrementally".
 	TraceWindowPeak uint64
+}
+
+// Delta returns the component-wise difference s - base: the statistics
+// accumulated after the snapshot `base` was taken — the windowed-stats
+// primitive behind RunWindow. Every uint64 field and every uint64 array
+// element is a monotonic counter and subtracts, with one exception:
+// TraceWindowPeak is a high-water mark, so the delta carries the final
+// (whole-run) value. Implemented by reflection so new counter fields are
+// windowed automatically; a new non-counter field must be special-cased
+// here (the accompanying test enumerates the known field kinds).
+func (s *Stats) Delta(base *Stats) Stats {
+	var out Stats
+	sv := reflect.ValueOf(s).Elem()
+	bv := reflect.ValueOf(base).Elem()
+	ov := reflect.ValueOf(&out).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			ov.Field(i).SetUint(f.Uint() - bv.Field(i).Uint())
+		case reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				ov.Field(i).Index(j).SetUint(f.Index(j).Uint() - bv.Field(i).Index(j).Uint())
+			}
+		default:
+			panic("pipeline: Stats field " + sv.Type().Field(i).Name + " has no Delta rule")
+		}
+	}
+	out.TraceWindowPeak = s.TraceWindowPeak
+	return out
+}
+
+// Add accumulates other into s component-wise; TraceWindowPeak takes the
+// maximum. It is the aggregation dual of Delta (internal/sample sums
+// per-window measurements with it).
+func (s *Stats) Add(other *Stats) {
+	peak := s.TraceWindowPeak
+	if other.TraceWindowPeak > peak {
+		peak = other.TraceWindowPeak
+	}
+	sv := reflect.ValueOf(s).Elem()
+	tv := reflect.ValueOf(other).Elem()
+	for i := 0; i < sv.NumField(); i++ {
+		f := sv.Field(i)
+		switch f.Kind() {
+		case reflect.Uint64:
+			f.SetUint(f.Uint() + tv.Field(i).Uint())
+		case reflect.Array:
+			for j := 0; j < f.Len(); j++ {
+				f.Index(j).SetUint(f.Index(j).Uint() + tv.Field(i).Index(j).Uint())
+			}
+		default:
+			panic("pipeline: Stats field " + sv.Type().Field(i).Name + " has no Add rule")
+		}
+	}
+	s.TraceWindowPeak = peak
 }
 
 // IPC is retired instructions per cycle.

@@ -59,6 +59,11 @@ type File struct {
 	qLen   int
 	queued []bool
 
+	// freeCount tracks zero-reference registers incrementally so the
+	// rename stage's availability pre-check is O(1) instead of a scan of
+	// the whole state vector (NumFree was ~20% of simulation time).
+	freeCount int
+
 	refMax uint16 // saturation point for reference counters
 
 	// Stats.
@@ -113,6 +118,7 @@ func New(cfg Config) *File {
 	for p := 1; p < cfg.NumRegs; p++ {
 		f.push(PReg(p))
 	}
+	f.freeCount = cfg.NumRegs - 1
 	return f
 }
 
@@ -151,6 +157,7 @@ func (f *File) Alloc() (PReg, bool) {
 		f.valid[p] = true
 		f.vals[p] = 0
 		f.gen[p] = (f.gen[p] + 1) & f.genMask
+		f.freeCount--
 		f.Allocations++
 		return p, true
 	}
@@ -182,6 +189,9 @@ func (f *File) Integrate(p PReg) bool {
 		f.RefSaturated++
 		return false
 	}
+	if f.refcnt[p] == 0 && p != ZeroReg {
+		f.freeCount--
+	}
 	f.refcnt[p]++
 	f.Integrations++
 	return true
@@ -203,6 +213,7 @@ func (f *File) Release(p PReg, cause ReleaseCause) {
 	if f.refcnt[p] > 0 {
 		return
 	}
+	f.freeCount++
 	switch {
 	case !f.ready[p]:
 		f.valid[p] = false // squashed before executing: garbage
@@ -243,17 +254,10 @@ func (f *File) RefCount(p PReg) uint16 { return f.refcnt[p] }
 // Valid reports p's valid bit.
 func (f *File) Valid(p PReg) bool { return p != NoReg && f.valid[p] }
 
-// NumFree counts zero-reference registers (both 0/F and 0/T); they are all
-// claimable by Alloc.
-func (f *File) NumFree() int {
-	n := 0
-	for p := range f.refcnt {
-		if f.refcnt[p] == 0 {
-			n++
-		}
-	}
-	return n
-}
+// NumFree reports zero-reference registers (both 0/F and 0/T); they are
+// all claimable by Alloc. Maintained incrementally — the rename stage
+// consults it for every destination-writing instruction.
+func (f *File) NumFree() int { return f.freeCount }
 
 // RefSum sums all reference counts (excluding the pinned zero register);
 // tests use it to audit against the set of live mappings.

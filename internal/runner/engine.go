@@ -9,6 +9,7 @@ import (
 	"rix/internal/emu"
 	"rix/internal/pipeline"
 	"rix/internal/prog"
+	"rix/internal/sample"
 	"rix/internal/sim"
 	"rix/internal/stats"
 	"rix/internal/workload"
@@ -110,7 +111,11 @@ func (e *Engine) Run(name string, o sim.Options) (*pipeline.Stats, error) {
 
 // cell executes one (workload, config) cell. Each cell mints its own
 // trace source, so concurrent cells over the same workload stream
-// independently at O(ROB) memory apiece.
+// independently at O(ROB) memory apiece. Cells whose options request
+// sampling run through the interval-sampling engine instead of the
+// full-detail pipeline; their Stats cover the measured windows, so
+// every ratio metric (IPC, rates, per-million counts) estimates the
+// full run while absolute counters are sampled totals.
 func (e *Engine) cell(bench string, c Config) (*pipeline.Stats, error) {
 	cfg, err := c.Opt.Config()
 	if err != nil {
@@ -119,6 +124,13 @@ func (e *Engine) cell(bench string, c Config) (*pipeline.Stats, error) {
 	bw, err := e.src.Get(bench)
 	if err != nil {
 		return nil, err
+	}
+	if sp := c.Opt.Sampling; sp != nil {
+		est, err := sample.Run(bw.Prog, bw.DynLen, cfg, sample.Config{Sampling: *sp})
+		if err != nil {
+			return nil, err
+		}
+		return est.StatsEstimate(), nil
 	}
 	return e.simulate(cfg, bw.Prog, bw.Source())
 }

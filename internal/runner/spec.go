@@ -172,3 +172,23 @@ func SortedIDs() []string {
 	sort.Strings(ids)
 	return ids
 }
+
+// Sampled derives the interval-sampled variant of a spec: the same
+// workloads, configuration matrix (labels preserved, so the original
+// collector renders it unchanged) and collector, with every cell
+// switched to checkpointed interval sampling under sp. The variant's id
+// gains a "-sampled" suffix; it is returned, not registered — run it
+// ad-hoc through Engine.Gather, or register it explicitly.
+func Sampled(s *Spec, sp sim.Sampling) Spec {
+	c := *s
+	c.ID = s.ID + "-sampled"
+	c.Description = s.Description + " (sampled " + sp.String() + ")"
+	c.Benchmarks = append([]string(nil), s.Benchmarks...)
+	c.Configs = make([]Config, len(s.Configs))
+	for i, cc := range s.Configs {
+		spc := sp
+		cc.Opt.Sampling = &spc
+		c.Configs[i] = cc
+	}
+	return c
+}

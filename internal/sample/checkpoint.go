@@ -1,0 +1,189 @@
+package sample
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"rix/internal/emu"
+	"rix/internal/pipeline"
+	"rix/internal/prog"
+	"rix/internal/sim"
+)
+
+// CheckpointFormat versions the on-disk checkpoint encoding. Bump it
+// whenever Checkpoint, WarmSnapshot, emu.State or any of the embedded
+// state structs change shape; loads reject other versions.
+const CheckpointFormat = 1
+
+// Checkpoint is everything one measurement window needs to run in
+// isolation: the emulator's architectural state at the window's detailed
+// start and the warmed microarchitectural state at the same boundary.
+// The warm snapshot includes the LISP feedback chained from the windows
+// already run, which is specific to the machine configuration (policy
+// and suppression mode) that produced it — so a checkpoint set belongs
+// to one configuration; keep one directory per config. RunCheckpoint
+// validates the window layout but cannot detect a policy mismatch.
+type Checkpoint struct {
+	Format   int
+	Program  string
+	Index    int
+	Start    uint64 // dynamic instruction of the detailed (warmup) start
+	Sampling sim.Sampling
+	Emu      emu.State
+	Warm     WarmSnapshot
+}
+
+// checkpointName names a window's file. The zero-padded index keeps
+// lexical directory order equal to window order.
+func checkpointName(program string, idx int) string {
+	return fmt.Sprintf("%s-w%05d.ckpt", program, idx)
+}
+
+// SaveCheckpoint atomically writes a checkpoint into dir (created if
+// missing), returning its path. A crash mid-write leaves no partial
+// file: the payload lands under a temporary name and is renamed into
+// place.
+func SaveCheckpoint(dir string, ck *Checkpoint) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("sample: checkpoint dir: %w", err)
+	}
+	path := filepath.Join(dir, checkpointName(ck.Program, ck.Index))
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return "", fmt.Errorf("sample: checkpoint: %w", err)
+	}
+	err = gob.NewEncoder(f).Encode(ck)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, path)
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return "", fmt.Errorf("sample: checkpoint %s: %w", path, err)
+	}
+	return path, nil
+}
+
+// LoadCheckpoint reads and validates one checkpoint file.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sample: checkpoint: %w", err)
+	}
+	defer f.Close()
+	var ck Checkpoint
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("sample: checkpoint %s: %w", path, err)
+	}
+	if ck.Format != CheckpointFormat {
+		return nil, fmt.Errorf("sample: checkpoint %s has format %d, want %d", path, ck.Format, CheckpointFormat)
+	}
+	return &ck, nil
+}
+
+// Checkpoints lists a program's checkpoint files in window order.
+func Checkpoints(dir, program string) ([]string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, program+"-w*.ckpt"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// RunCheckpoint executes one measurement window from its checkpoint —
+// the sharding primitive: any process holding the program and one
+// checkpoint file can produce that window's Stats, bit-identical to the
+// direct sampled run's.
+func RunCheckpoint(p *prog.Program, ck *Checkpoint, cfg pipeline.Config, sp sim.Sampling) (*WindowStat, error) {
+	if ck.Program != p.Name {
+		return nil, fmt.Errorf("sample: checkpoint is for %q, not %q", ck.Program, p.Name)
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	if sp.Warmup != ck.Sampling.Warmup || sp.Window != ck.Sampling.Window {
+		return nil, fmt.Errorf("sample: checkpoint window layout %s does not match requested %s",
+			ck.Sampling, sp)
+	}
+	stats, _, err := runDetail(p, cfg, ck.Emu, ck.Warm, sp)
+	if err != nil {
+		return nil, fmt.Errorf("sample: window %d of %s: %w", ck.Index, p.Name, err)
+	}
+	return &WindowStat{
+		Index:        ck.Index,
+		Start:        ck.Start,
+		MeasuredFrom: ck.Start + sp.Warmup,
+		Stats:        *stats,
+	}, nil
+}
+
+// Resume re-runs every checkpointed window of p in sc.CheckpointDir and
+// aggregates them — the restart-after-interruption and shard-merge path.
+// dynLen scales whole-run estimates exactly as in Run. The result is
+// bit-identical to the direct sampled run that wrote the checkpoints.
+func Resume(p *prog.Program, dynLen int, cfg pipeline.Config, sc Config) (*Estimate, error) {
+	sc, err := sc.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if sc.CheckpointDir == "" {
+		return nil, fmt.Errorf("sample: Resume needs Config.CheckpointDir")
+	}
+	paths, err := Checkpoints(sc.CheckpointDir, p.Name)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("sample: no checkpoints for %s in %s", p.Name, sc.CheckpointDir)
+	}
+
+	windows := make([]WindowStat, len(paths))
+	errs := make([]error, len(paths))
+	sem := make(chan struct{}, sc.Parallel)
+	var wg sync.WaitGroup
+	for i, path := range paths {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int, path string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ck, err := LoadCheckpoint(path)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ws, err := RunCheckpoint(p, ck, cfg, sc.Sampling)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			windows[i] = *ws
+		}(i, path)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	total := uint64(dynLen)
+	if total == 0 {
+		// No known dynamic length (e.g. an ad-hoc -file run): fall back
+		// to the coverage lower bound so ratios and fractions stay
+		// meaningful instead of dividing by zero.
+		for _, w := range windows {
+			if end := w.MeasuredFrom + w.Stats.Retired; end > total {
+				total = end
+			}
+		}
+	}
+	return aggregate(sc.Sampling, detailPad(cfg), windows, total), nil
+}

@@ -1,0 +1,43 @@
+package sample
+
+import (
+	"testing"
+
+	"rix/internal/emu"
+	"rix/internal/sim"
+	"rix/internal/workload"
+)
+
+// BenchmarkWarmPass isolates the functional fast-forward (emulation +
+// microarchitectural warming) — the part of a sampled run that touches
+// every instruction, and therefore the asymptotic floor of the sampling
+// speedup. Compare against BenchmarkEmulator (plain emulation) and
+// BenchmarkPipeline (detailed simulation) in the root package.
+func BenchmarkWarmPass(b *testing.B) {
+	bench, _ := workload.ByName("vortex")
+	bw, err := bench.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := bw.Prog
+	cfg, err := sim.Options{Integration: sim.IntReverse}.Config()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var total uint64
+	for i := 0; i < b.N; i++ {
+		w := newWarmer(cfg)
+		e := emu.New(p)
+		for !e.Halted {
+			pc := e.PC
+			rec, err := e.Step()
+			if err != nil {
+				b.Fatal(err)
+			}
+			w.observe(p.Code[rec.CodeIdx], pc, rec, e.PC)
+		}
+		total += e.Count
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}

@@ -1,0 +1,229 @@
+package sample
+
+import (
+	"rix/internal/bpred"
+	"rix/internal/core"
+	"rix/internal/emu"
+	"rix/internal/isa"
+	"rix/internal/memsys"
+	"rix/internal/pipeline"
+	"rix/internal/prog"
+)
+
+// warmer is the functional-warmup half of the sampling engine: while the
+// emulator fast-forwards between measurement windows, every architectural
+// instruction is folded into the long-lived microarchitectural state —
+// cache and TLB tags, branch-direction tables and global history, BTB
+// targets, and the return-address stack (whose top-of-stack index seeds
+// the call depth that extension 2 mixes into the IT index).
+//
+// Three kinds of state are deliberately not warmed functionally:
+//
+//   - Timing state (MSHRs, buses, write buffer) is empty at any
+//     instruction boundary and starts cold by construction.
+//
+//   - Rename-dependent state — the integration table and the register
+//     file — names physical registers that exist only inside one
+//     pipeline instance. Each window warms it during its detailed
+//     warmup prefix (pipeline.RunWindow's warmup mode): full-detail
+//     execution with statistics gated off. Measured across the suite,
+//     a few hundred instructions of detailed warmup reproduce the IT's
+//     steady-state match behavior; a functional occupancy model adds
+//     nothing.
+//
+//   - DIVA feedback — the LISP, a never-aging table — trains on
+//     microarchitectural accidents (mis-integrations) that no
+//     architectural model reproduces. The engine instead chains each
+//     completed window's final LISP state through the warmer
+//     (adoptFeedback) into every later window's boot, mirroring how a
+//     handful of early training events shape the full machine's entire
+//     run.
+type warmer struct {
+	pred *bpred.Predictor
+	btb  *bpred.BTB
+	ras  *bpred.RAS
+	cht  *bpred.CHT
+	hier *memsys.Hierarchy
+	lisp *core.LISP // feedback carrier only; never trained functionally
+
+	lastLine uint64 // last I-side line touched; ^0 = none
+	lineMask uint64
+}
+
+func newWarmer(cfg pipeline.Config) *warmer {
+	pc := cfg.Pred.WithDefaults()
+	w := &warmer{
+		pred:     bpred.NewPredictor(cfg.Pred),
+		btb:      bpred.NewBTB(pc.BTBEntries),
+		ras:      bpred.NewRAS(pc.RASEntries),
+		cht:      bpred.NewCHT(pc.CHTEntries),
+		hier:     memsys.New(cfg.Mem),
+		lastLine: ^uint64(0),
+		lineMask: ^(uint64(cfg.Mem.L1I.LineBytes) - 1),
+	}
+	if cfg.Policy.Enable {
+		w.lisp = core.NewLISP(cfg.LISP)
+	}
+	return w
+}
+
+// observe folds one architecturally executed instruction into the warm
+// state. pc is the instruction's PC, rec its trace record, and nextPC the
+// architectural successor (the emulator's PC after the step), which
+// trains the BTB for indirect transfers.
+func (w *warmer) observe(in isa.Instr, pc uint64, rec emu.TraceRec, nextPC uint64) {
+	// One I-side tag touch per fetch line, mirroring the front end's one
+	// I-cache access per fetch group.
+	if pc&w.lineMask != w.lastLine {
+		w.lastLine = pc & w.lineMask
+		w.hier.WarmFetch(pc)
+	}
+	switch in.Op.ClassOf() {
+	case isa.ClassLoad:
+		w.hier.WarmLoad(rec.Addr)
+	case isa.ClassStore:
+		w.hier.WarmStore(rec.Addr)
+	case isa.ClassBranch:
+		// Predict to capture the training snapshot, shift the *actual*
+		// outcome into the global history (the post-retirement state of a
+		// full-detail run), and train the tables.
+		taken := rec.Value == 1
+		_, snap := w.pred.Predict(pc)
+		w.pred.SpecUpdate(taken)
+		w.pred.Train(pc, taken, snap)
+	case isa.ClassCallDirect:
+		w.ras.Push(pc + isa.InstrBytes)
+	case isa.ClassCallIndirect:
+		w.ras.Push(pc + isa.InstrBytes)
+		w.btb.Train(pc, nextPC)
+	case isa.ClassJumpIndirect:
+		w.btb.Train(pc, nextPC)
+	case isa.ClassRet:
+		w.ras.Pop()
+	}
+}
+
+// adoptFeedback replaces the warmer's LISP with a completed window's
+// final state — the feedback-chaining path. Each window boots with the
+// accumulated state, so its final state is a superset of what the
+// warmer held; adoption is monotone, mirroring the real machine's
+// never-aging table. The CHT is deliberately not chained: measured at
+// the default window length, chaining adopts collision entries born
+// from window-boot timing accidents, and the over-conservative loads
+// cost more IPC accuracy than per-window re-discovery does (at very
+// short windows the trade reverses — keep Window at a few hundred
+// instructions or more).
+func (w *warmer) adoptFeedback(fb feedback) error {
+	if w.lisp != nil && len(fb.LISP.Entries) > 0 {
+		if err := w.lisp.SetState(fb.LISP); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WarmSnapshot is the serializable warm state at a window boundary — the
+// microarchitectural half of a Checkpoint. LISP and CHT carry the
+// feedback chained from completed windows (the warmer itself never
+// trains them); their contents depend on the cell's policy, which makes
+// a checkpoint set specific to one machine configuration.
+type WarmSnapshot struct {
+	Pred bpred.PredictorState
+	BTB  bpred.BTBState
+	RAS  bpred.RASState
+	CHT  bpred.CHTState
+	Mem  memsys.WarmState
+	LISP core.LISPState
+}
+
+// snapshot deep-copies the current warm state.
+func (w *warmer) snapshot() WarmSnapshot {
+	ws := WarmSnapshot{
+		Pred: w.pred.State(),
+		BTB:  w.btb.State(),
+		RAS:  w.ras.State(),
+		CHT:  w.cht.State(),
+		Mem:  w.hier.WarmState(),
+	}
+	if w.lisp != nil {
+		ws.LISP = w.lisp.State()
+	}
+	return ws
+}
+
+// cloneBoot builds a window's pipeline boot state by direct deep copies
+// of the live emulator and warm structures — the in-memory fast path.
+// It constructs exactly the state buildBoot reconstructs from a
+// serialized checkpoint, so a resumed window's Stats are bit-identical
+// to the direct run's (the checkpoint tests enforce this equivalence).
+func (w *warmer) cloneBoot(cfg pipeline.Config, e *emu.Emulator) *pipeline.BootState {
+	var lisp *core.LISP
+	if w.lisp != nil {
+		lisp = core.NewLISP(cfg.LISP)
+		if err := lisp.SetState(w.lisp.State()); err != nil {
+			panic(err) // same geometry by construction
+		}
+	}
+	return &pipeline.BootState{
+		PC:   e.PC,
+		Regs: e.Regs,
+		Mem:  e.Mem.Clone(),
+		Pred: w.pred.Clone(),
+		BTB:  w.btb.Clone(),
+		RAS:  w.ras.Clone(),
+		CHT:  w.cht.Clone(),
+		Hier: w.hier.CloneWarm(),
+		LISP: lisp,
+	}
+}
+
+// buildBoot reconstructs a pipeline boot state from an emulator
+// checkpoint and a warm snapshot — the on-disk checkpoint path. It
+// yields the same state as cloneBoot over the live structures, so a
+// resumed window is bit-identical to the window the sampled run
+// executed directly.
+func buildBoot(cfg pipeline.Config, p *prog.Program, st emu.State, ws WarmSnapshot) (*pipeline.BootState, error) {
+	pc := cfg.Pred.WithDefaults()
+	pred := bpred.NewPredictor(cfg.Pred)
+	if err := pred.SetState(ws.Pred); err != nil {
+		return nil, err
+	}
+	btb := bpred.NewBTB(pc.BTBEntries)
+	if err := btb.SetState(ws.BTB); err != nil {
+		return nil, err
+	}
+	ras := bpred.NewRAS(pc.RASEntries)
+	if err := ras.SetState(ws.RAS); err != nil {
+		return nil, err
+	}
+	cht := bpred.NewCHT(pc.CHTEntries)
+	if err := cht.SetState(ws.CHT); err != nil {
+		return nil, err
+	}
+	hier := memsys.New(cfg.Mem)
+	if err := hier.SetWarmState(ws.Mem); err != nil {
+		return nil, err
+	}
+	var lisp *core.LISP
+	if cfg.Policy.Enable && len(ws.LISP.Entries) > 0 {
+		lisp = core.NewLISP(cfg.LISP)
+		if err := lisp.SetState(ws.LISP); err != nil {
+			return nil, err
+		}
+	}
+	mem, err := emu.NewMemoryFromState(st.Mem)
+	if err != nil {
+		return nil, err
+	}
+	return &pipeline.BootState{
+		PC:   st.PC,
+		Regs: st.Regs,
+		Mem:  mem,
+		Pred: pred,
+		BTB:  btb,
+		RAS:  ras,
+		CHT:  cht,
+		Hier: hier,
+		LISP: lisp,
+	}, nil
+}

@@ -61,6 +61,13 @@ type Options struct {
 	ReverseALU       bool
 	NoCallDepth      bool
 	PerfectMemory    bool
+
+	// Sampling switches the run to checkpointed interval sampling
+	// (internal/sample). nil means full-detail simulation. sim.Run
+	// rejects sampled options — the runner engine and sample.Run are the
+	// entry points that honor them — but the machine configuration
+	// (Config) is unaffected by this field.
+	Sampling *Sampling
 }
 
 // Label renders a short canonical name for the option set, suitable as a
@@ -119,6 +126,10 @@ func (o Options) Label() string {
 	if o.PerfectMemory {
 		parts = append(parts, "pmem")
 	}
+	if o.Sampling != nil {
+		parts = append(parts, fmt.Sprintf("smp%d-%d-%d",
+			o.Sampling.Interval, o.Sampling.Window, o.Sampling.Warmup))
+	}
 	return strings.Join(parts, "/")
 }
 
@@ -154,9 +165,16 @@ func (o Options) policy() (core.Policy, error) {
 	return p, nil
 }
 
-// Config assembles the full pipeline configuration.
+// Config assembles the full pipeline configuration. Sampling does not
+// shape the machine, but an invalid sampling layout is rejected here so
+// spec registration catches it eagerly.
 func (o Options) Config() (pipeline.Config, error) {
 	cfg := pipeline.DefaultConfig()
+	if o.Sampling != nil {
+		if err := o.Sampling.Validate(); err != nil {
+			return cfg, err
+		}
+	}
 	pol, err := o.policy()
 	if err != nil {
 		return cfg, err
@@ -210,6 +228,9 @@ func (o Options) Config() (pipeline.Config, error) {
 // single-consumer: mint a fresh one (workload.Built.Source, emu.Stream)
 // or Rewind between runs.
 func Run(p *prog.Program, src emu.TraceSource, o Options) (*pipeline.Stats, error) {
+	if o.Sampling != nil {
+		return nil, fmt.Errorf("sim: Options.Sampling is not honored by sim.Run; use sample.Run or the runner engine")
+	}
 	cfg, err := o.Config()
 	if err != nil {
 		return nil, err
