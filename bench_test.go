@@ -7,6 +7,7 @@ package rix
 // the full-suite numbers recorded in EXPERIMENTS.md.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -16,6 +17,7 @@ import (
 	"rix/internal/pipeline"
 	"rix/internal/prog"
 	"rix/internal/regfile"
+	"rix/internal/run"
 	"rix/internal/sample"
 	"rix/internal/sim"
 	"rix/internal/stats"
@@ -43,11 +45,11 @@ func benchCache(b *testing.B) *experiments.Cache {
 	return benchC
 }
 
-func runFigure(b *testing.B, f func(*experiments.Cache) ([]*stats.Table, error)) {
+func runFigure(b *testing.B, f func(context.Context, *experiments.Cache) ([]*stats.Table, error)) {
 	c := benchCache(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := f(c); err != nil {
+		if _, err := f(context.Background(), c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -156,13 +158,46 @@ func BenchmarkPipelineSampled(b *testing.B) {
 	b.ResetTimer()
 	var covered uint64
 	for i := 0; i < b.N; i++ {
-		est, err := sample.Run(bw.Prog, bw.DynLen, cfg, sample.Config{})
+		est, err := sample.Run(context.Background(), bw.Prog, bw.DynLen, cfg, sample.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
 		covered += est.TotalInstrs
 	}
 	b.ReportMetric(float64(covered)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkPipelineObserved measures the hot loop with the full
+// cancellation/observation machinery armed: a live (cancellable)
+// context plus a progress callback at the run API's default cadence —
+// the configuration every run.Do simulation executes under. The
+// benchgate baseline pins this at the plain hot loop's Minstr/s and
+// allocs/op: the batched polls must stay free and allocation-free.
+func BenchmarkPipelineObserved(b *testing.B) {
+	bench, _ := workload.ByName("gzip")
+	p, trace, err := bench.BuildMaterialized()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := sim.Options{Integration: sim.IntReverse}.Config()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b.ResetTimer()
+	var retired, progressed uint64
+	for i := 0; i < b.N; i++ {
+		pl := pipeline.New(cfg, p, emu.FromSlice(trace))
+		pl.SetProgress(run.DefaultProgressInterval, func(n uint64) { progressed = n })
+		st, err := pl.RunContext(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		retired += st.Retired
+	}
+	_ = progressed
+	b.ReportMetric(float64(retired)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 }
 
 // BenchmarkEmulator measures functional-emulation throughput.

@@ -23,6 +23,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,6 +32,8 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"rix/cmd/internal/cmdutil"
 )
 
 // Result is one benchmark's measurements; committed format — do not
@@ -160,7 +163,9 @@ func gate(cur, base File, tol tolerances) (failures []string) {
 	return failures
 }
 
-func main() {
+func main() { cmdutil.Main("benchgate", body) }
+
+func body(context.Context) error {
 	in := flag.String("in", "", "bench output file (default stdin)")
 	out := flag.String("out", "BENCH_pipeline.json", "JSON artifact to write")
 	baseline := flag.String("baseline", "", "baseline JSON to gate against (no gate when empty)")
@@ -175,55 +180,51 @@ func main() {
 	if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		src = f
 	}
 	results, err := parse(src)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if len(results) == 0 {
-		fatal(fmt.Errorf("no benchmark results found in input"))
+		return fmt.Errorf("no benchmark results found in input")
 	}
 	cur := File{Benchmarks: results}
 	if err := write(*out, cur); err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("benchgate: wrote %s (%d benchmarks)\n", *out, len(results))
 
 	if *baseline == "" {
 		if *update {
-			fatal(fmt.Errorf("-update requires -baseline"))
+			return fmt.Errorf("-update requires -baseline")
 		}
-		return
+		return nil
 	}
 	if *update {
 		// Intentional perf change: the new numbers become the baseline,
 		// ending the era of hand-edited baseline bumps.
 		if err := write(*baseline, cur); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("benchgate: baseline %s updated (%d benchmarks)\n", *baseline, len(results))
-		return
+		return nil
 	}
 	base, err := load(*baseline)
 	if err != nil {
-		fatal(fmt.Errorf("load baseline: %w", err))
+		return fmt.Errorf("load baseline: %w", err)
 	}
 	tol := tolerances{MinstrS: *tolerance, Allocs: *allocTol, Peak: *peakTol}
 	if failures := gate(cur, base, tol); len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintln(os.Stderr, "benchgate: REGRESSION:", f)
 		}
-		os.Exit(1)
+		return fmt.Errorf("%d benchmark(s) regressed past baseline %s", len(failures), *baseline)
 	}
 	fmt.Printf("benchgate: within tolerance of baseline %s (Minstr/s %.0f%%, allocs %.0f%%, trace-peak %.0f%%)\n",
 		*baseline, 100**tolerance, 100**allocTol, 100**peakTol)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "benchgate:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,62 @@
+package cmdutil
+
+import (
+	"context"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestWithSignalsCancelsOnSignal: a SIGINT delivered to the process
+// cancels the derived context.
+func TestWithSignalsCancelsOnSignal(t *testing.T) {
+	ctx, stop := WithSignals(context.Background())
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+		if ctx.Err() != context.Canceled {
+			t.Errorf("ctx.Err() = %v", ctx.Err())
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("context not cancelled after SIGINT")
+	}
+}
+
+// TestWithSignalsStopIdempotent: stop releases the handler and is safe
+// to call repeatedly (the Main defer plus an explicit call).
+func TestWithSignalsStopIdempotent(t *testing.T) {
+	ctx, stop := WithSignals(context.Background())
+	stop()
+	stop()
+	select {
+	case <-ctx.Done():
+	default:
+		t.Error("stop did not cancel the context")
+	}
+}
+
+// TestRunBodyExitCodes pins the error-to-status mapping.
+func TestRunBodyExitCodes(t *testing.T) {
+	if got := runBody("t", func(ctx context.Context) error { return nil }); got != 0 {
+		t.Errorf("success status = %d", got)
+	}
+	if got := runBody("t", func(ctx context.Context) error { return context.Canceled }); got != interruptExit {
+		t.Errorf("cancel status = %d, want %d", got, interruptExit)
+	}
+	if got := runBody("t", func(ctx context.Context) error { return context.DeadlineExceeded }); got != 1 {
+		t.Errorf("timeout status = %d, want 1", got)
+	}
+	// Deferred cleanup must run before the status is returned (the old
+	// per-tool os.Exit helpers skipped defers).
+	cleaned := false
+	runBody("t", func(ctx context.Context) error {
+		defer func() { cleaned = true }()
+		return context.Canceled
+	})
+	if !cleaned {
+		t.Error("deferred cleanup skipped")
+	}
+}

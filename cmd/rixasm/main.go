@@ -8,17 +8,21 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"rix/cmd/internal/cmdutil"
 	"rix/internal/asm"
 	"rix/internal/isa"
 	"rix/internal/prog"
 	"rix/internal/workload"
 )
 
-func main() {
+func main() { cmdutil.Main("rixasm", body) }
+
+func body(context.Context) error {
 	disasm := flag.Bool("d", false, "print a disassembly listing")
 	bench := flag.String("bench", "", "disassemble a built-in workload instead of a file")
 	flag.Parse()
@@ -29,21 +33,21 @@ func main() {
 	case *bench != "":
 		b, ok := workload.ByName(*bench)
 		if !ok {
-			fatal(fmt.Errorf("unknown workload %q", *bench))
+			return fmt.Errorf("unknown workload %q", *bench)
 		}
 		p, err = asm.Assemble(b.Name+".s", b.Source)
 	case flag.NArg() == 1:
 		var src []byte
 		src, err = os.ReadFile(flag.Arg(0))
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		p, err = asm.Assemble(flag.Arg(0), string(src))
 	default:
-		fatal(fmt.Errorf("usage: rixasm [-d] file.s | rixasm -bench name -d"))
+		return fmt.Errorf("usage: rixasm [-d] file.s | rixasm -bench name -d")
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	fmt.Printf("%s: %d instructions, %d data bytes, entry %#x\n",
@@ -52,7 +56,7 @@ func main() {
 		for _, name := range p.SortedSymbols() {
 			fmt.Printf("  %-16s %#x\n", name, p.Symbols[name])
 		}
-		return
+		return nil
 	}
 	labels := map[uint64]string{}
 	for name, addr := range p.Symbols {
@@ -65,9 +69,5 @@ func main() {
 		}
 		fmt.Printf("  %#06x  %016x  %s\n", pc, isa.Encode(in), isa.Disasm(in, pc))
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rixasm:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,6 +1,9 @@
 // rixbench regenerates the paper's tables and figures by enumerating
 // the experiment-spec registry (internal/runner, populated by
-// internal/experiments).
+// internal/experiments). The engine executes every cell through the
+// unified run API under a signal-cancelled context: Ctrl-C (or
+// -timeout) stops scheduling and interrupts in-flight simulations at
+// their next poll boundary; a second Ctrl-C hard-kills.
 //
 // Usage:
 //
@@ -16,16 +19,22 @@
 //	rixbench -suite all -json       # machine-readable results
 //	rixbench -suite all -sample default         # interval-sampled matrix (fast)
 //	rixbench -suite fig4 -sample 16000/600/300  # explicit interval/window/warmup
+//	rixbench -suite all -timeout 10m -v         # deadline + per-cell events
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
+	"rix/cmd/internal/cmdutil"
 	_ "rix/internal/experiments" // registers the paper's specs
+	"rix/internal/run"
 	"rix/internal/runner"
 	"rix/internal/sim"
 	"rix/internal/stats"
@@ -45,7 +54,9 @@ type jsonSuite struct {
 	Tables      []jsonTable `json:"tables"`
 }
 
-func main() {
+func main() { cmdutil.Main("rixbench", body) }
+
+func body(ctx context.Context) error {
 	suite := flag.String("suite", "all", "comma-separated spec ids, or 'all' (see -list)")
 	benches := flag.String("bench", "", "comma-separated workload subset (default: full paper suite)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -54,13 +65,15 @@ func main() {
 	parallel := flag.Int("j", 0, "max parallel simulations (default: NumCPU)")
 	sampleSpec := flag.String("sample", "",
 		"run interval-sampled variants of the selected specs: 'default' or interval/window[/warmup]")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
+	verbose := flag.Bool("v", false, "stream per-cell progress events to stderr")
 	flag.Parse()
 
 	var sampling *sim.Sampling
 	if *sampleSpec != "" {
 		sp, err := sim.ParseSampling(*sampleSpec)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		sampling = &sp
 	}
@@ -69,7 +82,13 @@ func main() {
 		for _, s := range runner.Specs() {
 			fmt.Printf("%-8s %s\n", s.ID, s.Description)
 		}
-		return
+		return nil
+	}
+
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	var names []string
@@ -78,10 +97,13 @@ func main() {
 	}
 	engine, err := runner.NewEngine(names)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	if *parallel > 0 {
 		engine.Parallel = *parallel
+	}
+	if *verbose {
+		engine.Observer = newCellLogger()
 	}
 
 	selected := strings.Split(*suite, ",")
@@ -93,7 +115,7 @@ func main() {
 	for _, id := range selected {
 		spec, ok := runner.Lookup(id)
 		if !ok {
-			fatal(fmt.Errorf("unknown suite %q (registered: %s)", id, strings.Join(runner.IDs(), ", ")))
+			return fmt.Errorf("unknown suite %q (registered: %s)", id, strings.Join(runner.IDs(), ", "))
 		}
 		var tables []*stats.Table
 		var err error
@@ -105,14 +127,14 @@ func main() {
 			sampled := runner.Sampled(spec, *sampling)
 			spec = &sampled
 			var rs *runner.ResultSet
-			if rs, err = engine.Gather(&sampled); err == nil {
+			if rs, err = engine.Gather(ctx, &sampled); err == nil {
 				tables, err = sampled.Collect(rs)
 			}
 		} else {
-			tables, err = engine.RunSpec(id)
+			tables, err = engine.RunSpec(ctx, id)
 		}
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		switch {
 		case *asJSON:
@@ -136,9 +158,34 @@ func main() {
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			fatal(err)
-		}
+		return enc.Encode(out)
+	}
+	return nil
+}
+
+// cellLogger renders cell lifecycle events on stderr. Cells complete
+// concurrently, so the logger serializes writes.
+type cellLogger struct {
+	mu sync.Mutex
+}
+
+func newCellLogger() *cellLogger { return &cellLogger{} }
+
+func (l *cellLogger) Observe(e run.Event) {
+	switch e.Kind {
+	case run.CellStarted, run.CellFinished:
+	default:
+		return // per-instruction progress is too chatty for a matrix run
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	switch {
+	case e.Kind == run.CellStarted:
+		fmt.Fprintf(os.Stderr, "[%s] start  %s [%s]\n", time.Now().Format("15:04:05"), e.Workload, e.Label)
+	case e.Err != "":
+		fmt.Fprintf(os.Stderr, "[%s] FAIL   %s [%s]: %s\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Err)
+	default:
+		fmt.Fprintf(os.Stderr, "[%s] done   %s [%s] (%d retired)\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Instrs)
 	}
 }
 
@@ -148,9 +195,4 @@ func toJSON(tables []*stats.Table) []jsonTable {
 		out[i] = jsonTable{Title: t.Title, Header: t.Header(), Rows: t.Rows(), Notes: t.Notes()}
 	}
 	return out
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rixbench:", err)
-	os.Exit(1)
 }

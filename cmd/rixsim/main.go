@@ -1,5 +1,10 @@
 // rixsim runs one workload under one machine configuration and prints the
-// full statistics block.
+// full statistics block. It is a thin shell over the unified run API
+// (internal/run): the flags assemble a run.Request, run.Do executes it
+// under a signal-cancelled (and optionally deadlined) context, and the
+// result can be printed as text or JSON. Ctrl-C cancels gracefully — a
+// sampled run flushes a final checkpoint so -resume can finish it later;
+// a second Ctrl-C hard-kills.
 //
 // Usage:
 //
@@ -7,29 +12,38 @@
 //	rixsim -bench crafty -int +reverse            # full paper configuration
 //	rixsim -bench gap -int +general -suppress oracle -core iw+rs
 //	rixsim -file prog.s -int +reverse             # assemble and run a file
+//	rixsim -bench gzip -timeout 30s -v            # deadline + live progress events
 //
 // Sampled simulation (checkpointed fast-forward + interval measurement):
 //
 //	rixsim -bench gcc -int +reverse -sample default
 //	rixsim -bench gcc -int +reverse -sample 16000/600/300 -ckpt /tmp/ck
 //	rixsim -bench gcc -int +reverse -sample default -ckpt /tmp/ck -resume
+//
+// Runs as data (the serializable request/result contract):
+//
+//	rixsim -bench gcc -int +reverse -sample default -dump-req > run.json
+//	rixsim -req run.json -json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
-	"rix/internal/asm"
-	"rix/internal/emu"
+	"rix/cmd/internal/cmdutil"
 	"rix/internal/pipeline"
-	"rix/internal/prog"
-	"rix/internal/sample"
+	"rix/internal/run"
 	"rix/internal/sim"
 	"rix/internal/workload"
 )
 
-func main() {
+func main() { cmdutil.Main("rixsim", body) }
+
+func body(ctx context.Context) error {
 	bench := flag.String("bench", "", "workload name (see -list)")
 	file := flag.String("file", "", "assembly file to run instead of a named workload")
 	integ := flag.String("int", "none", "integration preset: none|squash|+general|+opcode|+reverse")
@@ -40,7 +54,12 @@ func main() {
 	sampleSpec := flag.String("sample", "",
 		"interval sampling: 'default' or interval/window[/warmup] in dynamic instructions")
 	ckptDir := flag.String("ckpt", "", "checkpoint directory (written during -sample, read by -resume)")
-	resume := flag.Bool("resume", false, "re-run the windows checkpointed in -ckpt instead of fast-forwarding")
+	resume := flag.Bool("resume", false, "finish (or re-measure) the run checkpointed in -ckpt")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
+	verbose := flag.Bool("v", false, "stream typed progress events to stderr")
+	asJSON := flag.Bool("json", false, "print the run result as JSON instead of the stats block")
+	reqFile := flag.String("req", "", "execute a serialized run.Request JSON file (overrides the config flags)")
+	dumpReq := flag.Bool("dump-req", false, "print the assembled run.Request as JSON and exit without running")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
 
@@ -48,95 +67,121 @@ func main() {
 		for _, b := range workload.All() {
 			fmt.Printf("%-8s %-12s %s\n", b.Name, b.Class, b.Description)
 		}
-		return
+		return nil
 	}
 
-	// The golden trace streams from the emulator into the pipeline with
-	// O(ROB) buffering; nothing materializes the full trace.
-	var p *prog.Program
-	var src emu.TraceSource
-	var err error
-	switch {
-	case *file != "":
-		text, rerr := os.ReadFile(*file)
-		if rerr != nil {
-			fatal(rerr)
+	var req *run.Request
+	if *reqFile != "" {
+		data, err := os.ReadFile(*reqFile)
+		if err != nil {
+			return err
 		}
-		p, err = asm.Assemble(*file, string(text))
-		if err == nil {
-			src = emu.Stream(p, workload.MaxInstrs)
+		if req, err = run.UnmarshalRequest(data); err != nil {
+			return err
 		}
-	case *bench != "":
-		b, ok := workload.ByName(*bench)
-		if !ok {
-			fatal(fmt.Errorf("unknown workload %q (try -list)", *bench))
+	} else {
+		var err error
+		if req, err = buildRequest(*bench, *file, sim.Options{
+			Integration: *integ,
+			Suppression: *suppress,
+			Core:        *coreV,
+			ITEntries:   *itEntries,
+			ITAssoc:     *itAssoc,
+		}, *sampleSpec, *ckptDir, *resume); err != nil {
+			return err
 		}
-		var bw workload.Built
-		bw, err = b.Build()
-		if err == nil {
-			p, src = bw.Prog, bw.Source()
-		}
-	default:
-		fatal(fmt.Errorf("one of -bench or -file is required"))
 	}
+	if err := req.Validate(); err != nil {
+		return err
+	}
+
+	if *dumpReq {
+		data, err := run.MarshalRequest(req)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	var opts []run.Option
+	if *verbose {
+		opts = append(opts, run.WithObserver(run.ObserverFunc(printEvent)))
+	}
+	res, err := run.Do(ctx, *req, opts...)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	o := sim.Options{
-		Integration: *integ,
-		Suppression: *suppress,
-		Core:        *coreV,
-		ITEntries:   *itEntries,
-		ITAssoc:     *itAssoc,
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
 	}
-
-	if *sampleSpec != "" || *resume {
-		runSampled(p, src, o, *sampleSpec, *ckptDir, *resume)
-		return
+	name := res.Workload
+	if res.Sampled != nil {
+		fmt.Println(res.Sampled.String())
+		name += " (sampled windows)"
 	}
-
-	st, err := sim.Run(p, src, o)
-	if err != nil {
-		fatal(err)
-	}
-	printStats(p.Name, st)
+	printStats(name, &res.Stats)
+	return nil
 }
 
-// runSampled executes the sampled path: a fresh sampled run (optionally
-// writing checkpoints), or a resume that re-runs previously checkpointed
-// windows — bit-identical to the run that wrote them.
-func runSampled(p *prog.Program, src emu.TraceSource, o sim.Options, spec, ckptDir string, resume bool) {
-	cfg, err := o.Config()
-	if err != nil {
-		fatal(err)
-	}
-	sp := sim.DefaultSampling()
-	if spec != "" {
-		if sp, err = sim.ParseSampling(spec); err != nil {
-			fatal(err)
+// buildRequest assembles the run.Request the config flags describe.
+func buildRequest(bench, file string, o sim.Options, sampleSpec, ckptDir string, resume bool) (*run.Request, error) {
+	if sampleSpec != "" || resume {
+		sp := sim.DefaultSampling()
+		if sampleSpec != "" {
+			var err error
+			if sp, err = sim.ParseSampling(sampleSpec); err != nil {
+				return nil, err
+			}
 		}
+		o.Sampling = &sp
 	}
-	// The dynamic length scales whole-run estimates; measure it from the
-	// already-built source's hint when available.
-	dynLen := src.SizeHint()
-	sc := sample.Config{Sampling: sp, CheckpointDir: ckptDir}
+	req := &run.Request{Options: o, CheckpointDir: ckptDir, Resume: resume}
+	switch {
+	case file != "":
+		text, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		req.Source, req.SourceName = string(text), file
+	case bench != "":
+		if _, ok := workload.ByName(bench); !ok {
+			return nil, fmt.Errorf("unknown workload %q (try -list)", bench)
+		}
+		req.Workload = bench
+	default:
+		return nil, fmt.Errorf("one of -bench or -file is required")
+	}
+	return req, nil
+}
 
-	var est *sample.Estimate
-	if resume {
-		if ckptDir == "" {
-			fatal(fmt.Errorf("-resume requires -ckpt"))
+// printEvent renders one typed progress event on stderr (-v).
+func printEvent(e run.Event) {
+	switch e.Kind {
+	case run.CellStarted:
+		fmt.Fprintf(os.Stderr, "[%s] %s [%s] started (%s)\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Mode)
+	case run.Progress:
+		fmt.Fprintf(os.Stderr, "[%s] %s [%s] %d instructions\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Instrs)
+	case run.WindowDone:
+		fmt.Fprintf(os.Stderr, "[%s] %s [%s] window %d done (%d measured)\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Window, e.Instrs)
+	case run.CheckpointWritten:
+		fmt.Fprintf(os.Stderr, "[%s] %s [%s] checkpoint %d -> %s\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Window, e.Path)
+	case run.CellFinished:
+		if e.Err != "" {
+			fmt.Fprintf(os.Stderr, "[%s] %s [%s] failed: %s\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Err)
+		} else {
+			fmt.Fprintf(os.Stderr, "[%s] %s [%s] finished (%d retired)\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Instrs)
 		}
-		est, err = sample.Resume(p, dynLen, cfg, sc)
-	} else {
-		est, err = sample.Run(p, dynLen, cfg, sc)
 	}
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Print(est.String())
-	fmt.Println()
-	printStats(p.Name+" (sampled windows)", est.StatsEstimate())
 }
 
 func printStats(name string, st *pipeline.Stats) {
@@ -173,9 +218,4 @@ func max64(a, b uint64) uint64 {
 		return a
 	}
 	return b
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rixsim:", err)
-	os.Exit(1)
 }

@@ -12,6 +12,12 @@
 // and removes the partial file instead of leaving a silently truncated
 // trace behind.
 //
+// The tool runs under the shared cmdutil harness: a SIGINT (or
+// -timeout) cancels the stream at a batched poll boundary, the partial
+// trace file is removed on the way out (deferred cleanup runs — the
+// old hand-rolled os.Exit path could skip it), and a second SIGINT
+// hard-kills.
+//
 // Usage:
 //
 //	rixtrace -bench vortex
@@ -23,12 +29,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 
+	"rix/cmd/internal/cmdutil"
 	"rix/internal/asm"
 	"rix/internal/emu"
 	"rix/internal/isa"
@@ -36,13 +44,22 @@ import (
 	"rix/internal/workload"
 )
 
-func main() {
+func main() { cmdutil.Main("rixtrace", body) }
+
+func body(ctx context.Context) error {
 	bench := flag.String("bench", "", "workload name")
 	file := flag.String("file", "", "assembly file")
 	maxInstrs := flag.Uint64("max", workload.MaxInstrs, "instruction budget for the streamed trace")
 	outFile := flag.String("out", "", "record the golden trace to this file (binary, 20 bytes/record)")
 	outCap := flag.Int("echo", 1<<10, "max program-output bytes to echo (0 = none)")
+	timeout := flag.Duration("timeout", 0, "cancel the trace after this duration (0 = none)")
 	flag.Parse()
+
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	var p *prog.Program
 	var err error
@@ -50,24 +67,25 @@ func main() {
 	case *bench != "":
 		b, ok := workload.ByName(*bench)
 		if !ok {
-			fatal(fmt.Errorf("unknown workload %q", *bench))
+			return fmt.Errorf("unknown workload %q", *bench)
 		}
 		p, err = asm.Assemble(b.Name+".s", b.Source)
 	case *file != "":
 		var src []byte
 		src, err = os.ReadFile(*file)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		p, err = asm.Assemble(*file, string(src))
 	default:
-		fatal(fmt.Errorf("one of -bench or -file is required"))
+		return fmt.Errorf("one of -bench or -file is required")
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	src := emu.Stream(p, *maxInstrs)
+	src.SetContext(ctx)
 
 	var tw *traceWriter
 	if *outFile != "" {
@@ -75,12 +93,14 @@ func main() {
 		// here is almost certainly stale usage — fail loudly rather
 		// than create a trace file named "256".
 		if _, err := strconv.ParseUint(*outFile, 10, 64); err == nil {
-			fatal(fmt.Errorf("-out now takes a trace file path (got %q); the echo cap moved to -echo", *outFile))
+			return fmt.Errorf("-out now takes a trace file path (got %q); the echo cap moved to -echo", *outFile)
 		}
-		var werr error
-		if tw, werr = newTraceWriter(*outFile); werr != nil {
-			fatal(werr)
+		if tw, err = newTraceWriter(*outFile); err != nil {
+			return err
 		}
+		// Cancellation or any error below must not leave a silently
+		// truncated trace behind; finish() disarms this.
+		defer tw.abort()
 	}
 
 	var n, loads, stores, branches, taken, calls, rets, alu, fp, spStores, spLoads uint64
@@ -93,8 +113,7 @@ func main() {
 		}
 		if tw != nil {
 			if err := tw.write(r); err != nil {
-				tw.abort()
-				fatal(fmt.Errorf("writing %s: %w (partial file removed)", tw.path, err))
+				return fmt.Errorf("writing %s: %w (partial file removed)", tw.path, err)
 			}
 		}
 		n++
@@ -134,16 +153,14 @@ func main() {
 		depthSum += uint64(depth)
 	}
 	if err := src.Err(); err != nil {
-		// A failed production leaves the recorded prefix incomplete;
-		// remove it rather than leave a silently truncated trace.
-		if tw != nil {
-			tw.abort()
-		}
-		fatal(err)
+		// A failed (or cancelled) production leaves the recorded prefix
+		// incomplete; the deferred abort removes it rather than leave a
+		// silently truncated trace.
+		return err
 	}
 	if tw != nil {
 		if err := tw.finish(); err != nil {
-			fatal(fmt.Errorf("writing %s: %w (partial file removed)", tw.path, err))
+			return fmt.Errorf("writing %s: %w (partial file removed)", tw.path, err)
 		}
 		fmt.Printf("trace        %d records -> %s\n", tw.n, tw.path)
 	}
@@ -167,6 +184,7 @@ func main() {
 			fmt.Printf("output       %q\n", out)
 		}
 	}
+	return nil
 }
 
 func maxU(a, b uint64) uint64 {
@@ -184,12 +202,14 @@ const traceRecBytes = 20
 // mid-stream write, final flush, or close — is propagated, and abort or
 // a failed finish removes the partial file so downstream consumers never
 // see a silently truncated trace (the old implementation exited 0 and
-// left the truncated file in place).
+// left the truncated file in place). abort is idempotent and a no-op
+// after a successful finish, so it can run unconditionally as a defer.
 type traceWriter struct {
 	path string
 	f    *os.File
 	w    *bufio.Writer
 	n    uint64
+	done bool
 	buf  [traceRecBytes]byte
 }
 
@@ -230,8 +250,12 @@ func readRec(buf *[traceRecBytes]byte) emu.TraceRec {
 }
 
 // finish flushes and closes the file; on any failure the partial file is
-// removed and the error returned.
+// removed and the error returned. Success disarms the deferred abort.
 func (t *traceWriter) finish() error {
+	if t.done {
+		return nil
+	}
+	t.done = true
 	err := t.w.Flush()
 	if cerr := t.f.Close(); err == nil {
 		err = cerr
@@ -242,8 +266,12 @@ func (t *traceWriter) finish() error {
 	return err
 }
 
-// abort closes and removes the partial file.
+// abort closes and removes the partial file (no-op once finished).
 func (t *traceWriter) abort() {
+	if t.done {
+		return
+	}
+	t.done = true
 	t.f.Close()
 	os.Remove(t.path)
 }
@@ -265,9 +293,4 @@ func readTraceFile(path string) ([]emu.TraceRec, error) {
 		recs = append(recs, readRec(&buf))
 	}
 	return recs, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "rixtrace:", err)
-	os.Exit(1)
 }

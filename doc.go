@@ -23,6 +23,26 @@
 // in-flight window, completion events reuse a pooled ring of buffers,
 // and the issue stage sorts candidates in preallocated scratch.
 //
+// # The unified run API
+//
+// internal/run is the single entry point for every simulation: a run is
+// described by a JSON-serializable run.Request (workload name or inline
+// program, sim.Options including sampling, checkpoint/resume knobs),
+// validated eagerly, and executed by run.Do(ctx, req, opts...), which
+// routes automatically to the full-detail pipeline, the sampling
+// engine, or checkpoint resume. The context is honored at batched poll
+// boundaries through the whole stack (pipeline cycle loop, emulator
+// streams, sampling windows, workload builds, runner pool) so a
+// cancelled run returns ctx.Err() promptly without putting work on the
+// per-cycle path; a cancelled checkpointing sampled run flushes a final
+// checkpoint and a Resume request finishes it bit-identically
+// (sample.Continue). run.Observer receives typed progress events (cell
+// started/finished, instructions retired, window completed, checkpoint
+// written); runner.Engine executes its spec matrices through run.Do and
+// forwards every cell's events to Engine.Observer. sim.Run survives as
+// a deprecated shim over the same engines and now honors sampled
+// options.
+//
 // # Sampled simulation
 //
 // internal/sample layers checkpointed interval sampling on the
@@ -48,17 +68,19 @@
 //	internal/rename       pointer-based map table
 //	internal/core         the paper's contribution: IT, LISP, logic
 //	internal/pipeline     13-stage 4-way out-of-order core
-//	internal/sim          named configuration presets + sampling knobs
-//	internal/sample       checkpointed interval-sampling engine
+//	internal/sim          named configuration presets (facade; sampling knobs alias internal/sample)
+//	internal/sample       checkpointed interval-sampling engine (Run/Resume/Continue)
+//	internal/run          unified run API: Request/Do/Observer/Result (serializable, cancellable)
 //	internal/workload     16 synthetic SPEC2000int stand-ins
-//	internal/runner       experiment engine: spec registry, lazy builds, bounded streaming pool
+//	internal/runner       experiment engine over run.Do: spec registry, lazy builds, bounded pool
 //	internal/experiments  the paper's figures/diagnostics as registered specs
-//	cmd/rixsim            single-run simulator driver (full-detail or -sample)
+//	cmd/internal/cmdutil  shared CLI harness: signal-cancelled contexts, one exit path
+//	cmd/rixsim            single-run driver over run.Do (-sample/-resume/-req/-json/-timeout)
 //	cmd/rixbench          figure/table reproduction harness (-sample for the fast matrix)
 //	cmd/rixasm            assembler / disassembler
 //	cmd/rixtrace          functional profiler (streaming; -out records the trace)
 //	cmd/benchgate         bench output -> BENCH_pipeline.json + perf gates (-update refreshes baseline)
-//	examples/             quickstart, membypass, complexity, customworkload
+//	examples/             quickstart, membypass, complexity, customworkload, runapi
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
 // results against the paper.

@@ -1,6 +1,7 @@
 package emu
 
 import (
+	"context"
 	"fmt"
 
 	"rix/internal/prog"
@@ -47,6 +48,39 @@ type Streamer struct {
 	err       error
 	hint      int
 	resume    *State // non-nil for resumed streams: Rewind target
+
+	ctx  context.Context // nil = never cancelled
+	done <-chan struct{}
+}
+
+// streamPollInterval is the record cadence of the batched cancellation
+// check in Next and Seek (a power of two: one masked compare per record,
+// one non-blocking channel read per interval). At emulator speed the
+// bound is well under a millisecond.
+const streamPollInterval = 1 << 12
+
+// SetContext arms cancellation: production polls ctx every
+// streamPollInterval records, and a cancelled stream ends with
+// Err() == ctx.Err(). Rewind keeps the binding.
+func (s *Streamer) SetContext(ctx context.Context) {
+	s.ctx = ctx
+	s.done = ctx.Done()
+}
+
+// cancelled runs the batched poll; it reports (and records) the
+// context's error once the stream position crosses a poll boundary
+// after cancellation.
+func (s *Streamer) cancelled() bool {
+	if s.done == nil || s.e.Count&(streamPollInterval-1) != 0 {
+		return false
+	}
+	select {
+	case <-s.done:
+		s.err = s.ctx.Err()
+		return true
+	default:
+		return false
+	}
 }
 
 // Stream returns a TraceSource that executes p incrementally, failing the
@@ -67,6 +101,9 @@ func (s *Streamer) SetSizeHint(n int) {
 // Next executes one instruction and returns its trace record.
 func (s *Streamer) Next() (TraceRec, bool) {
 	if s.err != nil || s.e.Halted {
+		return TraceRec{}, false
+	}
+	if s.cancelled() {
 		return TraceRec{}, false
 	}
 	if s.e.Count >= s.maxInstrs {
@@ -146,6 +183,9 @@ func (s *Streamer) Seek(n uint64) error {
 	for s.e.Count < n {
 		if s.e.Halted {
 			return fmt.Errorf("emu: seek to %d past program end at %d", n, s.e.Count)
+		}
+		if s.cancelled() {
+			return s.err
 		}
 		if s.e.Count >= s.maxInstrs {
 			return fmt.Errorf("emu: %s did not halt within %d instructions", s.p.Name, s.maxInstrs)

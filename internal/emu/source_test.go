@@ -1,6 +1,7 @@
 package emu
 
 import (
+	"context"
 	"testing"
 
 	"rix/internal/prog"
@@ -115,5 +116,38 @@ func TestFromSliceRewind(t *testing.T) {
 	b, _ := src.Next()
 	if a != b {
 		t.Errorf("rewind changed first record: %+v vs %+v", a, b)
+	}
+}
+
+// TestStreamContextCancel: a cancelled context ends the stream at the
+// next batched poll with Err() == ctx.Err(), for both Next and Seek.
+func TestStreamContextCancel(t *testing.T) {
+	// An endless loop: the stream only stops via budget or cancellation.
+	p := assemble(t, `
+        .text
+main:   br   main
+`)
+	ctx, cancel := context.WithCancel(context.Background())
+	s := Stream(p, 1<<30)
+	s.SetContext(ctx)
+	cancel()
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+		if n > streamPollInterval {
+			t.Fatal("stream did not stop within one poll interval of cancellation")
+		}
+	}
+	if err := s.Err(); err != context.Canceled {
+		t.Errorf("Err() = %v, want context.Canceled", err)
+	}
+
+	s2 := Stream(p, 1<<30)
+	s2.SetContext(ctx)
+	if err := s2.Seek(1 << 20); err != context.Canceled {
+		t.Errorf("Seek under cancelled ctx = %v, want context.Canceled", err)
 	}
 }

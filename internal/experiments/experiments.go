@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"rix/internal/runner"
@@ -31,22 +32,26 @@ func init() {
 }
 
 // Figure4 runs the registered "fig4" spec (extension impact).
-func Figure4(c *Cache) ([]*stats.Table, error) { return c.RunSpec("fig4") }
+func Figure4(ctx context.Context, c *Cache) ([]*stats.Table, error) { return c.RunSpec(ctx, "fig4") }
 
 // Figure5 runs the registered "fig5" spec (integration stream analysis).
-func Figure5(c *Cache) ([]*stats.Table, error) { return c.RunSpec("fig5") }
+func Figure5(ctx context.Context, c *Cache) ([]*stats.Table, error) { return c.RunSpec(ctx, "fig5") }
 
 // Figure6 runs the registered "fig6" spec (IT associativity and size).
-func Figure6(c *Cache) ([]*stats.Table, error) { return c.RunSpec("fig6") }
+func Figure6(ctx context.Context, c *Cache) ([]*stats.Table, error) { return c.RunSpec(ctx, "fig6") }
 
 // Figure7 runs the registered "fig7" spec (reduced-complexity cores).
-func Figure7(c *Cache) ([]*stats.Table, error) { return c.RunSpec("fig7") }
+func Figure7(ctx context.Context, c *Cache) ([]*stats.Table, error) { return c.RunSpec(ctx, "fig7") }
 
 // Diagnostics runs the registered "diag" spec (§3.2/§3.5 scalars).
-func Diagnostics(c *Cache) ([]*stats.Table, error) { return c.RunSpec("diag") }
+func Diagnostics(ctx context.Context, c *Cache) ([]*stats.Table, error) {
+	return c.RunSpec(ctx, "diag")
+}
 
 // Ablations runs the registered "ablate" spec (design-choice ablations).
-func Ablations(c *Cache) ([]*stats.Table, error) { return c.RunSpec("ablate") }
+func Ablations(ctx context.Context, c *Cache) ([]*stats.Table, error) {
+	return c.RunSpec(ctx, "ablate")
+}
 
 func pct(x float64) string  { return fmt.Sprintf("%.1f", 100*x) }
 func pct2(x float64) string { return fmt.Sprintf("%+.1f", 100*x) }

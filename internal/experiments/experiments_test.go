@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -10,6 +11,8 @@ import (
 
 // smallCache builds a fast 3-benchmark cache shared by the tests.
 var smallCacheNames = []string{"gzip", "crafty", "vortex"}
+
+var bg = context.Background()
 
 func smallCache(t *testing.T) *Cache {
 	t.Helper()
@@ -25,17 +28,17 @@ func TestCacheBasics(t *testing.T) {
 	if len(c.Names()) != 3 {
 		t.Fatalf("names = %v", c.Names())
 	}
-	if c.DynLen("gzip") < 40_000 {
-		t.Errorf("gzip dyn len = %d", c.DynLen("gzip"))
+	if c.DynLen(bg, "gzip") < 40_000 {
+		t.Errorf("gzip dyn len = %d", c.DynLen(bg, "gzip"))
 	}
-	st, err := c.Run("gzip", sim.Options{Integration: sim.IntReverse})
+	st, err := c.Run(bg, "gzip", sim.Options{Integration: sim.IntReverse})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.Retired == 0 {
 		t.Error("no instructions retired")
 	}
-	if _, err := c.Run("nope", sim.Options{}); err == nil {
+	if _, err := c.Run(bg, "nope", sim.Options{}); err == nil {
 		t.Error("unknown workload accepted")
 	}
 	if _, err := NewCache([]string{"nope"}); err == nil {
@@ -45,7 +48,7 @@ func TestCacheBasics(t *testing.T) {
 
 func TestFigure4Structure(t *testing.T) {
 	c := smallCache(t)
-	tables, err := Figure4(c)
+	tables, err := Figure4(bg, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +80,7 @@ func TestFigure4Structure(t *testing.T) {
 
 func TestFigure5Structure(t *testing.T) {
 	c := smallCache(t)
-	tables, err := Figure5(c)
+	tables, err := Figure5(bg, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +115,7 @@ func TestFigure5Structure(t *testing.T) {
 
 func TestFigure6Structure(t *testing.T) {
 	c := smallCache(t)
-	tables, err := Figure6(c)
+	tables, err := Figure6(bg, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +135,7 @@ func TestFigure6Structure(t *testing.T) {
 
 func TestFigure7Structure(t *testing.T) {
 	c := smallCache(t)
-	tables, err := Figure7(c)
+	tables, err := Figure7(bg, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +164,7 @@ func TestFigure7Structure(t *testing.T) {
 
 func TestDiagnosticsStructure(t *testing.T) {
 	c := smallCache(t)
-	tables, err := Diagnostics(c)
+	tables, err := Diagnostics(bg, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +185,7 @@ func TestDiagnosticsStructure(t *testing.T) {
 
 func TestAblationsStructure(t *testing.T) {
 	c := smallCache(t)
-	tables, err := Ablations(c)
+	tables, err := Ablations(bg, c)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"rix/internal/runner"
@@ -32,7 +33,7 @@ func TestPaperHeadline(t *testing.T) {
 	for _, p := range sim.IntegrationPresets() {
 		spec.Configs = append(spec.Configs, runner.Config{Label: p, Opt: sim.Options{Integration: p}})
 	}
-	rs, err := c.Gather(&spec)
+	rs, err := c.Gather(context.Background(), &spec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"rix/internal/bpred"
@@ -181,7 +182,50 @@ type Pipeline struct {
 	probeU *uop
 	prb    core.ProducerProbe
 
+	// Progress observation (SetProgress): polled on the same batched
+	// cadence as cancellation, so the hot loop stays allocation-free.
+	progressEvery uint64
+	progressFn    func(retired uint64)
+	progressLast  uint64
+
 	Stats Stats
+}
+
+// pollInterval is the cycle cadence of the batched cancellation and
+// progress checks in RunContext/RunWindowContext: a power of two, so the
+// check is a mask on the cycle counter. At simulation speed (a few
+// hundred ns/cycle) cancellation is detected within about a millisecond,
+// and the poll itself — one masked compare per cycle plus a non-blocking
+// channel read every pollInterval cycles — is far below the benchgate
+// noise floor.
+const pollInterval = 1 << 12
+
+// SetProgress registers fn to be called with the cumulative retired
+// instruction count roughly every `every` retired instructions (polled
+// at pollInterval cycle granularity, so the callback runs well off the
+// per-cycle path). every == 0 disables. Call before Run; the callback
+// must not mutate the pipeline.
+func (pl *Pipeline) SetProgress(every uint64, fn func(retired uint64)) {
+	pl.progressEvery = every
+	pl.progressFn = fn
+}
+
+// poll runs the batched cancellation/progress check. It returns a
+// non-nil error exactly when ctx is cancelled.
+func (pl *Pipeline) poll(ctx context.Context, done <-chan struct{}) error {
+	if done != nil {
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+	}
+	if pl.progressFn != nil && pl.progressEvery > 0 &&
+		pl.Stats.Retired-pl.progressLast >= pl.progressEvery {
+		pl.progressLast = pl.Stats.Retired
+		pl.progressFn(pl.Stats.Retired)
+	}
+	return nil
 }
 
 // New builds a pipeline for a program with a golden trace source (from
@@ -355,10 +399,25 @@ func chtSize(c bpred.Config) int {
 // Run simulates to completion (all golden-trace instructions retired) and
 // returns the statistics.
 func (pl *Pipeline) Run() (*Stats, error) {
+	return pl.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: ctx is polled every pollInterval
+// cycles (batched, allocation-free), and a cancelled run returns
+// ctx.Err() within that bound. context.Background() adds no per-cycle
+// work beyond one masked compare.
+func (pl *Pipeline) RunContext(ctx context.Context) (*Stats, error) {
+	done := ctx.Done()
+	watch := done != nil || pl.progressFn != nil
 	for !pl.halted {
 		if pl.now >= pl.cfg.MaxCycles {
 			return nil, fmt.Errorf("pipeline: %s exceeded cycle budget at %d retired",
 				pl.prog.Name, pl.Stats.Retired)
+		}
+		if watch && pl.now&(pollInterval-1) == 0 {
+			if err := pl.poll(ctx, done); err != nil {
+				return nil, err
+			}
 		}
 		pl.step()
 	}
@@ -398,6 +457,14 @@ func (pl *Pipeline) Integrator() *core.Integrator { return pl.integ }
 // Stats.TraceWindowPeak reports the whole run's peak, warmup included —
 // it is a memory bound, not a windowed counter.
 func (pl *Pipeline) RunWindow(warmup, measure uint64) (*Stats, error) {
+	return pl.RunWindowContext(context.Background(), warmup, measure)
+}
+
+// RunWindowContext is RunWindow with cancellation, polled on the same
+// batched cadence as RunContext.
+func (pl *Pipeline) RunWindowContext(ctx context.Context, warmup, measure uint64) (*Stats, error) {
+	done := ctx.Done()
+	watch := done != nil || pl.progressFn != nil
 	var base *Stats
 	if warmup == 0 {
 		base = &Stats{} // measure from the very first cycle
@@ -407,6 +474,11 @@ func (pl *Pipeline) RunWindow(warmup, measure uint64) (*Stats, error) {
 		if pl.now >= pl.cfg.MaxCycles {
 			return nil, fmt.Errorf("pipeline: %s exceeded cycle budget at %d retired",
 				pl.prog.Name, pl.Stats.Retired)
+		}
+		if watch && pl.now&(pollInterval-1) == 0 {
+			if err := pl.poll(ctx, done); err != nil {
+				return nil, err
+			}
 		}
 		pl.step()
 		if base == nil && pl.Stats.Retired >= warmup {

@@ -1,0 +1,230 @@
+package run
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"rix/internal/asm"
+	"rix/internal/emu"
+	"rix/internal/pipeline"
+	"rix/internal/prog"
+	"rix/internal/sample"
+	"rix/internal/workload"
+)
+
+// Source supplies built workloads by name. workload.Builder is the
+// standard implementation; the runner engine passes its own memoizing
+// source so matrix cells share builds.
+type Source interface {
+	Get(ctx context.Context, name string) (workload.Built, error)
+}
+
+// DetailRunner executes one full-detail simulation — the seam the
+// engine's tests use to substitute a stub machine. The default
+// constructs a pipeline, attaches progress observation, and runs it
+// under ctx.
+type DetailRunner func(ctx context.Context, cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error)
+
+// DefaultProgressInterval is the retired/fast-forwarded instruction
+// cadence of Progress events when an Observer is attached.
+const DefaultProgressInterval = 1 << 18
+
+// config collects Do's options.
+type config struct {
+	obs           Observer
+	hasObs        bool
+	src           Source
+	detail        DetailRunner
+	progressEvery uint64
+}
+
+// Option customizes one Do call.
+type Option func(*config)
+
+// WithObserver streams the run's typed progress events to o.
+func WithObserver(o Observer) Option {
+	return func(c *config) {
+		if o != nil {
+			c.obs = o
+			c.hasObs = true
+		}
+	}
+}
+
+// WithSource resolves workload names through s instead of the package
+// registry.
+func WithSource(s Source) Option {
+	return func(c *config) {
+		if s != nil {
+			c.src = s
+		}
+	}
+}
+
+// WithProgressEvery sets the Progress event cadence in instructions
+// (default DefaultProgressInterval; 0 keeps the default).
+func WithProgressEvery(n uint64) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.progressEvery = n
+		}
+	}
+}
+
+// WithDetailRunner substitutes the full-detail execution path — a test
+// seam; sampled modes are unaffected.
+func WithDetailRunner(fn DetailRunner) Option {
+	return func(c *config) {
+		if fn != nil {
+			c.detail = fn
+		}
+	}
+}
+
+// defaultSource memoizes registry builds across Do calls (programs and
+// validation metadata only; golden traces stream).
+var defaultSource = workload.NewBuilder()
+
+// Do executes one request: validate eagerly, resolve the program, route
+// by Mode, and return the Result. Cancelling ctx ends the run with
+// ctx.Err() within a bounded amount of simulated work at every stage —
+// workload build, detailed cycle loop, sampled fast-forward, window
+// replay, and checkpoint re-execution.
+func Do(ctx context.Context, req Request, opts ...Option) (*Result, error) {
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	c := config{obs: nopObserver{}, src: defaultSource, progressEvery: DefaultProgressInterval}
+	for _, o := range opts {
+		o(&c)
+	}
+
+	start := time.Now()
+	bw, err := resolve(ctx, &c, &req)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Workload: req.name(), Label: req.ResolvedLabel(), Mode: req.Mode(), DynLen: bw.DynLen}
+	ev := Event{Workload: res.Workload, Label: res.Label, Mode: res.Mode}
+
+	ev.Kind = CellStarted
+	c.obs.Observe(ev)
+	err = execute(ctx, &c, &req, bw, res, ev)
+	ev.Kind = CellFinished
+	if err != nil {
+		ev.Err = err.Error()
+		c.obs.Observe(ev)
+		return nil, err
+	}
+	ev.Instrs = res.Stats.Retired
+	c.obs.Observe(ev)
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// resolve produces the program to simulate: a named workload through the
+// source, or inline assembly.
+func resolve(ctx context.Context, c *config, req *Request) (workload.Built, error) {
+	if req.Workload != "" {
+		return c.src.Get(ctx, req.Workload)
+	}
+	p, err := asm.Assemble(req.name(), req.Source)
+	if err != nil {
+		return workload.Built{}, fmt.Errorf("run: assemble %s: %w", req.name(), err)
+	}
+	return workload.BuiltFromProgram(p, req.MaxInstrs), nil
+}
+
+// execute routes the resolved run to its engine and fills in the
+// result's statistics.
+func execute(ctx context.Context, c *config, req *Request, bw workload.Built, res *Result, ev Event) error {
+	cfg, err := req.Options.Config()
+	if err != nil {
+		return err
+	}
+
+	if req.Options.Sampling == nil {
+		detail := c.detail
+		if detail == nil {
+			detail = func(ctx context.Context, cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error) {
+				pl := pipeline.New(cfg, p, src)
+				if c.hasObs {
+					pev := ev
+					pev.Kind = Progress
+					pl.SetProgress(c.progressEvery, func(retired uint64) {
+						pev.Instrs = retired
+						c.obs.Observe(pev)
+					})
+				}
+				return pl.RunContext(ctx)
+			}
+		}
+		st, err := detail(ctx, cfg, bw.Prog, bw.Source())
+		if err != nil {
+			return err
+		}
+		res.Stats = *st
+		return nil
+	}
+
+	sc := sample.Config{
+		Sampling:      *req.Options.Sampling,
+		CheckpointDir: req.CheckpointDir,
+		Parallel:      req.Parallel,
+		MaxInstrs:     req.MaxInstrs,
+	}
+	if c.hasObs {
+		sc.Hooks = sampleHooks(c, ev)
+	}
+	var est *sample.Estimate
+	if req.Resume {
+		est, err = sample.Continue(ctx, bw.Prog, bw.DynLen, cfg, sc)
+	} else {
+		est, err = sample.Run(ctx, bw.Prog, bw.DynLen, cfg, sc)
+	}
+	if err != nil {
+		return err
+	}
+	res.Stats = est.Agg
+	res.Sampled = summarize(est)
+	return nil
+}
+
+// sampleHooks adapts the sampling engine's callbacks to the typed event
+// stream. Progress and CheckpointWritten fire from the sequential run
+// goroutine; WindowDone may also fire concurrently from Resume/
+// Continue's worker pool, so every hook builds its Event as a local
+// value — nothing shared is mutated (window-rate events are far off the
+// hot path, so the per-call value is free).
+func sampleHooks(c *config, ev Event) sample.Hooks {
+	var lastProgress uint64
+	every := c.progressEvery
+	return sample.Hooks{
+		Progress: func(instrs uint64) {
+			if instrs-lastProgress < every {
+				return
+			}
+			lastProgress = instrs
+			e := ev
+			e.Kind = Progress
+			e.Instrs = instrs
+			c.obs.Observe(e)
+		},
+		WindowDone: func(w sample.WindowStat) {
+			e := ev
+			e.Kind = WindowDone
+			e.Window = w.Index
+			e.Instrs = w.Stats.Retired
+			c.obs.Observe(e)
+		},
+		CheckpointWritten: func(path string, index int) {
+			e := ev
+			e.Kind = CheckpointWritten
+			e.Window = index
+			e.Path = path
+			c.obs.Observe(e)
+		},
+	}
+}

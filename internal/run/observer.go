@@ -1,0 +1,68 @@
+package run
+
+// EventKind discriminates the typed progress events a run emits.
+type EventKind string
+
+const (
+	// CellStarted fires once per Do call, after validation and workload
+	// resolution succeed.
+	CellStarted EventKind = "cell-started"
+	// Progress reports simulation progress: Instrs is the cumulative
+	// retired (detail) or fast-forwarded (sampled) instruction count.
+	Progress EventKind = "progress"
+	// WindowDone fires after each sampled measurement window; Window is
+	// its index and Instrs the instructions it measured.
+	WindowDone EventKind = "window-done"
+	// CheckpointWritten fires after a sampled-run checkpoint lands on
+	// disk; Path names the file and Window the index.
+	CheckpointWritten EventKind = "checkpoint-written"
+	// CellFinished fires once per Do call that got as far as
+	// CellStarted, success or failure (Err carries the failure text).
+	CellFinished EventKind = "cell-finished"
+)
+
+// Event is one typed progress notification. Events are values — they
+// serialize to JSON, so an Observer can forward them over a wire as
+// easily as render them.
+type Event struct {
+	Kind     EventKind `json:"kind"`
+	Workload string    `json:"workload"`
+	Label    string    `json:"label"`
+	Mode     Mode      `json:"mode"`
+
+	Instrs uint64 `json:"instrs,omitempty"` // Progress, WindowDone
+	Window int    `json:"window,omitempty"` // WindowDone, CheckpointWritten
+	Path   string `json:"path,omitempty"`   // CheckpointWritten
+	Err    string `json:"err,omitempty"`    // CellFinished on failure
+}
+
+// Observer receives a run's typed progress events. Observe is called
+// synchronously from the goroutines executing the run, so it must be
+// fast and must not block. It must also be safe for concurrent use:
+// a ModeResume run fires WindowDone from its bounded worker pool (one
+// event per re-run window, in completion order), and an Observer
+// shared across engine cells (see runner.Engine.Observer) sees every
+// cell's events concurrently.
+type Observer interface {
+	Observe(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// Observe calls f.
+func (f ObserverFunc) Observe(e Event) { f(e) }
+
+// MultiObserver fans events out to every observer in order.
+func MultiObserver(obs ...Observer) Observer {
+	return ObserverFunc(func(e Event) {
+		for _, o := range obs {
+			o.Observe(e)
+		}
+	})
+}
+
+// nopObserver is the default sink.
+type nopObserver struct{}
+
+func (nopObserver) Observe(Event) {}

@@ -1,0 +1,373 @@
+package run_test
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rix/internal/run"
+	"rix/internal/sim"
+	"rix/internal/workload"
+)
+
+func buildBench(t testing.TB, name string) workload.Built {
+	t.Helper()
+	b, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("workload %q not registered", name)
+	}
+	bw, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bw
+}
+
+// leakCheck snapshots the goroutine count and verifies (with retries,
+// since runtime bookkeeping lags) that it returns to the baseline.
+func leakCheck(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Errorf("goroutine leak: %d before, %d after", before, runtime.NumGoroutine())
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	sp := sim.DefaultSampling()
+	cases := []struct {
+		name string
+		req  run.Request
+		want string // error substring; "" = valid
+	}{
+		{"no program", run.Request{}, "exactly one"},
+		{"both programs", run.Request{Workload: "gzip", Source: "x"}, "exactly one"},
+		{"bad axis", run.Request{Workload: "gzip", Options: sim.Options{Integration: "warp"}}, "unknown integration"},
+		{"bad sampling", run.Request{Workload: "gzip",
+			Options: sim.Options{Sampling: &sim.Sampling{Interval: 10, Window: 20}}}, "exceeds interval"},
+		{"resume without sampling", run.Request{Workload: "gzip", Resume: true, CheckpointDir: "/tmp/x"}, "needs Options.Sampling"},
+		{"resume without dir", run.Request{Workload: "gzip", Resume: true,
+			Options: sim.Options{Sampling: &sp}}, "needs CheckpointDir"},
+		{"ckpt without sampling", run.Request{Workload: "gzip", CheckpointDir: "/tmp/x"}, "only meaningful for sampled"},
+		{"valid detail", run.Request{Workload: "gzip", Options: sim.Options{Integration: sim.IntReverse}}, ""},
+		{"valid sampled", run.Request{Workload: "gzip", Options: sim.Options{Sampling: &sp}}, ""},
+	}
+	for _, c := range cases {
+		err := c.req.Validate()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestRequestJSONRoundTrip: a request survives marshal/unmarshal with
+// every field intact — the serializable-run contract.
+func TestRequestJSONRoundTrip(t *testing.T) {
+	sp := sim.Sampling{Interval: 20000, Window: 800, Warmup: 400}
+	req := &run.Request{
+		Workload: "crafty",
+		Label:    "paper-full",
+		Options: sim.Options{
+			Integration: sim.IntReverse,
+			Suppression: sim.SuppressOracle,
+			Core:        sim.CoreIWRS,
+			ITEntries:   512,
+			ITAssoc:     -1,
+			GenBits:     3,
+			Sampling:    &sp,
+		},
+		CheckpointDir: "/tmp/ck",
+		Parallel:      4,
+		MaxInstrs:     1 << 22,
+	}
+	data, err := run.MarshalRequest(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := run.UnmarshalRequest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(req, back) {
+		t.Errorf("request did not round-trip:\nsent: %+v\ngot:  %+v", req, back)
+	}
+	if back.Mode() != run.ModeSampled {
+		t.Errorf("mode = %s, want sampled", back.Mode())
+	}
+	// UnmarshalRequest validates eagerly.
+	if _, err := run.UnmarshalRequest([]byte(`{"workload":"x","options":{"integration":"warp"}}`)); err == nil {
+		t.Error("UnmarshalRequest accepted an invalid request")
+	}
+	// A misspelled key must fail loudly, not silently change the run.
+	if _, err := run.UnmarshalRequest([]byte(`{"workload":"x","checkpoint-dir":"/tmp/ck"}`)); err == nil {
+		t.Error("UnmarshalRequest accepted an unknown field (typo'd key)")
+	}
+}
+
+// TestDoDetailMatchesSimRun: the new entry point reproduces the legacy
+// path's statistics exactly for a full-detail run, and the Result
+// round-trips through JSON.
+func TestDoDetailMatchesSimRun(t *testing.T) {
+	defer leakCheck(t)()
+	bw := buildBench(t, "gzip")
+	o := sim.Options{Integration: sim.IntReverse}
+
+	want, err := sim.Run(bw.Prog, bw.Source(), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run.Do(context.Background(), run.Request{Workload: "gzip", Options: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Stats, *want) {
+		t.Errorf("run.Do stats differ from sim.Run:\nDo:  %+v\nsim: %+v", res.Stats, *want)
+	}
+	if res.Mode != run.ModeDetail || res.Workload != "gzip" || res.Label != o.Label() {
+		t.Errorf("result identity: %+v", res)
+	}
+	if res.DynLen != bw.DynLen {
+		t.Errorf("DynLen = %d, want %d", res.DynLen, bw.DynLen)
+	}
+
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back run.Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*res, back) {
+		t.Errorf("result did not round-trip:\nsent: %+v\ngot:  %+v", *res, back)
+	}
+}
+
+// TestDoSampledMatchesEngine: ModeSampled routes through the sampling
+// engine and reports the same aggregate the engine does, with the
+// window summaries attached; the Result round-trips through JSON.
+func TestDoSampledMatchesEngine(t *testing.T) {
+	defer leakCheck(t)()
+	bw := buildBench(t, "gzip")
+	sp := sim.DefaultSampling()
+	o := sim.Options{Integration: sim.IntReverse, Sampling: &sp}
+
+	want, err := sim.Run(bw.Prog, bw.Source(), o) // shim: sample.Run aggregate
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := run.Do(context.Background(), run.Request{Workload: "gzip", Options: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Stats, *want) {
+		t.Errorf("sampled aggregate differs:\nDo:   %+v\nshim: %+v", res.Stats, *want)
+	}
+	if res.Mode != run.ModeSampled || res.Sampled == nil || len(res.Sampled.Windows) == 0 {
+		t.Fatalf("sampled result shape: %+v", res)
+	}
+
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back run.Result
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*res, back) {
+		t.Errorf("sampled result did not round-trip")
+	}
+}
+
+// eventLog is a concurrency-safe observer recording event kinds.
+type eventLog struct {
+	mu     sync.Mutex
+	events []run.Event
+}
+
+func (l *eventLog) Observe(e run.Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, e)
+}
+
+func (l *eventLog) kinds() map[run.EventKind]int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	m := map[run.EventKind]int{}
+	for _, e := range l.events {
+		m[e.Kind]++
+	}
+	return m
+}
+
+// TestObserverEventStream: a sampled checkpointing run emits the full
+// typed event vocabulary in a sane shape.
+func TestObserverEventStream(t *testing.T) {
+	defer leakCheck(t)()
+	sp := sim.DefaultSampling()
+	o := sim.Options{Integration: sim.IntReverse, Sampling: &sp}
+	log := &eventLog{}
+	res, err := run.Do(context.Background(),
+		run.Request{Workload: "gzip", Options: o, CheckpointDir: t.TempDir()},
+		run.WithObserver(log), run.WithProgressEvery(4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := log.kinds()
+	if k[run.CellStarted] != 1 || k[run.CellFinished] != 1 {
+		t.Errorf("cell lifecycle events: %v", k)
+	}
+	if k[run.Progress] == 0 {
+		t.Errorf("no progress events (cadence 4096): %v", k)
+	}
+	if got, want := k[run.WindowDone], len(res.Sampled.Windows); got != want {
+		t.Errorf("%d window-done events for %d windows", got, want)
+	}
+	if k[run.CheckpointWritten] == 0 {
+		t.Errorf("no checkpoint events despite CheckpointDir: %v", k)
+	}
+	log.mu.Lock()
+	first, last := log.events[0], log.events[len(log.events)-1]
+	log.mu.Unlock()
+	if first.Kind != run.CellStarted || last.Kind != run.CellFinished {
+		t.Errorf("event order: first %s, last %s", first.Kind, last.Kind)
+	}
+	if first.Workload != "gzip" || first.Label != o.Label() || first.Mode != run.ModeSampled {
+		t.Errorf("event identity: %+v", first)
+	}
+}
+
+// TestDetailCancellation: cancelling a detailed run mid-flight returns
+// ctx.Err() promptly and leaks no goroutines; a pre-cancelled context
+// never starts simulating.
+func TestDetailCancellation(t *testing.T) {
+	defer leakCheck(t)()
+	o := sim.Options{Integration: sim.IntReverse}
+
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if _, err := run.Do(pre, run.Request{Workload: "crafty", Options: o}); err != context.Canceled {
+		t.Fatalf("pre-cancelled Do returned %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("pre-cancelled Do took %v", d)
+	}
+
+	// Mid-run: cancel at the first progress event, i.e. from inside the
+	// simulation itself — deterministic, no timing dependence.
+	ctx, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var once sync.Once
+	obs := run.ObserverFunc(func(e run.Event) {
+		if e.Kind == run.Progress {
+			once.Do(cancel2)
+		}
+	})
+	_, err := run.Do(ctx, run.Request{Workload: "crafty", Options: o},
+		run.WithObserver(obs), run.WithProgressEvery(2048))
+	if err != context.Canceled {
+		t.Fatalf("mid-run cancelled Do returned %v, want context.Canceled", err)
+	}
+}
+
+// TestSampledCancellationAndResume: cancelling a sampled checkpointing
+// run mid-flight leaves a resumable directory; a ModeResume request
+// finishes it and reproduces the uninterrupted run's stats bit-for-bit
+// (the engine-level equivalent is TestContinueCancelledRunBitEqual in
+// internal/sample).
+func TestSampledCancellationAndResume(t *testing.T) {
+	defer leakCheck(t)()
+	sp := sim.DefaultSampling()
+	o := sim.Options{Integration: sim.IntReverse, Sampling: &sp}
+
+	uninterrupted, err := run.Do(context.Background(), run.Request{Workload: "gzip", Options: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	obs := run.ObserverFunc(func(e run.Event) {
+		if e.Kind == run.WindowDone && e.Window == 1 {
+			cancel()
+		}
+	})
+	_, err = run.Do(ctx, run.Request{Workload: "gzip", Options: o, CheckpointDir: dir},
+		run.WithObserver(obs))
+	if err != context.Canceled {
+		t.Fatalf("cancelled sampled Do returned %v, want context.Canceled", err)
+	}
+
+	resumeLog := &eventLog{}
+	resumed, err := run.Do(context.Background(),
+		run.Request{Workload: "gzip", Options: o, CheckpointDir: dir, Resume: true, Parallel: 4},
+		run.WithObserver(resumeLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The resume must report every measured window — the parallel prefix
+	// re-run from disk as well as the sequential continuation.
+	if got, want := resumeLog.kinds()[run.WindowDone], len(resumed.Sampled.Windows); got != want {
+		t.Errorf("resume emitted %d window-done events for %d windows", got, want)
+	}
+	if !reflect.DeepEqual(resumed.Stats, uninterrupted.Stats) {
+		t.Errorf("resumed aggregate differs from uninterrupted:\nresumed:       %+v\nuninterrupted: %+v",
+			resumed.Stats, uninterrupted.Stats)
+	}
+	if !reflect.DeepEqual(resumed.Sampled, uninterrupted.Sampled) {
+		t.Errorf("resumed window summaries differ from uninterrupted")
+	}
+	if resumed.Mode != run.ModeResume {
+		t.Errorf("mode = %s, want resume", resumed.Mode)
+	}
+}
+
+// TestInlineSource: an inline-assembly request assembles and runs.
+func TestInlineSource(t *testing.T) {
+	defer leakCheck(t)()
+	const src = `
+        .text
+main:   addqi t0, zero, 5
+loop:   addqi t0, t0, -1
+        bne   t0, loop
+        clr   v0
+        syscall
+`
+	res, err := run.Do(context.Background(),
+		run.Request{Source: src, SourceName: "tiny.s", Options: sim.Options{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Retired == 0 {
+		t.Error("inline program retired nothing")
+	}
+	if res.Workload != "tiny.s" {
+		t.Errorf("workload name = %q", res.Workload)
+	}
+}

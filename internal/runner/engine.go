@@ -1,15 +1,14 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
 
-	"rix/internal/emu"
 	"rix/internal/pipeline"
-	"rix/internal/prog"
-	"rix/internal/sample"
+	"rix/internal/run"
 	"rix/internal/sim"
 	"rix/internal/stats"
 	"rix/internal/workload"
@@ -18,26 +17,36 @@ import (
 // WorkloadSource supplies built workloads to the engine. Get memoizes
 // per name and returns a workload.Built whose Source method mints
 // independent golden-trace streams; BuildAll warms a name set with
-// bounded parallelism. workload.Builder is the standard implementation.
+// bounded parallelism, honoring ctx. workload.Builder is the standard
+// implementation.
 type WorkloadSource interface {
-	Get(name string) (workload.Built, error)
-	BuildAll(names []string, parallel int) error
+	Get(ctx context.Context, name string) (workload.Built, error)
+	BuildAll(ctx context.Context, names []string, parallel int) error
 }
 
-// Engine executes specs over a fixed workload set. Workloads are built
+// Engine executes specs over a fixed workload set, with every cell
+// routed through the unified run API (run.Do): workloads are built
 // lazily — in parallel, memoized — the first time a spec (or DynLen/Run)
 // needs them, and the (workload x config) cross-product runs through a
 // worker pool that acquires its semaphore slot *before* spawning each
 // goroutine, so at most Parallel simulations are live at once and memory
-// stays bounded.
+// stays bounded. Every entry point takes a context.Context: cancelling
+// it stops scheduling new cells and interrupts the in-flight ones at
+// their batched poll boundaries.
 type Engine struct {
 	// Parallel bounds concurrent workload builds and simulations
 	// (default NumCPU; values < 1 mean 1).
 	Parallel int
 
+	// Observer, when set, receives every cell's typed progress events
+	// (cell started/finished, instructions retired, windows completed,
+	// checkpoints written). Cells run concurrently, so the observer must
+	// be safe for concurrent use.
+	Observer run.Observer
+
 	names    []string
 	src      WorkloadSource
-	simulate func(cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error)
+	simulate run.DetailRunner // test seam; nil = run.Do's real pipeline
 }
 
 // NewEngine creates an engine over the named workloads (nil means the
@@ -63,9 +72,6 @@ func NewEngineWith(names []string, src WorkloadSource) *Engine {
 		Parallel: runtime.NumCPU(),
 		names:    append([]string(nil), names...),
 		src:      src,
-		simulate: func(cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error) {
-			return pipeline.New(cfg, p, src).Run()
-		},
 	}
 }
 
@@ -90,11 +96,11 @@ func (e *Engine) has(name string) bool {
 
 // DynLen returns the dynamic instruction count of a workload (building
 // it on first use), or 0 if the workload is unknown or fails to build.
-func (e *Engine) DynLen(name string) int {
+func (e *Engine) DynLen(ctx context.Context, name string) int {
 	if !e.has(name) {
 		return 0
 	}
-	bw, err := e.src.Get(name)
+	bw, err := e.src.Get(ctx, name)
 	if err != nil {
 		return 0
 	}
@@ -102,37 +108,33 @@ func (e *Engine) DynLen(name string) int {
 }
 
 // Run simulates one workload under the given options, outside any spec.
-func (e *Engine) Run(name string, o sim.Options) (*pipeline.Stats, error) {
+func (e *Engine) Run(ctx context.Context, name string, o sim.Options) (*pipeline.Stats, error) {
 	if !e.has(name) {
 		return nil, fmt.Errorf("runner: workload %q not in engine", name)
 	}
-	return e.cell(name, Config{Label: o.Label(), Opt: o})
+	return e.cell(ctx, name, Config{Label: o.Label(), Opt: o})
 }
 
-// cell executes one (workload, config) cell. Each cell mints its own
-// trace source, so concurrent cells over the same workload stream
-// independently at O(ROB) memory apiece. Cells whose options request
-// sampling run through the interval-sampling engine instead of the
-// full-detail pipeline; their Stats cover the measured windows, so
+// cell executes one (workload, config) cell through run.Do. Each cell
+// mints its own trace source, so concurrent cells over the same workload
+// stream independently at O(ROB) memory apiece. Cells whose options
+// request sampling run through the interval-sampling engine instead of
+// the full-detail pipeline; their Stats cover the measured windows, so
 // every ratio metric (IPC, rates, per-million counts) estimates the
 // full run while absolute counters are sampled totals.
-func (e *Engine) cell(bench string, c Config) (*pipeline.Stats, error) {
-	cfg, err := c.Opt.Config()
+func (e *Engine) cell(ctx context.Context, bench string, c Config) (*pipeline.Stats, error) {
+	opts := []run.Option{run.WithSource(e.src)}
+	if e.Observer != nil {
+		opts = append(opts, run.WithObserver(e.Observer))
+	}
+	if e.simulate != nil {
+		opts = append(opts, run.WithDetailRunner(e.simulate))
+	}
+	res, err := run.Do(ctx, run.Request{Workload: bench, Label: c.Label, Options: c.Opt}, opts...)
 	if err != nil {
 		return nil, err
 	}
-	bw, err := e.src.Get(bench)
-	if err != nil {
-		return nil, err
-	}
-	if sp := c.Opt.Sampling; sp != nil {
-		est, err := sample.Run(bw.Prog, bw.DynLen, cfg, sample.Config{Sampling: *sp})
-		if err != nil {
-			return nil, err
-		}
-		return est.StatsEstimate(), nil
-	}
-	return e.simulate(cfg, bw.Prog, bw.Source())
+	return &res.Stats, nil
 }
 
 // prep normalizes a private copy of the spec so ad-hoc specs get the
@@ -151,21 +153,23 @@ func (e *Engine) prep(s *Spec) (*Spec, error) {
 // spec's workloads are built first — in parallel, memoized — and cells
 // are then scheduled through the bounded pool. On the first cell or fn
 // error, no further cells are scheduled; the error is returned after
-// in-flight simulations settle.
-func (e *Engine) Stream(s *Spec, fn func(Result) error) error {
+// in-flight simulations settle. Cancelling ctx aborts the same way,
+// with the context's error.
+func (e *Engine) Stream(ctx context.Context, s *Spec, fn func(Result) error) error {
 	sp, err := e.prep(s)
 	if err != nil {
 		return err
 	}
 	benches := sp.benchesFor(e.names)
 	par := e.parallel()
-	if err := e.src.BuildAll(benches, par); err != nil {
+	if err := e.src.BuildAll(ctx, benches, par); err != nil {
 		return err
 	}
 
 	sem := make(chan struct{}, par)
 	results := make(chan Result)
 	stop := make(chan struct{}) // closed on first error: stop scheduling
+	done := ctx.Done()
 	go func() {
 		defer close(results)
 		var wg sync.WaitGroup
@@ -175,10 +179,14 @@ func (e *Engine) Stream(s *Spec, fn func(Result) error) error {
 				select {
 				case <-stop: // checked alone first: select picks randomly among ready cases
 					return
+				case <-done:
+					return
 				default:
 				}
 				select {
 				case <-stop:
+					return
+				case <-done:
 					return
 				case sem <- struct{}{}: // acquire before spawning (back-pressure)
 				}
@@ -186,7 +194,7 @@ func (e *Engine) Stream(s *Spec, fn func(Result) error) error {
 				go func(b string, c Config) {
 					defer wg.Done()
 					defer func() { <-sem }()
-					st, err := e.cell(b, c)
+					st, err := e.cell(ctx, b, c)
 					results <- Result{Bench: b, Label: c.Label, Stats: st, Err: err}
 				}(b, c)
 			}
@@ -207,18 +215,21 @@ func (e *Engine) Stream(s *Spec, fn func(Result) error) error {
 			close(stop)
 		}
 	}
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
 	return firstErr
 }
 
 // Gather executes the spec and accumulates every cell into a keyed,
 // deterministically ordered ResultSet.
-func (e *Engine) Gather(s *Spec) (*ResultSet, error) {
+func (e *Engine) Gather(ctx context.Context, s *Spec) (*ResultSet, error) {
 	sp, err := e.prep(s)
 	if err != nil {
 		return nil, err
 	}
 	rs := newResultSet(sp.benchesFor(e.names), sp.Configs)
-	if err := e.Stream(sp, func(r Result) error { rs.add(r); return nil }); err != nil {
+	if err := e.Stream(ctx, sp, func(r Result) error { rs.add(r); return nil }); err != nil {
 		return nil, err
 	}
 	return rs, nil
@@ -226,13 +237,13 @@ func (e *Engine) Gather(s *Spec) (*ResultSet, error) {
 
 // RunSpec looks a registered spec up, executes it, and renders its
 // tables through the spec's collector.
-func (e *Engine) RunSpec(id string) ([]*stats.Table, error) {
+func (e *Engine) RunSpec(ctx context.Context, id string) ([]*stats.Table, error) {
 	sp, ok := Lookup(id)
 	if !ok {
 		return nil, fmt.Errorf("runner: unknown spec %q (registered: %s)",
 			id, strings.Join(SortedIDs(), ", "))
 	}
-	rs, err := e.Gather(sp)
+	rs, err := e.Gather(ctx, sp)
 	if err != nil {
 		return nil, err
 	}

@@ -1,7 +1,10 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -11,16 +14,19 @@ import (
 	"rix/internal/emu"
 	"rix/internal/pipeline"
 	"rix/internal/prog"
+	"rix/internal/run"
 	"rix/internal/sim"
 	"rix/internal/stats"
 	"rix/internal/workload"
 )
 
+var bg = context.Background()
+
 // testSource builds a counting workload source: every build returns a
 // program carrying its name, and buildCount records how often each name
 // was actually built (memoization should pin this at one).
 func testSource(counts *sync.Map) *workload.Builder {
-	return workload.NewBuilderFunc(func(name string) (workload.Built, error) {
+	return workload.NewBuilderFunc(func(ctx context.Context, name string) (workload.Built, error) {
 		if v, _ := counts.LoadOrStore(name, new(int64)); true {
 			atomic.AddInt64(v.(*int64), 1)
 		}
@@ -34,7 +40,7 @@ func testSource(counts *sync.Map) *workload.Builder {
 // received the right cell regardless of completion order.
 func testEngine(names []string, counts *sync.Map) *Engine {
 	e := NewEngineWith(names, testSource(counts))
-	e.simulate = func(cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error) {
+	e.simulate = func(ctx context.Context, cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error) {
 		// Finish later cells sooner to scramble completion order.
 		time.Sleep(time.Duration(5000/cfg.IT.Entries) * time.Microsecond)
 		return &pipeline.Stats{Retired: cellTag(p.Name, cfg.IT.Entries)}, nil
@@ -117,10 +123,10 @@ func TestRegisterValidation(t *testing.T) {
 func TestUnknownSpecAndWorkload(t *testing.T) {
 	var counts sync.Map
 	e := testEngine([]string{"a"}, &counts)
-	if _, err := e.RunSpec("t-nope"); err == nil || !strings.Contains(err.Error(), "unknown spec") {
+	if _, err := e.RunSpec(bg, "t-nope"); err == nil || !strings.Contains(err.Error(), "unknown spec") {
 		t.Errorf("RunSpec unknown: %v", err)
 	}
-	if _, err := e.Run("nope", sim.Options{}); err == nil {
+	if _, err := e.Run(bg, "nope", sim.Options{}); err == nil {
 		t.Error("Run with unknown workload accepted")
 	}
 	if _, err := NewEngine([]string{"not-a-benchmark"}); err == nil {
@@ -153,15 +159,15 @@ func TestLazyMemoizedBuilds(t *testing.T) {
 			defer wg.Done()
 			switch i % 3 {
 			case 0:
-				if _, err := e.Gather(&spec); err != nil {
+				if _, err := e.Gather(bg, &spec); err != nil {
 					t.Error(err)
 				}
 			case 1:
-				if n := e.DynLen("b"); n != 100 {
+				if n := e.DynLen(bg, "b"); n != 100 {
 					t.Errorf("DynLen = %d", n)
 				}
 			case 2:
-				if _, err := e.Run("c", sim.Options{}); err != nil {
+				if _, err := e.Run(bg, "c", sim.Options{}); err != nil {
 					t.Error(err)
 				}
 			}
@@ -187,7 +193,7 @@ func TestWorkerPoolBound(t *testing.T) {
 	e.Parallel = 3
 
 	var inflight, peak int64
-	e.simulate = func(cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error) {
+	e.simulate = func(ctx context.Context, cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error) {
 		n := atomic.AddInt64(&inflight, 1)
 		for {
 			old := atomic.LoadInt64(&peak)
@@ -202,7 +208,7 @@ func TestWorkerPoolBound(t *testing.T) {
 
 	spec := sizedSpec("t-pool", 64, 128, 256, 512, 1024, 2048)
 	cells := 0
-	if err := e.Stream(&spec, func(r Result) error { cells++; return nil }); err != nil {
+	if err := e.Stream(bg, &spec, func(r Result) error { cells++; return nil }); err != nil {
 		t.Fatal(err)
 	}
 	if want := 5 * 6; cells != want {
@@ -220,7 +226,7 @@ func TestDeterministicCollectorOrdering(t *testing.T) {
 
 	spec := sizedSpec("t-order", 1024, 64, 256) // label order != completion order
 	for trial := 0; trial < 3; trial++ {
-		rs, err := e.Gather(&spec)
+		rs, err := e.Gather(bg, &spec)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -249,14 +255,14 @@ func TestDeterministicCollectorOrdering(t *testing.T) {
 func TestStreamErrorPropagation(t *testing.T) {
 	var counts sync.Map
 	e := testEngine([]string{"a", "b"}, &counts)
-	e.simulate = func(cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error) {
+	e.simulate = func(ctx context.Context, cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error) {
 		if p.Name == "b" && cfg.IT.Entries == 128 {
 			return nil, fmt.Errorf("boom")
 		}
 		return &pipeline.Stats{}, nil
 	}
 	spec := sizedSpec("t-err", 64, 128)
-	_, err := e.Gather(&spec)
+	_, err := e.Gather(bg, &spec)
 	if err == nil || !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "b [it128]") {
 		t.Errorf("error = %v, want cell-attributed boom", err)
 	}
@@ -267,7 +273,7 @@ func TestStreamAbortsSchedulingOnError(t *testing.T) {
 	e := testEngine([]string{"a"}, &counts)
 	e.Parallel = 1
 	var simulated int64
-	e.simulate = func(cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error) {
+	e.simulate = func(ctx context.Context, cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error) {
 		atomic.AddInt64(&simulated, 1)
 		if cfg.IT.Entries == 64 { // the very first cell fails
 			return nil, fmt.Errorf("boom")
@@ -280,7 +286,7 @@ func TestStreamAbortsSchedulingOnError(t *testing.T) {
 		entries[i] = 64 + i
 	}
 	spec := sizedSpec("t-abort", entries...)
-	if _, err := e.Gather(&spec); err == nil {
+	if _, err := e.Gather(bg, &spec); err == nil {
 		t.Fatal("expected error")
 	}
 	// A handful of cells may race past the stop signal, but the bulk of
@@ -294,12 +300,12 @@ func TestAdHocSpecValidation(t *testing.T) {
 	var counts sync.Map
 	e := testEngine([]string{"a"}, &counts)
 	dup := Spec{ID: "t-adhoc", Configs: []Config{{Label: "x"}, {Label: "x"}}}
-	if _, err := e.Gather(&dup); err == nil {
+	if _, err := e.Gather(bg, &dup); err == nil {
 		t.Error("Gather accepted duplicate labels")
 	}
 	// Labels default without mutating the caller's spec.
 	adhoc := Spec{ID: "t-default", Configs: []Config{{Opt: sim.Options{Integration: sim.IntSquash}}}}
-	rs, err := e.Gather(&adhoc)
+	rs, err := e.Gather(bg, &adhoc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,12 +317,78 @@ func TestAdHocSpecValidation(t *testing.T) {
 	}
 }
 
+// TestStreamCancellation: cancelling the context mid-matrix aborts
+// scheduling, interrupts in-flight cells, surfaces the context error,
+// and leaks no worker goroutines.
+func TestStreamCancellation(t *testing.T) {
+	var counts sync.Map
+	e := testEngine([]string{"a", "b", "c"}, &counts)
+	e.Parallel = 2
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var simulated int64
+	e.simulate = func(ctx context.Context, cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error) {
+		if atomic.AddInt64(&simulated, 1) == 2 {
+			cancel()
+		}
+		// Every cell honors ctx, as the real pipeline does at its poll
+		// boundary.
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+			return &pipeline.Stats{}, nil
+		}
+	}
+
+	before := runtime.NumGoroutine()
+	spec := sizedSpec("t-cancel", 64, 128, 256, 512, 1024, 2048)
+	err := e.Stream(ctx, &spec, func(r Result) error { return nil })
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Stream returned %v, want a context.Canceled-wrapping error", err)
+	}
+	if n := atomic.LoadInt64(&simulated); n > 6 {
+		t.Errorf("%d cells simulated after cancellation, want early abort", n)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutine leak after cancelled Stream: %d before, %d after", before, n)
+	}
+}
+
+// TestEngineObserverEvents: the engine forwards every cell's lifecycle
+// events to its Observer.
+func TestEngineObserverEvents(t *testing.T) {
+	var counts sync.Map
+	e := testEngine([]string{"a", "b"}, &counts)
+	var mu sync.Mutex
+	seen := map[run.EventKind]int{}
+	e.Observer = run.ObserverFunc(func(ev run.Event) {
+		mu.Lock()
+		defer mu.Unlock()
+		seen[ev.Kind]++
+	})
+	spec := sizedSpec("t-obs", 64, 128)
+	if _, err := e.Gather(bg, &spec); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if seen[run.CellStarted] != 4 || seen[run.CellFinished] != 4 {
+		t.Errorf("cell events = %v, want 4 started / 4 finished", seen)
+	}
+}
+
 func TestBenchesForSubset(t *testing.T) {
 	var counts sync.Map
 	e := testEngine([]string{"a", "b", "c"}, &counts)
 	spec := sizedSpec("t-subset", 64)
 	spec.Benchmarks = []string{"c", "nope", "a"} // spec order wins; unknowns drop
-	rs, err := e.Gather(&spec)
+	rs, err := e.Gather(bg, &spec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package sample
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"os"
@@ -11,13 +12,14 @@ import (
 	"rix/internal/emu"
 	"rix/internal/pipeline"
 	"rix/internal/prog"
-	"rix/internal/sim"
 )
 
 // CheckpointFormat versions the on-disk checkpoint encoding. Bump it
 // whenever Checkpoint, WarmSnapshot, emu.State or any of the embedded
-// state structs change shape; loads reject other versions.
-const CheckpointFormat = 1
+// state structs change shape; loads reject other versions. Format 2
+// added Checkpoint.Partial and WarmSnapshot.LastLine (cancellation
+// flush + exact warmer restoration).
+const CheckpointFormat = 2
 
 // Checkpoint is everything one measurement window needs to run in
 // isolation: the emulator's architectural state at the window's detailed
@@ -32,7 +34,8 @@ type Checkpoint struct {
 	Program  string
 	Index    int
 	Start    uint64 // dynamic instruction of the detailed (warmup) start
-	Sampling sim.Sampling
+	Partial  bool   // mid-fast-forward cancellation flush: Start is NOT a window boundary
+	Sampling Sampling
 	Emu      emu.State
 	Warm     WarmSnapshot
 }
@@ -46,7 +49,9 @@ func checkpointName(program string, idx int) string {
 // SaveCheckpoint atomically writes a checkpoint into dir (created if
 // missing), returning its path. A crash mid-write leaves no partial
 // file: the payload lands under a temporary name and is renamed into
-// place.
+// place. A partial (cancellation) checkpoint shares its window's file
+// name, so the boundary checkpoint written when Continue reaches the
+// window start replaces it.
 func SaveCheckpoint(dir string, ck *Checkpoint) (string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return "", fmt.Errorf("sample: checkpoint dir: %w", err)
@@ -101,10 +106,15 @@ func Checkpoints(dir, program string) ([]string, error) {
 // RunCheckpoint executes one measurement window from its checkpoint —
 // the sharding primitive: any process holding the program and one
 // checkpoint file can produce that window's Stats, bit-identical to the
-// direct sampled run's.
-func RunCheckpoint(p *prog.Program, ck *Checkpoint, cfg pipeline.Config, sp sim.Sampling) (*WindowStat, error) {
+// direct sampled run's. Partial (cancellation-flush) checkpoints are not
+// window boundaries and are rejected; Continue is the path that
+// finishes an interrupted run.
+func RunCheckpoint(ctx context.Context, p *prog.Program, ck *Checkpoint, cfg pipeline.Config, sp Sampling) (*WindowStat, error) {
 	if ck.Program != p.Name {
 		return nil, fmt.Errorf("sample: checkpoint is for %q, not %q", ck.Program, p.Name)
+	}
+	if ck.Partial {
+		return nil, fmt.Errorf("sample: checkpoint for window %d of %s is a partial (cancellation) flush, not a window boundary; use Continue", ck.Index, p.Name)
 	}
 	if err := sp.Validate(); err != nil {
 		return nil, err
@@ -113,8 +123,11 @@ func RunCheckpoint(p *prog.Program, ck *Checkpoint, cfg pipeline.Config, sp sim.
 		return nil, fmt.Errorf("sample: checkpoint window layout %s does not match requested %s",
 			ck.Sampling, sp)
 	}
-	stats, _, err := runDetail(p, cfg, ck.Emu, ck.Warm, sp)
+	stats, _, err := runDetail(ctx, p, cfg, ck.Emu, ck.Warm, sp)
 	if err != nil {
+		if ctx.Err() != nil && err == ctx.Err() {
+			return nil, err
+		}
 		return nil, fmt.Errorf("sample: window %d of %s: %w", ck.Index, p.Name, err)
 	}
 	return &WindowStat{
@@ -125,11 +138,73 @@ func RunCheckpoint(p *prog.Program, ck *Checkpoint, cfg pipeline.Config, sp sim.
 	}, nil
 }
 
+// runCheckpointSet re-runs a set of checkpoint files across a bounded
+// worker pool, returning the windows they measure in path order.
+// Partial checkpoints contribute no window and are skipped. Cancelling
+// ctx stops scheduling; in-flight windows see the same ctx. Each
+// completed window fires Hooks.WindowDone — from the worker goroutine,
+// in completion (not index) order — so observers see every measured
+// window of a Resume/Continue, not just the sequential tail.
+func runCheckpointSet(ctx context.Context, p *prog.Program, paths []string, cfg pipeline.Config, sc Config) ([]WindowStat, error) {
+	windows := make([]*WindowStat, len(paths))
+	errs := make([]error, len(paths))
+	sem := make(chan struct{}, sc.Parallel)
+	var wg sync.WaitGroup
+	done := ctx.Done()
+sched:
+	for i, path := range paths {
+		select {
+		case <-done:
+			errs[i] = ctx.Err()
+			break sched
+		case sem <- struct{}{}:
+		}
+		wg.Add(1)
+		go func(i int, path string) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ck, err := LoadCheckpoint(path)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if ck.Partial {
+				return
+			}
+			ws, err := RunCheckpoint(ctx, p, ck, cfg, sc.Sampling)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			windows[i] = ws
+			if sc.Hooks.WindowDone != nil {
+				sc.Hooks.WindowDone(*ws)
+			}
+		}(i, path)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []WindowStat
+	for _, w := range windows {
+		if w != nil {
+			out = append(out, *w)
+		}
+	}
+	return out, nil
+}
+
 // Resume re-runs every checkpointed window of p in sc.CheckpointDir and
-// aggregates them — the restart-after-interruption and shard-merge path.
-// dynLen scales whole-run estimates exactly as in Run. The result is
-// bit-identical to the direct sampled run that wrote the checkpoints.
-func Resume(p *prog.Program, dynLen int, cfg pipeline.Config, sc Config) (*Estimate, error) {
+// aggregates them — the restart-after-interruption and shard-merge path
+// for a checkpoint set whose run completed. dynLen scales whole-run
+// estimates exactly as in Run. The result is bit-identical to the
+// direct sampled run that wrote the checkpoints. A partial
+// (cancellation) checkpoint contributes no window; use Continue to
+// finish an interrupted run instead of merely re-measuring its prefix.
+func Resume(ctx context.Context, p *prog.Program, dynLen int, cfg pipeline.Config, sc Config) (*Estimate, error) {
 	sc, err := sc.normalized()
 	if err != nil {
 		return nil, err
@@ -144,35 +219,13 @@ func Resume(p *prog.Program, dynLen int, cfg pipeline.Config, sc Config) (*Estim
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("sample: no checkpoints for %s in %s", p.Name, sc.CheckpointDir)
 	}
-
-	windows := make([]WindowStat, len(paths))
-	errs := make([]error, len(paths))
-	sem := make(chan struct{}, sc.Parallel)
-	var wg sync.WaitGroup
-	for i, path := range paths {
-		sem <- struct{}{}
-		wg.Add(1)
-		go func(i int, path string) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			ck, err := LoadCheckpoint(path)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			ws, err := RunCheckpoint(p, ck, cfg, sc.Sampling)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			windows[i] = *ws
-		}(i, path)
+	windows, err := runCheckpointSet(ctx, p, paths, cfg, sc)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("sample: no completed windows for %s in %s (the run was interrupted before any window boundary; use Continue to finish it)",
+			p.Name, sc.CheckpointDir)
 	}
 	total := uint64(dynLen)
 	if total == 0 {
@@ -186,4 +239,78 @@ func Resume(p *prog.Program, dynLen int, cfg pipeline.Config, sc Config) (*Estim
 		}
 	}
 	return aggregate(sc.Sampling, detailPad(cfg), windows, total), nil
+}
+
+// Continue finishes an interrupted sampled run from its checkpoint
+// directory: every window before the newest checkpoint is re-run from
+// disk (in parallel, exactly as Resume), and the run then proceeds
+// sequentially from the newest checkpoint — a window boundary or a
+// partial cancellation flush — through the rest of the program, writing
+// further checkpoints as it goes. The aggregate is bit-identical to the
+// uninterrupted run's: re-run windows reproduce their stats exactly,
+// and the continuation restores the emulator and warmer (including the
+// chained LISP feedback) to the exact state the interrupted run held.
+//
+// A checkpoint set whose run already completed just re-measures every
+// window (the final fast-forward discovers the program's halt), so
+// Continue also subsumes Resume for whole-run re-execution.
+func Continue(ctx context.Context, p *prog.Program, dynLen int, cfg pipeline.Config, sc Config) (*Estimate, error) {
+	sc, err := sc.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if sc.CheckpointDir == "" {
+		return nil, fmt.Errorf("sample: Continue needs Config.CheckpointDir")
+	}
+	paths, err := Checkpoints(sc.CheckpointDir, p.Name)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("sample: no checkpoints for %s in %s", p.Name, sc.CheckpointDir)
+	}
+	last, err := LoadCheckpoint(paths[len(paths)-1])
+	if err != nil {
+		return nil, err
+	}
+	if err := validateLayout(sc.Sampling, last.Sampling); err != nil {
+		return nil, err
+	}
+
+	windows, err := runCheckpointSet(ctx, p, paths[:len(paths)-1], cfg, sc)
+	if err != nil {
+		return nil, err
+	}
+
+	e, err := emu.NewFromState(p, last.Emu)
+	if err != nil {
+		return nil, err
+	}
+	w, err := warmerFromSnapshot(cfg, last.Warm)
+	if err != nil {
+		return nil, err
+	}
+	cont, err := runFrom(ctx, p, e, w, last.Index, cfg, sc)
+	windows = append(windows, cont...)
+	if err != nil {
+		return nil, err
+	}
+
+	total := uint64(dynLen)
+	if total == 0 {
+		total = e.Count
+	}
+	return aggregate(sc.Sampling, detailPad(cfg), windows, total), nil
+}
+
+// validateLayout rejects a requested window layout that does not match
+// the one a checkpoint was written under.
+func validateLayout(want, have Sampling) error {
+	if err := want.Validate(); err != nil {
+		return err
+	}
+	if want != have {
+		return fmt.Errorf("sample: checkpoint sampling layout %s does not match requested %s", have, want)
+	}
+	return nil
 }

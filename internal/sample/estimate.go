@@ -7,7 +7,6 @@ import (
 	"strings"
 
 	"rix/internal/pipeline"
-	"rix/internal/sim"
 )
 
 // WindowStat is one measurement window's contribution to an estimate.
@@ -28,7 +27,7 @@ type WindowStat struct {
 // variance (normal approximation; with fewer than two windows they are
 // zero and no bound is claimed).
 type Estimate struct {
-	Sampling sim.Sampling
+	Sampling Sampling
 	Windows  []WindowStat
 
 	TotalInstrs    uint64 // full dynamic length of the run
@@ -44,7 +43,7 @@ type Estimate struct {
 // aggregate folds windows (any dispatch order) into an Estimate. pad is
 // the per-window drain pad (counted as detailed work). Windows that
 // measured nothing (the stream ended inside their warmup) are dropped.
-func aggregate(sp sim.Sampling, pad uint64, windows []WindowStat, total uint64) *Estimate {
+func aggregate(sp Sampling, pad uint64, windows []WindowStat, total uint64) *Estimate {
 	sort.Slice(windows, func(i, j int) bool { return windows[i].Index < windows[j].Index })
 	est := &Estimate{Sampling: sp, TotalInstrs: total}
 	var ipcs, rates []float64
@@ -124,13 +123,25 @@ func (e *Estimate) StatsEstimate() *pipeline.Stats {
 	return &cp
 }
 
-// String renders a one-look summary block.
-func (e *Estimate) String() string {
+// Summary renders the canonical one-look sampled summary block from
+// already-aggregated values (no trailing newline). Estimate.String and
+// the run API's result summary share it, so the block cannot drift
+// between the engine and the CLIs.
+func Summary(sampledInstrs, totalInstrs uint64, detailFrac float64, windows int, sp Sampling,
+	ipc, ipcCI95, rate, rateCI95 float64, estCycles uint64) string {
+
 	var b strings.Builder
 	fmt.Fprintf(&b, "sampled %d/%d instructions (%.1f%% detail incl. warmup) over %d windows (%s)\n",
-		e.SampledInstrs, e.TotalInstrs, 100*e.DetailFraction(), len(e.Windows), e.Sampling)
-	fmt.Fprintf(&b, "IPC              %.3f ±%.1f%% (95%% CI)\n", e.IPC(), 100*e.IPCCI95)
-	fmt.Fprintf(&b, "integration rate %.2f%% ±%.2fpp (95%% CI)\n", 100*e.IntegrationRate(), 100*e.RateCI95)
-	fmt.Fprintf(&b, "est. cycles      %d\n", e.EstimatedCycles())
+		sampledInstrs, totalInstrs, 100*detailFrac, windows, sp)
+	fmt.Fprintf(&b, "IPC              %.3f ±%.1f%% (95%% CI)\n", ipc, 100*ipcCI95)
+	fmt.Fprintf(&b, "integration rate %.2f%% ±%.2fpp (95%% CI)\n", 100*rate, 100*rateCI95)
+	fmt.Fprintf(&b, "est. cycles      %d", estCycles)
 	return b.String()
+}
+
+// String renders a one-look summary block (trailing newline included,
+// the historical contract).
+func (e *Estimate) String() string {
+	return Summary(e.SampledInstrs, e.TotalInstrs, e.DetailFraction(), len(e.Windows), e.Sampling,
+		e.IPC(), e.IPCCI95, e.IntegrationRate(), e.RateCI95, e.EstimatedCycles()) + "\n"
 }

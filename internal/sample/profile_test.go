@@ -3,8 +3,9 @@ package sample
 import (
 	"testing"
 
+	"rix/internal/core"
 	"rix/internal/emu"
-	"rix/internal/sim"
+	"rix/internal/pipeline"
 	"rix/internal/workload"
 )
 
@@ -20,10 +21,10 @@ func BenchmarkWarmPass(b *testing.B) {
 		b.Fatal(err)
 	}
 	p := bw.Prog
-	cfg, err := sim.Options{Integration: sim.IntReverse}.Config()
-	if err != nil {
-		b.Fatal(err)
-	}
+	// The full +reverse machine, assembled directly (this internal test
+	// cannot import the sim facade: sim now depends on sample).
+	cfg := pipeline.DefaultConfig()
+	cfg.Policy = core.Policy{Enable: true, GeneralReuse: true, OpcodeIndex: true, Reverse: true, UseLISP: true}
 	b.ResetTimer()
 	var total uint64
 	for i := 0; i < b.N; i++ {

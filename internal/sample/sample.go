@@ -34,9 +34,16 @@
 // its windows sharded across processes and machines. Each checkpoint is
 // self-contained, so Resume fans windows out across a bounded worker
 // pool (Config.Parallel).
+//
+// Every run accepts a context.Context, checked at batched boundaries
+// (cancelCheckInterval instructions of fast-forward, every poll interval
+// of detailed simulation). Cancelling a checkpointing run flushes one
+// final partial checkpoint at the interruption point, so Continue can
+// later finish the run with stats bit-identical to an uninterrupted one.
 package sample
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -44,7 +51,6 @@ import (
 	"rix/internal/emu"
 	"rix/internal/pipeline"
 	"rix/internal/prog"
-	"rix/internal/sim"
 )
 
 // Documented accuracy bounds: on the benchmark workloads under every
@@ -67,30 +73,59 @@ const (
 // workload.MaxInstrs: every benchmark must halt well within it.
 const DefaultMaxInstrs = 1 << 24
 
+// cancelCheckInterval is how many fast-forwarded instructions pass
+// between context polls. A power of two, so the check compiles to a
+// mask; at emulator speed (tens of ns/instr) cancellation is detected
+// within well under a millisecond.
+const cancelCheckInterval = 1 << 12
+
+// Hooks are optional run observation callbacks. They exist so higher
+// layers (internal/run) can surface typed progress events without this
+// package knowing about them; nil fields are skipped. Progress and
+// CheckpointWritten fire synchronously from the sequential run
+// goroutine; WindowDone additionally fires from Resume/Continue's
+// bounded worker pool — one call per re-run window, concurrently and in
+// completion order — so a WindowDone hook must be safe for concurrent
+// use.
+type Hooks struct {
+	// Progress reports the dynamic instruction count reached by the
+	// functional fast-forward, at cancelCheckInterval granularity.
+	Progress func(instrs uint64)
+	// WindowDone fires after each measurement window completes
+	// (possibly concurrently; see above).
+	WindowDone func(w WindowStat)
+	// CheckpointWritten fires after each checkpoint lands on disk.
+	CheckpointWritten func(path string, index int)
+}
+
 // Config configures a sampled run.
 type Config struct {
 	// Sampling is the window layout; the zero value selects
-	// sim.DefaultSampling().
-	Sampling sim.Sampling
+	// DefaultSampling().
+	Sampling Sampling
 
 	// CheckpointDir, when non-empty, persists one Checkpoint per window
 	// boundary (atomically, named <program>-w<index>.ckpt) as the run
-	// proceeds.
+	// proceeds, plus one final partial checkpoint if the run is
+	// cancelled mid-fast-forward.
 	CheckpointDir string
 
-	// Parallel bounds concurrently re-simulated windows in Resume
-	// (default 1). Run executes windows sequentially regardless: the
-	// feedback chain is order-dependent, and cells already fan out
-	// across the runner pool.
+	// Parallel bounds concurrently re-simulated windows in Resume and
+	// Continue's prefix (default 1). Run executes windows sequentially
+	// regardless: the feedback chain is order-dependent, and cells
+	// already fan out across the runner pool.
 	Parallel int
 
 	// MaxInstrs bounds functional execution (default DefaultMaxInstrs).
 	MaxInstrs uint64
+
+	// Hooks observe the run; see Hooks.
+	Hooks Hooks
 }
 
 func (c Config) normalized() (Config, error) {
-	if c.Sampling == (sim.Sampling{}) {
-		c.Sampling = sim.DefaultSampling()
+	if c.Sampling == (Sampling{}) {
+		c.Sampling = DefaultSampling()
 	}
 	if err := c.Sampling.Validate(); err != nil {
 		return c, err
@@ -109,27 +144,48 @@ func (c Config) normalized() (Config, error) {
 // instructions, and aggregation into an Estimate. dynLen is the known
 // dynamic instruction count (workload.Built.DynLen); pass 0 if unknown —
 // coverage and scaled estimates then use the observed count.
-func Run(p *prog.Program, dynLen int, cfg pipeline.Config, sc Config) (*Estimate, error) {
+//
+// Cancelling ctx ends the run with ctx.Err() within a bounded number of
+// instructions; if Config.CheckpointDir is set, the windows completed so
+// far remain checkpointed on disk and one final (possibly partial)
+// checkpoint is flushed, so Continue can finish the run later.
+func Run(ctx context.Context, p *prog.Program, dynLen int, cfg pipeline.Config, sc Config) (*Estimate, error) {
 	sc, err := sc.normalized()
 	if err != nil {
 		return nil, err
 	}
-	sp := sc.Sampling
-
 	e := emu.New(p)
 	w := newWarmer(cfg)
+	windows, err := runFrom(ctx, p, e, w, 0, cfg, sc)
+	if err != nil {
+		return nil, err
+	}
+	total := uint64(dynLen)
+	if total == 0 {
+		total = e.Count
+	}
+	return aggregate(sc.Sampling, detailPad(cfg), windows, total), nil
+}
+
+// runFrom is the sequential sampling loop, starting at window startIdx
+// with a live emulator and warmer (the program entry for Run, a
+// checkpoint's restored state for Continue). Windows run in program
+// order so each one's discovered DIVA feedback — the LISP's never-aging
+// suppressions — chains into the warmer and thus into every later
+// window's boot (and checkpoint). The real machine trains that table on
+// a handful of events and keeps it for the whole run; cold-LISP windows
+// systematically over-integrated. Parallelism lives across cells in the
+// runner pool, and across processes by sharding the self-contained
+// checkpoints (Resume).
+func runFrom(ctx context.Context, p *prog.Program, e *emu.Emulator, w *warmer,
+	startIdx int, cfg pipeline.Config, sc Config) ([]WindowStat, error) {
+
+	sp := sc.Sampling
+	done := ctx.Done()
 	var windows []WindowStat
 
-	// Windows run sequentially in program order so each one's discovered
-	// DIVA feedback — the LISP's never-aging suppressions — chains into
-	// the warmer and thus into every later window's boot (and
-	// checkpoint). The real machine trains that table on a handful of
-	// events and keeps it for the whole run; cold-LISP windows
-	// systematically over-integrated. Parallelism lives across cells in
-	// the runner pool, and across processes by sharding the
-	// self-contained checkpoints (Resume).
 	n := sp.Warmup + sp.Window + detailPad(cfg)
-	for idx := 0; !e.Halted; idx++ {
+	for idx := startIdx; !e.Halted; idx++ {
 		// Fast-forward (warming) to this window's detailed start. The
 		// clamp covers jittered starts that would land inside the
 		// previous window's recorded span.
@@ -138,13 +194,33 @@ func Run(p *prog.Program, dynLen int, cfg pipeline.Config, sc Config) (*Estimate
 			target = e.Count
 		}
 		for e.Count < target && !e.Halted {
+			if e.Count&(cancelCheckInterval-1) == 0 {
+				if done != nil {
+					select {
+					case <-done:
+						// Flush the interruption point so Continue can
+						// pick the run up without repeating this
+						// fast-forward (best-effort: the previous
+						// boundary checkpoint already makes the run
+						// resumable).
+						if sc.CheckpointDir != "" {
+							flushPartial(sc, p, idx, e, w)
+						}
+						return windows, ctx.Err()
+					default:
+					}
+				}
+				if sc.Hooks.Progress != nil {
+					sc.Hooks.Progress(e.Count)
+				}
+			}
 			if e.Count >= sc.MaxInstrs {
-				return nil, fmt.Errorf("sample: %s did not halt within %d instructions", p.Name, sc.MaxInstrs)
+				return windows, fmt.Errorf("sample: %s did not halt within %d instructions", p.Name, sc.MaxInstrs)
 			}
 			pc := e.PC
 			rec, err := e.Step()
 			if err != nil {
-				return nil, fmt.Errorf("sample: fast-forward failed: %w", err)
+				return windows, fmt.Errorf("sample: fast-forward failed: %w", err)
 			}
 			w.observe(p.Code[rec.CodeIdx], pc, rec, e.PC)
 		}
@@ -162,8 +238,12 @@ func Run(p *prog.Program, dynLen int, cfg pipeline.Config, sc Config) (*Estimate
 				Emu:      e.State(),
 				Warm:     w.snapshot(),
 			}
-			if _, err := SaveCheckpoint(sc.CheckpointDir, ck); err != nil {
-				return nil, err
+			path, err := SaveCheckpoint(sc.CheckpointDir, ck)
+			if err != nil {
+				return windows, err
+			}
+			if sc.Hooks.CheckpointWritten != nil {
+				sc.Hooks.CheckpointWritten(path, idx)
 			}
 		}
 
@@ -174,37 +254,71 @@ func Run(p *prog.Program, dynLen int, cfg pipeline.Config, sc Config) (*Estimate
 		start := e.Count
 		recs := make([]emu.TraceRec, 0, n)
 		for uint64(len(recs)) < n && !e.Halted {
+			if done != nil && e.Count&(cancelCheckInterval-1) == 0 {
+				select {
+				case <-done:
+					// The window's own boundary checkpoint (written
+					// above) already covers this interruption point.
+					return windows, ctx.Err()
+				default:
+				}
+			}
 			pc := e.PC
 			rec, err := e.Step()
 			if err != nil {
-				return nil, fmt.Errorf("sample: fast-forward failed: %w", err)
+				return windows, fmt.Errorf("sample: fast-forward failed: %w", err)
 			}
 			recs = append(recs, rec)
 			w.observe(p.Code[rec.CodeIdx], pc, rec, e.PC)
 		}
 
 		pl := pipeline.NewFrom(cfg, p, emu.FromSlice(recs), boot)
-		stats, err := pl.RunWindow(sp.Warmup, sp.Window)
+		stats, err := pl.RunWindowContext(ctx, sp.Warmup, sp.Window)
 		if err != nil {
-			return nil, fmt.Errorf("sample: window %d of %s: %w", idx, p.Name, err)
+			if ctx.Err() != nil && err == ctx.Err() {
+				return windows, err
+			}
+			return windows, fmt.Errorf("sample: window %d of %s: %w", idx, p.Name, err)
 		}
-		windows = append(windows, WindowStat{
+		ws := WindowStat{
 			Index:        idx,
 			Start:        start,
 			MeasuredFrom: start + sp.Warmup,
 			Stats:        *stats,
-		})
+		}
+		windows = append(windows, ws)
+		if sc.Hooks.WindowDone != nil {
+			sc.Hooks.WindowDone(ws)
+		}
 		fb := feedback{LISP: pl.Integrator().LISP.State()}
 		if err := w.adoptFeedback(fb); err != nil {
-			return nil, err
+			return windows, err
 		}
 	}
+	return windows, nil
+}
 
-	total := uint64(dynLen)
-	if total == 0 {
-		total = e.Count
+// flushPartial writes the cancellation checkpoint: the run's state at an
+// arbitrary fast-forward position, tagged Partial so window-replay paths
+// (RunCheckpoint, Resume) skip it. Continue fast-forwards from it to the
+// next window boundary, where the regular boundary checkpoint overwrites
+// it (same index, same name). Flushing is best-effort — the run is
+// already ending with ctx.Err(), and the previous boundary checkpoint
+// keeps it resumable even if this write fails.
+func flushPartial(sc Config, p *prog.Program, idx int, e *emu.Emulator, w *warmer) {
+	ck := &Checkpoint{
+		Format:   CheckpointFormat,
+		Program:  p.Name,
+		Index:    idx,
+		Start:    e.Count,
+		Partial:  true,
+		Sampling: sc.Sampling,
+		Emu:      e.State(),
+		Warm:     w.snapshot(),
 	}
-	return aggregate(sp, detailPad(cfg), windows, total), nil
+	if path, err := SaveCheckpoint(sc.CheckpointDir, ck); err == nil && sc.Hooks.CheckpointWritten != nil {
+		sc.Hooks.CheckpointWritten(path, idx)
+	}
 }
 
 // feedback is the DIVA-feedback state a window discovers that is worth
@@ -219,8 +333,8 @@ type feedback struct {
 // the window's final feedback state. The emulator budget only needs to
 // cover the window: emu.Limit ends the stream after warmup+window+pad
 // records regardless.
-func runDetail(p *prog.Program, cfg pipeline.Config, st emu.State, ws WarmSnapshot,
-	sp sim.Sampling) (*pipeline.Stats, feedback, error) {
+func runDetail(ctx context.Context, p *prog.Program, cfg pipeline.Config, st emu.State, ws WarmSnapshot,
+	sp Sampling) (*pipeline.Stats, feedback, error) {
 
 	boot, err := buildBoot(cfg, p, st, ws)
 	if err != nil {
@@ -232,7 +346,7 @@ func runDetail(p *prog.Program, cfg pipeline.Config, st emu.State, ws WarmSnapsh
 		return nil, feedback{}, err
 	}
 	pl := pipeline.NewFrom(cfg, p, emu.Limit(src, n), boot)
-	stats, err := pl.RunWindow(sp.Warmup, sp.Window)
+	stats, err := pl.RunWindowContext(ctx, sp.Warmup, sp.Window)
 	if err != nil {
 		return nil, feedback{}, err
 	}
@@ -255,7 +369,7 @@ func detailPad(cfg pipeline.Config) uint64 {
 // reproducibility (resume and sharding stay bit-identical). Window 0
 // starts at 0: its cold-boot run doubles as the pilot that reproduces
 // the full machine's startup transient.
-func windowStart(idx int, sp sim.Sampling) uint64 {
+func windowStart(idx int, sp Sampling) uint64 {
 	if idx == 0 {
 		return 0
 	}

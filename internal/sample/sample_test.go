@@ -1,247 +1,14 @@
 package sample
 
 import (
-	"reflect"
 	"testing"
-	"time"
-
-	"rix/internal/sim"
-	"rix/internal/workload"
 )
-
-// benchSubset mirrors the repository's benchmark subset: one workload
-// per class (call-poor, call-rich, mixed, memory-bound).
-var benchSubset = []string{"gzip", "crafty", "vortex", "mcf"}
-
-func buildBench(t testing.TB, name string) workload.Built {
-	t.Helper()
-	b, ok := workload.ByName(name)
-	if !ok {
-		t.Fatalf("workload %q not registered", name)
-	}
-	bw, err := b.Build()
-	if err != nil {
-		t.Fatal(err)
-	}
-	return bw
-}
-
-// TestSampledAccuracyAcrossPresets is the sampled-vs-full property test:
-// on the benchmark workloads, under the no-integration baseline and
-// every integration preset crossed with both suppression modes, the
-// default-knob sampled estimates must stay within the documented bounds
-// (IPCErrBound relative on IPC, RateErrBound absolute on integration
-// rate) of the full-detail run.
-func TestSampledAccuracyAcrossPresets(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full-detail reference runs (~1 minute)")
-	}
-	opts := []sim.Options{{Integration: sim.IntNone}}
-	for _, p := range sim.IntegrationPresets() {
-		opts = append(opts,
-			sim.Options{Integration: p, Suppression: sim.SuppressLISP},
-			sim.Options{Integration: p, Suppression: sim.SuppressOracle})
-	}
-	for _, name := range benchSubset {
-		bw := buildBench(t, name)
-		for _, o := range opts {
-			cfg, err := o.Config()
-			if err != nil {
-				t.Fatal(err)
-			}
-			full, err := sim.Run(bw.Prog, bw.Source(), o)
-			if err != nil {
-				t.Fatalf("%s [%s] full: %v", name, o.Label(), err)
-			}
-			est, err := Run(bw.Prog, bw.DynLen, cfg, Config{})
-			if err != nil {
-				t.Fatalf("%s [%s] sampled: %v", name, o.Label(), err)
-			}
-			ipcErr := est.IPC()/full.IPC() - 1
-			if ipcErr < 0 {
-				ipcErr = -ipcErr
-			}
-			if ipcErr > IPCErrBound {
-				t.Errorf("%s [%s]: IPC %.3f vs full %.3f: relative error %.1f%% exceeds %.0f%%",
-					name, o.Label(), est.IPC(), full.IPC(), 100*ipcErr, 100*IPCErrBound)
-			}
-			rateErr := est.IntegrationRate() - full.IntegrationRate()
-			if rateErr < 0 {
-				rateErr = -rateErr
-			}
-			if rateErr > RateErrBound {
-				t.Errorf("%s [%s]: rate %.4f vs full %.4f: absolute error %.2fpp exceeds %.1fpp",
-					name, o.Label(), est.IntegrationRate(), full.IntegrationRate(),
-					100*rateErr, 100*RateErrBound)
-			}
-		}
-	}
-}
-
-// TestCheckpointResumeBitEqual is the checkpoint round-trip guarantee: a
-// sampled run that wrote checkpoints, resumed from disk (gob decode,
-// state reconstruction, window re-execution), reproduces every window's
-// Stats and the aggregate byte-for-byte.
-func TestCheckpointResumeBitEqual(t *testing.T) {
-	bw := buildBench(t, "crafty")
-	o := sim.Options{Integration: sim.IntReverse}
-	cfg, err := o.Config()
-	if err != nil {
-		t.Fatal(err)
-	}
-	dir := t.TempDir()
-	sc := Config{CheckpointDir: dir}
-
-	direct, err := Run(bw.Prog, bw.DynLen, cfg, sc)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(direct.Windows) < 4 {
-		t.Fatalf("only %d windows; want a multi-window run", len(direct.Windows))
-	}
-	paths, err := Checkpoints(dir, bw.Prog.Name)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(paths) != len(direct.Windows) {
-		t.Fatalf("%d checkpoints for %d windows", len(paths), len(direct.Windows))
-	}
-
-	resumed, err := Resume(bw.Prog, bw.DynLen, cfg, Config{CheckpointDir: dir, Parallel: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(resumed.Windows) != len(direct.Windows) {
-		t.Fatalf("resume produced %d windows, direct %d", len(resumed.Windows), len(direct.Windows))
-	}
-	for i := range direct.Windows {
-		if !reflect.DeepEqual(direct.Windows[i], resumed.Windows[i]) {
-			t.Errorf("window %d differs:\ndirect:  %+v\nresumed: %+v",
-				i, direct.Windows[i], resumed.Windows[i])
-		}
-	}
-	if !reflect.DeepEqual(direct.Agg, resumed.Agg) {
-		t.Errorf("aggregate Stats differ:\ndirect:  %+v\nresumed: %+v", direct.Agg, resumed.Agg)
-	}
-}
-
-// TestRunCheckpointShard exercises the sharding primitive: one window
-// run in isolation from its checkpoint file matches the direct run's
-// window exactly.
-func TestRunCheckpointShard(t *testing.T) {
-	bw := buildBench(t, "gzip")
-	o := sim.Options{Integration: sim.IntReverse}
-	cfg, err := o.Config()
-	if err != nil {
-		t.Fatal(err)
-	}
-	dir := t.TempDir()
-	direct, err := Run(bw.Prog, bw.DynLen, cfg, Config{CheckpointDir: dir})
-	if err != nil {
-		t.Fatal(err)
-	}
-	paths, err := Checkpoints(dir, bw.Prog.Name)
-	if err != nil {
-		t.Fatal(err)
-	}
-	pick := len(paths) / 2
-	ck, err := LoadCheckpoint(paths[pick])
-	if err != nil {
-		t.Fatal(err)
-	}
-	ws, err := RunCheckpoint(bw.Prog, ck, cfg, direct.Sampling)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(*ws, direct.Windows[pick]) {
-		t.Errorf("sharded window %d differs:\nshard:  %+v\ndirect: %+v", pick, *ws, direct.Windows[pick])
-	}
-
-	// Mismatched window layout must be rejected, not silently mis-run.
-	bad := direct.Sampling
-	bad.Window++
-	if _, err := RunCheckpoint(bw.Prog, ck, cfg, bad); err == nil {
-		t.Error("RunCheckpoint accepted a mismatched window layout")
-	}
-}
-
-// TestSampledFig4Speedup enforces the sampling acceptance criterion on
-// the Figure 4 configuration matrix over the benchmark subset: at least
-// 10x less detailed-simulation work than full detail (the
-// scale-invariant guarantee — the fraction is independent of trace
-// length), measurably faster wall-clock even on these short synthetic
-// traces, and headline metrics within the documented bounds.
-func TestSampledFig4Speedup(t *testing.T) {
-	if testing.Short() {
-		t.Skip("full-detail fig4 reference runs (~1 minute)")
-	}
-	opts := []sim.Options{{Integration: sim.IntNone}}
-	for _, p := range sim.IntegrationPresets() {
-		opts = append(opts,
-			sim.Options{Integration: p, Suppression: sim.SuppressLISP},
-			sim.Options{Integration: p, Suppression: sim.SuppressOracle})
-	}
-
-	var fullTime, sampledTime time.Duration
-	var totalInstrs, detailedInstrs uint64
-	for _, name := range benchSubset {
-		bw := buildBench(t, name)
-		for _, o := range opts {
-			cfg, err := o.Config()
-			if err != nil {
-				t.Fatal(err)
-			}
-			t0 := time.Now()
-			full, err := sim.Run(bw.Prog, bw.Source(), o)
-			if err != nil {
-				t.Fatal(err)
-			}
-			fullTime += time.Since(t0)
-
-			t1 := time.Now()
-			est, err := Run(bw.Prog, bw.DynLen, cfg, Config{})
-			if err != nil {
-				t.Fatal(err)
-			}
-			sampledTime += time.Since(t1)
-
-			totalInstrs += est.TotalInstrs
-			detailedInstrs += est.DetailedInstrs
-			if ipcErr := abs(est.IPC()/full.IPC() - 1); ipcErr > IPCErrBound {
-				t.Errorf("%s [%s]: IPC error %.1f%% exceeds bound", name, o.Label(), 100*ipcErr)
-			}
-			if rateErr := abs(est.IntegrationRate() - full.IntegrationRate()); rateErr > RateErrBound {
-				t.Errorf("%s [%s]: rate error %.2fpp exceeds bound", name, o.Label(), 100*rateErr)
-			}
-		}
-	}
-
-	workRatio := float64(totalInstrs) / float64(detailedInstrs)
-	t.Logf("fig4 matrix: detailed work ratio %.1fx, wall-clock %.1fx (full %v, sampled %v)",
-		workRatio, fullTime.Seconds()/sampledTime.Seconds(), fullTime, sampledTime)
-	if workRatio < 10 {
-		t.Errorf("detailed-work reduction %.1fx, want >= 10x", workRatio)
-	}
-	// Wall-clock on the short synthetic traces carries per-window
-	// overhead that amortizes on longer workloads; require a clear win
-	// with CI-safe margin rather than the asymptotic ratio.
-	if sampledTime*2 >= fullTime {
-		t.Errorf("sampled wall-clock %v not at least 2x faster than full %v", sampledTime, fullTime)
-	}
-}
-
-func abs(x float64) float64 {
-	if x < 0 {
-		return -x
-	}
-	return x
-}
 
 // TestEstimateAggregation pins the estimate arithmetic: weighted ratios,
 // coverage accounting, and the confidence interval degenerating to zero
 // below two windows.
 func TestEstimateAggregation(t *testing.T) {
-	sp := sim.Sampling{Interval: 1000, Window: 100, Warmup: 50}
+	sp := Sampling{Interval: 1000, Window: 100, Warmup: 50}
 	mkWin := func(idx int, retired, cycles, integrated uint64) WindowStat {
 		w := WindowStat{Index: idx, Start: uint64(idx * 1000)}
 		w.Stats.Retired = retired
@@ -283,11 +50,18 @@ func TestEstimateAggregation(t *testing.T) {
 	}
 }
 
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
 // TestWindowStartPlacement pins the de-aliasing placement: window 0 at
 // the origin (the pilot), later windows jittered within their interval,
 // strictly increasing.
 func TestWindowStartPlacement(t *testing.T) {
-	sp := sim.DefaultSampling()
+	sp := DefaultSampling()
 	if windowStart(0, sp) != 0 {
 		t.Fatalf("window 0 must start at 0, got %d", windowStart(0, sp))
 	}

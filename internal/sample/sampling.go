@@ -1,0 +1,78 @@
+package sample
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Sampling selects checkpointed interval sampling for a run: instead of
+// simulating every instruction in detail, the run fast-forwards
+// functionally (warming caches, TLBs and branch predictors along the
+// way) and drops into the detailed pipeline only for periodic
+// measurement windows. This package implements the engine; sim.Options
+// carries the knobs (as the alias sim.Sampling) so experiment specs,
+// run.Requests and CLIs can declare sampled variants.
+//
+// Window layout, in dynamic instructions: a detailed run starts every
+// Interval instructions, spends Warmup instructions in warmup mode
+// (detailed execution, statistics gated off — this is what warms the
+// integration table, whose entries cannot be warmed functionally), then
+// measures Window instructions. The detailed fraction of the run is
+// (Warmup+Window)/Interval.
+type Sampling struct {
+	Interval uint64 `json:"interval"` // distance between detailed-run starts
+	Window   uint64 `json:"window"`   // measured instructions per window
+	Warmup   uint64 `json:"warmup"`   // detailed warmup prefix per window (stats gated off)
+}
+
+// DefaultSampling is the tuned default: a ~7% detailed fraction (≥12×
+// less detailed work, drain pad included) that keeps the documented
+// accuracy bounds (IPCErrBound, RateErrBound) on the benchmark suite.
+func DefaultSampling() Sampling {
+	return Sampling{Interval: 16000, Window: 600, Warmup: 300}
+}
+
+// Validate rejects degenerate layouts: every field positive and windows
+// that do not overlap the next interval's start.
+func (s Sampling) Validate() error {
+	if s.Interval == 0 || s.Window == 0 {
+		return fmt.Errorf("sample: sampling interval and window must be positive (got %d/%d)",
+			s.Interval, s.Window)
+	}
+	if s.Warmup+s.Window > s.Interval {
+		return fmt.Errorf("sample: sampling warmup+window %d exceeds interval %d (windows would overlap)",
+			s.Warmup+s.Window, s.Interval)
+	}
+	return nil
+}
+
+// String renders the canonical flag form, interval/window/warmup.
+func (s Sampling) String() string {
+	return fmt.Sprintf("%d/%d/%d", s.Interval, s.Window, s.Warmup)
+}
+
+// ParseSampling parses the CLI forms of a sampling spec: "default" (or
+// "on") for DefaultSampling, or "interval/window[/warmup]" in dynamic
+// instructions (e.g. "25000/1000/500").
+func ParseSampling(s string) (Sampling, error) {
+	switch s {
+	case "default", "on":
+		return DefaultSampling(), nil
+	}
+	parts := strings.Split(s, "/")
+	if len(parts) != 2 && len(parts) != 3 {
+		return Sampling{}, fmt.Errorf("sample: sampling spec %q, want interval/window[/warmup] or \"default\"", s)
+	}
+	var vals [3]uint64
+	vals[2] = DefaultSampling().Warmup
+	for i, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return Sampling{}, fmt.Errorf("sample: sampling spec %q: bad count %q", s, p)
+		}
+		vals[i] = v
+	}
+	sp := Sampling{Interval: vals[0], Window: vals[1], Warmup: vals[2]}
+	return sp, sp.Validate()
+}

@@ -126,29 +126,65 @@ func (w *warmer) adoptFeedback(fb feedback) error {
 // microarchitectural half of a Checkpoint. LISP and CHT carry the
 // feedback chained from completed windows (the warmer itself never
 // trains them); their contents depend on the cell's policy, which makes
-// a checkpoint set specific to one machine configuration.
+// a checkpoint set specific to one machine configuration. LastLine is
+// the warmer's I-side touch deduplication cursor, carried so a restored
+// warmer (Continue) folds exactly the same touches an uninterrupted one
+// would.
 type WarmSnapshot struct {
-	Pred bpred.PredictorState
-	BTB  bpred.BTBState
-	RAS  bpred.RASState
-	CHT  bpred.CHTState
-	Mem  memsys.WarmState
-	LISP core.LISPState
+	Pred     bpred.PredictorState
+	BTB      bpred.BTBState
+	RAS      bpred.RASState
+	CHT      bpred.CHTState
+	Mem      memsys.WarmState
+	LISP     core.LISPState
+	LastLine uint64
 }
 
 // snapshot deep-copies the current warm state.
 func (w *warmer) snapshot() WarmSnapshot {
 	ws := WarmSnapshot{
-		Pred: w.pred.State(),
-		BTB:  w.btb.State(),
-		RAS:  w.ras.State(),
-		CHT:  w.cht.State(),
-		Mem:  w.hier.WarmState(),
+		Pred:     w.pred.State(),
+		BTB:      w.btb.State(),
+		RAS:      w.ras.State(),
+		CHT:      w.cht.State(),
+		Mem:      w.hier.WarmState(),
+		LastLine: w.lastLine,
 	}
 	if w.lisp != nil {
 		ws.LISP = w.lisp.State()
 	}
 	return ws
+}
+
+// warmerFromSnapshot rebuilds a live warmer from a checkpoint's warm
+// snapshot — the continuation path (Continue): the restored warmer keeps
+// folding fast-forwarded instructions into the exact state the
+// interrupted run held, so the continuation's later windows are
+// bit-identical to the uninterrupted run's.
+func warmerFromSnapshot(cfg pipeline.Config, ws WarmSnapshot) (*warmer, error) {
+	w := newWarmer(cfg)
+	if err := w.pred.SetState(ws.Pred); err != nil {
+		return nil, err
+	}
+	if err := w.btb.SetState(ws.BTB); err != nil {
+		return nil, err
+	}
+	if err := w.ras.SetState(ws.RAS); err != nil {
+		return nil, err
+	}
+	if err := w.cht.SetState(ws.CHT); err != nil {
+		return nil, err
+	}
+	if err := w.hier.SetWarmState(ws.Mem); err != nil {
+		return nil, err
+	}
+	if w.lisp != nil && len(ws.LISP.Entries) > 0 {
+		if err := w.lisp.SetState(ws.LISP); err != nil {
+			return nil, err
+		}
+	}
+	w.lastLine = ws.LastLine
+	return w, nil
 }
 
 // cloneBoot builds a window's pipeline boot state by direct deep copies

@@ -4,6 +4,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -12,6 +13,7 @@ import (
 	"rix/internal/memsys"
 	"rix/internal/pipeline"
 	"rix/internal/prog"
+	"rix/internal/sample"
 )
 
 // Integration presets (Figure 4 configurations).
@@ -43,31 +45,32 @@ const (
 	CoreIWRS = "iw+rs" // both reductions
 )
 
-// Options selects a machine configuration by name.
+// Options selects a machine configuration by name. The JSON form is
+// part of the serializable run API (run.Request): zero fields are
+// omitted, so a round-tripped Options labels and configures identically
+// to the original.
 type Options struct {
-	Integration string // IntNone..IntReverse (default IntNone)
-	Suppression string // SuppressLISP (default), SuppressOracle, SuppressNone
-	Core        string // CoreBase (default) .. CoreIWRS
+	Integration string `json:"integration,omitempty"` // IntNone..IntReverse (default IntNone)
+	Suppression string `json:"suppression,omitempty"` // SuppressLISP (default), SuppressOracle, SuppressNone
+	Core        string `json:"core,omitempty"`        // CoreBase (default) .. CoreIWRS
 
-	ITEntries int // default 1024
-	ITAssoc   int // default 4; <0 = fully associative
-	GenBits   int // default 4; use NoGenCounters to ablate to 0
-	RefBits   int // default 4
-	PhysRegs  int // default 1024
+	ITEntries int `json:"it_entries,omitempty"` // default 1024
+	ITAssoc   int `json:"it_assoc,omitempty"`   // default 4; <0 = fully associative
+	GenBits   int `json:"gen_bits,omitempty"`   // default 4; use NoGenCounters to ablate to 0
+	RefBits   int `json:"ref_bits,omitempty"`   // default 4
+	PhysRegs  int `json:"phys_regs,omitempty"`  // default 1024
 
 	// Ablation switches.
-	NoGenCounters    bool
-	ReverseAllStores bool
-	ReverseALU       bool
-	NoCallDepth      bool
-	PerfectMemory    bool
+	NoGenCounters    bool `json:"no_gen_counters,omitempty"`
+	ReverseAllStores bool `json:"reverse_all_stores,omitempty"`
+	ReverseALU       bool `json:"reverse_alu,omitempty"`
+	NoCallDepth      bool `json:"no_call_depth,omitempty"`
+	PerfectMemory    bool `json:"perfect_memory,omitempty"`
 
 	// Sampling switches the run to checkpointed interval sampling
-	// (internal/sample). nil means full-detail simulation. sim.Run
-	// rejects sampled options — the runner engine and sample.Run are the
-	// entry points that honor them — but the machine configuration
-	// (Config) is unaffected by this field.
-	Sampling *Sampling
+	// (internal/sample). nil means full-detail simulation; the machine
+	// configuration (Config) is unaffected by this field.
+	Sampling *Sampling `json:"sampling,omitempty"`
 }
 
 // Label renders a short canonical name for the option set, suitable as a
@@ -227,13 +230,28 @@ func (o Options) Config() (pipeline.Config, error) {
 // trace source incrementally, and returns its stats. Sources are
 // single-consumer: mint a fresh one (workload.Built.Source, emu.Stream)
 // or Rewind between runs.
+//
+// Sampled options are honored: the run routes through the
+// interval-sampling engine and returns the aggregated window Stats
+// (ratios estimate the full run; absolute counters cover the measured
+// windows). In that mode src contributes only its SizeHint — the
+// sampled run re-executes the program from its entry point.
+//
+// Deprecated: Run survives as a thin shim for existing callers. New
+// code should describe the run as a run.Request and execute it with
+// run.Do, which adds cancellation, progress observation, and
+// checkpoint resume.
 func Run(p *prog.Program, src emu.TraceSource, o Options) (*pipeline.Stats, error) {
-	if o.Sampling != nil {
-		return nil, fmt.Errorf("sim: Options.Sampling is not honored by sim.Run; use sample.Run or the runner engine")
-	}
 	cfg, err := o.Config()
 	if err != nil {
 		return nil, err
+	}
+	if o.Sampling != nil {
+		est, err := sample.Run(context.Background(), p, src.SizeHint(), cfg, sample.Config{Sampling: *o.Sampling})
+		if err != nil {
+			return nil, err
+		}
+		return est.StatsEstimate(), nil
 	}
 	return pipeline.New(cfg, p, src).Run()
 }

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -45,19 +47,33 @@ func BuiltFromTrace(p *prog.Program, recs []emu.TraceRec) Built {
 	}
 }
 
-// BuildFunc produces a built workload by name. The default implementation
-// assembles the registered benchmark and validates it with one streaming
-// pass.
-type BuildFunc func(name string) (Built, error)
+// BuiltFromProgram wraps an ad-hoc (unregistered, unvalidated) program
+// as a Built whose sources stream from the emulator with the given
+// instruction budget (0 means MaxInstrs). DynLen is unknown (0) until a
+// source completes a pass.
+func BuiltFromProgram(p *prog.Program, maxInstrs uint64) Built {
+	if maxInstrs == 0 {
+		maxInstrs = MaxInstrs
+	}
+	return Built{
+		Prog: p,
+		open: func() emu.TraceSource { return emu.Stream(p, maxInstrs) },
+	}
+}
+
+// BuildFunc produces a built workload by name, honoring ctx
+// cancellation. The default implementation assembles the registered
+// benchmark and validates it with one streaming pass.
+type BuildFunc func(ctx context.Context, name string) (Built, error)
 
 // RegistryBuild is the default BuildFunc: it looks the benchmark up in the
 // package registry and builds it.
-func RegistryBuild(name string) (Built, error) {
+func RegistryBuild(ctx context.Context, name string) (Built, error) {
 	b, ok := ByName(name)
 	if !ok {
 		return Built{}, fmt.Errorf("workload: unknown benchmark %q", name)
 	}
-	return b.Build()
+	return b.BuildContext(ctx)
 }
 
 // slot memoizes one workload build. The sync.Once guarantees the build
@@ -99,35 +115,68 @@ func (b *Builder) slotFor(name string) *slot {
 	return s
 }
 
-// Get returns the built workload, building it on first use.
-func (b *Builder) Get(name string) (Built, error) {
-	s := b.slotFor(name)
-	s.once.Do(func() { s.built, s.err = b.build(name) })
-	return s.built, s.err
+// Get returns the built workload, building it on first use. A build that
+// fails only because a context was cancelled is not memoized: the
+// poisoned slot is dropped, callers whose own context is still live
+// retry under a fresh slot (a waiter that joined a build bound to some
+// other caller's since-cancelled context must not inherit that
+// cancellation), and only callers whose own context ended see the
+// context error. Genuine build errors stay cached.
+func (b *Builder) Get(ctx context.Context, name string) (Built, error) {
+	for {
+		s := b.slotFor(name)
+		s.once.Do(func() { s.built, s.err = b.build(ctx, name) })
+		if s.err == nil || (!errors.Is(s.err, context.Canceled) && !errors.Is(s.err, context.DeadlineExceeded)) {
+			return s.built, s.err
+		}
+		b.mu.Lock()
+		if b.slots[name] == s {
+			delete(b.slots, name)
+		}
+		b.mu.Unlock()
+		if err := ctx.Err(); err != nil {
+			return Built{}, err
+		}
+		// Our context is live: the cancellation belonged to whichever
+		// caller won the slot's once — retry. Each iteration either wins
+		// the fresh slot with this live context or joins another build;
+		// progress is guaranteed once any live-context build completes.
+	}
 }
 
 // BuildAll builds the named workloads with at most parallel concurrent
 // builds (<=0 means NumCPU). Already-built names cost nothing; the first
-// error is returned after all builds settle.
-func (b *Builder) BuildAll(names []string, parallel int) error {
+// error is returned after all builds settle. Cancelling ctx stops
+// scheduling new builds and cancels the in-flight ones.
+func (b *Builder) BuildAll(ctx context.Context, names []string, parallel int) error {
 	if parallel <= 0 {
 		parallel = runtime.NumCPU()
 	}
 	sem := make(chan struct{}, parallel)
 	errs := make([]error, len(names))
+	done := ctx.Done()
 	var wg sync.WaitGroup
+sched:
 	for i, n := range names {
-		sem <- struct{}{} // acquire before spawning: bounds live goroutines
+		select {
+		case <-done: // stop scheduling once cancelled
+			errs[i] = ctx.Err()
+			break sched
+		case sem <- struct{}{}: // acquire before spawning: bounds live goroutines
+		}
 		wg.Add(1)
 		go func(i int, n string) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			_, errs[i] = b.Get(n)
+			_, errs[i] = b.Get(ctx, n)
 		}(i, n)
 	}
 	wg.Wait()
 	for i, err := range errs {
 		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return err
+			}
 			return fmt.Errorf("workload: build %s: %w", names[i], err)
 		}
 	}

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -13,7 +14,7 @@ import (
 
 func TestBuilderMemoizesConcurrentGets(t *testing.T) {
 	var builds int64
-	b := NewBuilderFunc(func(name string) (Built, error) {
+	b := NewBuilderFunc(func(ctx context.Context, name string) (Built, error) {
 		atomic.AddInt64(&builds, 1)
 		return BuiltFromTrace(&prog.Program{Name: name}, make([]emu.TraceRec, 7)), nil
 	})
@@ -22,7 +23,7 @@ func TestBuilderMemoizesConcurrentGets(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			bw, err := b.Get("x")
+			bw, err := b.Get(context.Background(), "x")
 			if err != nil || bw.Prog.Name != "x" || bw.DynLen != 7 {
 				t.Errorf("Get: %+v %v", bw, err)
 			}
@@ -32,7 +33,7 @@ func TestBuilderMemoizesConcurrentGets(t *testing.T) {
 	if n := atomic.LoadInt64(&builds); n != 1 {
 		t.Errorf("built %d times, want 1", n)
 	}
-	if err := b.BuildAll([]string{"x", "y", "z"}, 2); err != nil {
+	if err := b.BuildAll(context.Background(), []string{"x", "y", "z"}, 2); err != nil {
 		t.Fatal(err)
 	}
 	if n := atomic.LoadInt64(&builds); n != 3 {
@@ -41,23 +42,23 @@ func TestBuilderMemoizesConcurrentGets(t *testing.T) {
 }
 
 func TestBuilderPropagatesErrors(t *testing.T) {
-	b := NewBuilderFunc(func(name string) (Built, error) {
+	b := NewBuilderFunc(func(ctx context.Context, name string) (Built, error) {
 		if name == "bad" {
 			return Built{}, fmt.Errorf("no such thing")
 		}
 		return BuiltFromTrace(&prog.Program{Name: name}, nil), nil
 	})
-	err := b.BuildAll([]string{"ok", "bad"}, 4)
+	err := b.BuildAll(context.Background(), []string{"ok", "bad"}, 4)
 	if err == nil || !strings.Contains(err.Error(), "bad") {
 		t.Errorf("BuildAll error = %v", err)
 	}
-	if _, err := b.Get("bad"); err == nil {
+	if _, err := b.Get(context.Background(), "bad"); err == nil {
 		t.Error("memoized error lost")
 	}
 }
 
 func TestRegistryBuildUnknown(t *testing.T) {
-	if _, err := RegistryBuild("not-a-benchmark"); err == nil {
+	if _, err := RegistryBuild(context.Background(), "not-a-benchmark"); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
 }
@@ -77,5 +78,53 @@ func TestBuiltSourcesAreIndependent(t *testing.T) {
 	got, err := bw.Materialize()
 	if err != nil || len(got) != 3 {
 		t.Errorf("Materialize: %d records, err %v", len(got), err)
+	}
+}
+
+// TestBuilderWaiterNotPoisonedByOthersCancellation: a Get whose own
+// context is live must not inherit the cancellation of the caller whose
+// context the shared memoized build happened to run under.
+func TestBuilderWaiterNotPoisonedByOthersCancellation(t *testing.T) {
+	cancelled, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var builds int64
+	b := NewBuilderFunc(func(ctx context.Context, name string) (Built, error) {
+		if atomic.AddInt64(&builds, 1) == 1 {
+			close(started)
+			<-release // hold the first build until the waiter has joined
+		}
+		if err := ctx.Err(); err != nil {
+			return Built{}, err
+		}
+		return BuiltFromTrace(&prog.Program{Name: name}, make([]emu.TraceRec, 3)), nil
+	})
+
+	firstErr := make(chan error)
+	go func() {
+		_, err := b.Get(cancelled, "w")
+		firstErr <- err
+	}()
+	<-started
+	cancel() // the build's binding context dies while it is in flight
+
+	waiterErr := make(chan error)
+	go func() {
+		_, err := b.Get(context.Background(), "w") // joins, then must retry
+		waiterErr <- err
+	}()
+	close(release)
+
+	if err := <-firstErr; err != context.Canceled {
+		t.Errorf("cancelled caller got %v, want context.Canceled", err)
+	}
+	if err := <-waiterErr; err != nil {
+		t.Errorf("live-context waiter got %v, want success via retry", err)
+	}
+
+	// And the cancelled-context caller itself sees the context error,
+	// not a retry loop.
+	if _, err := b.Get(cancelled, "w2"); err != context.Canceled {
+		t.Errorf("Get under cancelled ctx = %v, want context.Canceled", err)
 	}
 }

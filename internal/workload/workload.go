@@ -8,6 +8,7 @@
 package workload
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -83,6 +84,12 @@ const MaxInstrs = 1 << 24
 // trace sources on demand; Materialize is the adapter for consumers that
 // still want the full slice.
 func (b Benchmark) Build() (Built, error) {
+	return b.BuildContext(context.Background())
+}
+
+// BuildContext is Build with cancellation: the validation pass polls ctx
+// at a batched record cadence, and a cancelled build returns ctx.Err().
+func (b Benchmark) BuildContext(ctx context.Context) (Built, error) {
 	p, err := asm.Assemble(b.Name+".s", b.Source)
 	if err != nil {
 		return Built{}, fmt.Errorf("workload %s: %w", b.Name, err)
@@ -90,12 +97,16 @@ func (b Benchmark) Build() (Built, error) {
 	p.Name = b.Name
 	// Eager validation: drain one stream at O(1) memory.
 	s := emu.Stream(p, MaxInstrs)
+	s.SetContext(ctx)
 	for {
 		if _, ok := s.Next(); !ok {
 			break
 		}
 	}
 	if err := s.Err(); err != nil {
+		if ctx.Err() != nil && err == ctx.Err() {
+			return Built{}, err
+		}
 		return Built{}, fmt.Errorf("workload %s: %w", b.Name, err)
 	}
 	e := s.Emulator()
