@@ -12,7 +12,10 @@
 //   - grows allocs/op past baseline×(1+-alloc-tolerance) plus a small
 //     absolute slack (the zero-allocation hot loop must stay that way), or
 //   - grows trace-peak past baseline×(1+-peak-tolerance) (the O(ROB)
-//     streaming bound must not quietly become O(trace)).
+//     streaming bound must not quietly become O(trace)), or
+//   - reports a speedup below the baseline's min_speedup floor while
+//     running on >= 4 cores (a starved runner is exempt: it cannot
+//     demonstrate parallel speedup).
 //
 // Usage:
 //
@@ -48,6 +51,17 @@ type Result struct {
 	// (pipeline.Stats.TraceWindowPeak) the benchmark observed — the
 	// machine-checkable form of the O(ROB) streaming guarantee.
 	TracePeak float64 `json:"trace_peak,omitempty"`
+	// Speedup is a benchmark-reported wall-clock ratio against its own
+	// sequential reference (BenchmarkSampledParallel reports it), and
+	// Cores the host parallelism it ran under. Gated only when the
+	// baseline sets MinSpeedup and the host has >= 4 cores — a starved
+	// CI runner cannot demonstrate parallel speedup and must not fail
+	// the gate for it.
+	Speedup float64 `json:"speedup,omitempty"`
+	Cores   float64 `json:"cores,omitempty"`
+	// MinSpeedup is a baseline-only floor on Speedup (never measured;
+	// -update carries it over from the previous baseline).
+	MinSpeedup float64 `json:"min_speedup,omitempty"`
 }
 
 // File is the BENCH_pipeline.json envelope.
@@ -92,6 +106,10 @@ func parse(r io.Reader) ([]Result, error) {
 				res.AllocsOp = v
 			case "trace-peak":
 				res.TracePeak = v
+			case "speedup":
+				res.Speedup = v
+			case "cores":
+				res.Cores = v
 			}
 		}
 		out = append(out, res)
@@ -159,6 +177,11 @@ func gate(cur, base File, tol tolerances) (failures []string) {
 				"%s: trace-peak %.0f exceeds baseline %.0f (ceiling %.0f): streaming window no longer O(ROB)?",
 				c.Name, c.TracePeak, b.TracePeak, b.TracePeak*(1+tol.Peak)))
 		}
+		if b.MinSpeedup > 0 && c.Speedup > 0 && c.Cores >= 4 && c.Speedup < b.MinSpeedup {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %.2fx speedup on %.0f cores is below the required %.2fx",
+				c.Name, c.Speedup, c.Cores, b.MinSpeedup))
+		}
 	}
 	return failures
 }
@@ -206,7 +229,19 @@ func body(context.Context) error {
 	}
 	if *update {
 		// Intentional perf change: the new numbers become the baseline,
-		// ending the era of hand-edited baseline bumps.
+		// ending the era of hand-edited baseline bumps. MinSpeedup floors
+		// are policy, not measurement — carry them over by name.
+		if old, err := load(*baseline); err == nil {
+			floors := map[string]float64{}
+			for _, b := range old.Benchmarks {
+				if b.MinSpeedup > 0 {
+					floors[b.Name] = b.MinSpeedup
+				}
+			}
+			for i := range cur.Benchmarks {
+				cur.Benchmarks[i].MinSpeedup = floors[cur.Benchmarks[i].Name]
+			}
+		}
 		if err := write(*baseline, cur); err != nil {
 			return err
 		}

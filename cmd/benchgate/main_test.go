@@ -13,6 +13,7 @@ cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
 BenchmarkPipeline/gzip/none-8         	       3	 242527688 ns/op	         0.9675 Minstr/s	       152.0 trace-peak	 3463296 B/op	    4169 allocs/op
 BenchmarkPipeline/gzip/+reverse-8     	       3	 261206425 ns/op	         0.8983 Minstr/s	       160.0 trace-peak	 3463296 B/op	    4169 allocs/op
 BenchmarkRegfile-8                    	  203942	      5967 ns/op	    8320 B/op	       4 allocs/op
+BenchmarkSampledParallel-8            	       3	  15964804 ns/op	        14.70 Minstr/s	         8.000 cores	         3.150 speedup	21572200 B/op	    1571 allocs/op
 PASS
 ok  	rix	4.939s
 `
@@ -22,8 +23,8 @@ func TestParse(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 3 {
-		t.Fatalf("parsed %d results, want 3", len(results))
+	if len(results) != 4 {
+		t.Fatalf("parsed %d results, want 4", len(results))
 	}
 	p := results[0]
 	if p.Name != "Pipeline/gzip/none" || p.MinstrS != 0.9675 || p.AllocsOp != 4169 ||
@@ -32,6 +33,9 @@ func TestParse(t *testing.T) {
 	}
 	if r := results[2]; r.Name != "Regfile" || r.MinstrS != 0 || r.AllocsOp != 4 || r.TracePeak != 0 {
 		t.Errorf("regfile result: %+v", r)
+	}
+	if r := results[3]; r.Name != "SampledParallel" || r.Speedup != 3.15 || r.Cores != 8 {
+		t.Errorf("sampled-parallel result: %+v", r)
 	}
 }
 
@@ -105,6 +109,32 @@ func TestGateTracePeak(t *testing.T) {
 	failures := gate(cur, base, defaultTol)
 	if len(failures) != 1 || !strings.Contains(failures[0], "trace-peak") {
 		t.Errorf("failures = %v, want the trace-peak regression", failures)
+	}
+}
+
+func TestGateSpeedup(t *testing.T) {
+	base := File{Benchmarks: []Result{
+		{Name: "SampledParallel", MinSpeedup: 2.5},
+		{Name: "Regfile"}, // no floor: never speedup-gated
+	}}
+	// Enough cores, enough speedup: passes.
+	cur := File{Benchmarks: []Result{
+		{Name: "SampledParallel", Speedup: 3.1, Cores: 8},
+		{Name: "Regfile"},
+	}}
+	if got := gate(cur, base, defaultTol); len(got) != 0 {
+		t.Errorf("3.1x on 8 cores should pass, got %v", got)
+	}
+	// Enough cores, too little speedup: fails.
+	cur.Benchmarks[0].Speedup = 1.8
+	failures := gate(cur, base, defaultTol)
+	if len(failures) != 1 || !strings.Contains(failures[0], "speedup") {
+		t.Errorf("failures = %v, want the speedup regression", failures)
+	}
+	// Starved runner: exempt regardless of speedup.
+	cur.Benchmarks[0].Cores = 2
+	if got := gate(cur, base, defaultTol); len(got) != 0 {
+		t.Errorf("2-core runner must be exempt from the speedup gate, got %v", got)
 	}
 }
 

@@ -63,6 +63,10 @@ func body(ctx context.Context) error {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	list := flag.Bool("list", false, "list registered specs and exit")
 	parallel := flag.Int("j", 0, "max parallel simulations (default: NumCPU)")
+	jobs := flag.Int("jobs", 0,
+		"window-level parallelism per sampled cell (0 = split -j budget across cells x windows, 1 = sequential)")
+	ckptCache := flag.String("ckpt-cache", "",
+		"content-addressed warm-set cache directory shared by all sampled cells")
 	sampleSpec := flag.String("sample", "",
 		"run interval-sampled variants of the selected specs: 'default' or interval/window[/warmup]")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
@@ -102,6 +106,8 @@ func body(ctx context.Context) error {
 	if *parallel > 0 {
 		engine.Parallel = *parallel
 	}
+	engine.WindowJobs = *jobs
+	engine.CheckpointCache = *ckptCache
 	if *verbose {
 		engine.Observer = newCellLogger()
 	}

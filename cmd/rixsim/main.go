@@ -32,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"rix/cmd/internal/cmdutil"
@@ -55,6 +56,8 @@ func body(ctx context.Context) error {
 		"interval sampling: 'default' or interval/window[/warmup] in dynamic instructions")
 	ckptDir := flag.String("ckpt", "", "checkpoint directory (written during -sample, read by -resume)")
 	resume := flag.Bool("resume", false, "finish (or re-measure) the run checkpointed in -ckpt")
+	jobs := flag.Int("jobs", 0, "sampled window-level parallelism (0 = NumCPU, 1 = sequential)")
+	ckptCache := flag.String("ckpt-cache", "", "content-addressed warm-set cache directory for sampled runs")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
 	verbose := flag.Bool("v", false, "stream typed progress events to stderr")
 	asJSON := flag.Bool("json", false, "print the run result as JSON instead of the stats block")
@@ -87,7 +90,7 @@ func body(ctx context.Context) error {
 			Core:        *coreV,
 			ITEntries:   *itEntries,
 			ITAssoc:     *itAssoc,
-		}, *sampleSpec, *ckptDir, *resume); err != nil {
+		}, *sampleSpec, *ckptDir, *resume, *jobs, *ckptCache); err != nil {
 			return err
 		}
 	}
@@ -134,7 +137,7 @@ func body(ctx context.Context) error {
 }
 
 // buildRequest assembles the run.Request the config flags describe.
-func buildRequest(bench, file string, o sim.Options, sampleSpec, ckptDir string, resume bool) (*run.Request, error) {
+func buildRequest(bench, file string, o sim.Options, sampleSpec, ckptDir string, resume bool, jobs int, ckptCache string) (*run.Request, error) {
 	if sampleSpec != "" || resume {
 		sp := sim.DefaultSampling()
 		if sampleSpec != "" {
@@ -146,6 +149,13 @@ func buildRequest(bench, file string, o sim.Options, sampleSpec, ckptDir string,
 		o.Sampling = &sp
 	}
 	req := &run.Request{Options: o, CheckpointDir: ckptDir, Resume: resume}
+	if o.Sampling != nil && !resume {
+		if jobs == 0 {
+			jobs = runtime.NumCPU()
+		}
+		req.Jobs = jobs
+		req.CheckpointCache = ckptCache
+	}
 	switch {
 	case file != "":
 		text, err := os.ReadFile(file)
@@ -175,6 +185,10 @@ func printEvent(e run.Event) {
 		fmt.Fprintf(os.Stderr, "[%s] %s [%s] window %d done (%d measured)\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Window, e.Instrs)
 	case run.CheckpointWritten:
 		fmt.Fprintf(os.Stderr, "[%s] %s [%s] checkpoint %d -> %s\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Window, e.Path)
+	case run.CacheHit:
+		fmt.Fprintf(os.Stderr, "[%s] %s [%s] warm-set cache hit: %s\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Path)
+	case run.CacheWritten:
+		fmt.Fprintf(os.Stderr, "[%s] %s [%s] warm set cached: %s\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Path)
 	case run.CellFinished:
 		if e.Err != "" {
 			fmt.Fprintf(os.Stderr, "[%s] %s [%s] failed: %s\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Err)

@@ -52,8 +52,14 @@
 // (a warmup prefix with statistics gated off warms the
 // rename-dependent state), per-window Stats aggregated into estimates
 // with confidence half-widths, and gob checkpoints per window boundary
-// so runs resume and windows shard across processes. sim.Options.Sampling
-// selects it per cell; runner routes sampled cells automatically and
+// so runs resume and windows shard across processes. A two-phase mode
+// (run.Request.Jobs > 1) fast-forwards once, snapshots every window
+// boundary, and executes the detail windows on a speculative worker
+// pool with the estimate bit-identical to the sequential engine; the
+// warm pass's output is reusable through a content-addressed checkpoint
+// cache (run.Request.CheckpointCache, rixsim/rixbench -ckpt-cache).
+// sim.Options.Sampling selects sampling per cell; runner routes sampled
+// cells automatically, splits its -j budget across cells x windows, and
 // runner.Sampled derives sampled variants of whole specs
 // (rixbench -sample).
 //

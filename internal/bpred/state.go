@@ -60,6 +60,25 @@ func (p *Predictor) Clone() *Predictor {
 	return c
 }
 
+// CopyFrom overwrites p with src's behavioral state without allocating —
+// the buffer-reuse path of the sampling engine's pooled window boots. The
+// result is indistinguishable from a fresh Clone of src: diagnostic
+// tallies restart at zero, exactly as State/SetState leave them.
+func (p *Predictor) CopyFrom(src *Predictor) error {
+	if len(src.bimodal) != len(p.bimodal) || len(src.gshare) != len(p.gshare) ||
+		len(src.chooser) != len(p.chooser) {
+		return fmt.Errorf("bpred: predictor copy geometry %d/%d/%d, want %d/%d/%d",
+			len(src.bimodal), len(src.gshare), len(src.chooser),
+			len(p.bimodal), len(p.gshare), len(p.chooser))
+	}
+	copy(p.bimodal, src.bimodal)
+	copy(p.gshare, src.gshare)
+	copy(p.chooser, src.chooser)
+	p.hist = src.hist
+	p.Lookups = 0
+	return nil
+}
+
 // BTBState is the serializable state of the branch target buffer.
 type BTBState struct {
 	Tags    []uint64
@@ -91,6 +110,18 @@ func (b *BTB) Clone() *BTB {
 		panic(err)
 	}
 	return c
+}
+
+// CopyFrom overwrites b with src's behavioral state without allocating;
+// diagnostic tallies restart at zero, as in a fresh Clone.
+func (b *BTB) CopyFrom(src *BTB) error {
+	if len(src.tags) != len(b.tags) {
+		return fmt.Errorf("bpred: BTB copy has %d entries, want %d", len(src.tags), len(b.tags))
+	}
+	copy(b.tags, src.tags)
+	copy(b.targets, src.targets)
+	b.Lookups, b.Hits = 0, 0
+	return nil
 }
 
 // RASState is the serializable state of the return-address stack. Beyond
@@ -132,6 +163,19 @@ func (r *RAS) Clone() *RAS {
 	return c
 }
 
+// CopyFrom overwrites r with src's behavioral state without allocating.
+// Like SetState, it drops any pending shadow snapshot.
+func (r *RAS) CopyFrom(src *RAS) error {
+	if len(src.stack) != len(r.stack) {
+		return fmt.Errorf("bpred: RAS copy has %d entries, want %d", len(src.stack), len(r.stack))
+	}
+	copy(r.stack, src.stack)
+	r.tos = src.tos
+	r.depth = src.depth
+	r.snap = nil
+	return nil
+}
+
 // CHTState is the serializable state of the collision history table.
 type CHTState struct {
 	Tags []uint64
@@ -158,4 +202,15 @@ func (c *CHT) Clone() *CHT {
 		panic(err)
 	}
 	return n
+}
+
+// CopyFrom overwrites c with src's behavioral state without allocating;
+// diagnostic tallies restart at zero, as in a fresh Clone.
+func (c *CHT) CopyFrom(src *CHT) error {
+	if len(src.tags) != len(c.tags) {
+		return fmt.Errorf("bpred: CHT copy has %d entries, want %d", len(src.tags), len(c.tags))
+	}
+	copy(c.tags, src.tags)
+	c.Lookups, c.Hits, c.Trained = 0, 0, 0
+	return nil
 }

@@ -122,6 +122,22 @@ func (l *LISP) State() LISPState {
 	return st
 }
 
+// CopyFrom overwrites l with src's behavioral state without allocating —
+// the buffer-reuse path of the sampling engine's pooled window boots.
+// Diagnostic tallies restart at zero, as in a fresh NewLISP + SetState.
+func (l *LISP) CopyFrom(src *LISP) error {
+	if len(src.sets) != len(l.sets) || src.assoc != l.assoc {
+		return fmt.Errorf("core: LISP copy geometry %dx%d, want %dx%d",
+			len(src.sets), src.assoc, len(l.sets), l.assoc)
+	}
+	for i := range l.sets {
+		copy(l.sets[i], src.sets[i])
+	}
+	l.tick = src.tick
+	l.Lookups, l.Suppressed, l.TrainInsert = 0, 0, 0
+	return nil
+}
+
 // SetState restores a snapshot; the geometry must match.
 func (l *LISP) SetState(st LISPState) error {
 	if len(st.Entries) != len(l.sets)*l.assoc {

@@ -50,6 +50,12 @@ func NewBus(widthBytes int, clockDiv uint64) *Bus {
 	return &Bus{widthBytes: widthBytes, clockDiv: clockDiv}
 }
 
+// Reset returns the bus to its just-built state: idle, zero tallies.
+func (b *Bus) Reset() {
+	b.busyUntil = 0
+	b.Transfers, b.BusyCycles = 0, 0
+}
+
 // Transfer reserves the bus for `bytes` starting no earlier than `now`,
 // returning the completion cycle.
 func (b *Bus) Transfer(now uint64, bytes int) uint64 {
@@ -87,6 +93,15 @@ type mshr struct {
 // NewMSHRFile builds a file with n entries.
 func NewMSHRFile(n int) *MSHRFile {
 	return &MSHRFile{lines: make([]mshr, n)}
+}
+
+// Reset returns the file to its just-built state: no outstanding fills,
+// zero tallies.
+func (m *MSHRFile) Reset() {
+	for i := range m.lines {
+		m.lines[i] = mshr{}
+	}
+	m.Allocs, m.Merges, m.FullNow = 0, 0, 0
 }
 
 // Lookup finds an outstanding fill of line at `now`; ok is false when no
@@ -143,6 +158,15 @@ type WriteBuffer struct {
 // entry occupies the L1 write port.
 func NewWriteBuffer(n int, drainCost uint64) *WriteBuffer {
 	return &WriteBuffer{entries: n, drainAt: make([]uint64, n), drainCost: drainCost}
+}
+
+// Reset returns the buffer to its just-built state: empty, zero
+// tallies. Stale completion cycles in the ring are unreadable once
+// head and len reset, so they are not cleared.
+func (w *WriteBuffer) Reset() {
+	w.head, w.len = 0, 0
+	w.lastDrain = 0
+	w.Stores, w.FullStalls = 0, 0
 }
 
 // Add buffers a store at `now`, returning the cycle at which retire may

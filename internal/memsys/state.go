@@ -80,6 +80,62 @@ func (t *TLB) Clone() *TLB {
 	return &TLB{cache: t.cache.Clone(), missPenalty: t.missPenalty}
 }
 
+// CopyTagsFrom overwrites c's tag state with src's without allocating —
+// the buffer-reuse path of the sampling engine's pooled window boots.
+// Diagnostic tallies restart at zero, so a reused cache is
+// indistinguishable from a fresh Clone of src.
+func (c *Cache) CopyTagsFrom(src *Cache) error {
+	if len(src.sets) != len(c.sets) || src.cfg.Assoc != c.cfg.Assoc {
+		return fmt.Errorf("memsys: %s copy geometry %dx%d, want %dx%d",
+			c.cfg.Name, len(src.sets), src.cfg.Assoc, len(c.sets), c.cfg.Assoc)
+	}
+	for i := range c.sets {
+		copy(c.sets[i], src.sets[i])
+	}
+	c.tick = src.tick
+	c.Accesses, c.Misses, c.Writebacks = 0, 0, 0
+	return nil
+}
+
+// CopyFrom overwrites t's tag state with src's without allocating;
+// diagnostic tallies restart at zero, as in a fresh Clone.
+func (t *TLB) CopyFrom(src *TLB) error {
+	if err := t.cache.CopyTagsFrom(src.cache); err != nil {
+		return err
+	}
+	t.Accesses, t.Misses = 0, 0
+	return nil
+}
+
+// CopyWarmFrom overwrites h's warm tag state with src's without
+// allocating, and resets the transient timing state (MSHRs, write
+// buffer, buses) to empty — the state CloneWarm builds fresh. The
+// hierarchies must share a geometry. A reused hierarchy behaves
+// bit-identically to a fresh CloneWarm of src.
+func (h *Hierarchy) CopyWarmFrom(src *Hierarchy) error {
+	if err := h.L1I.CopyTagsFrom(src.L1I); err != nil {
+		return err
+	}
+	if err := h.L1D.CopyTagsFrom(src.L1D); err != nil {
+		return err
+	}
+	if err := h.L2.CopyTagsFrom(src.L2); err != nil {
+		return err
+	}
+	if err := h.ITLB.CopyFrom(src.ITLB); err != nil {
+		return err
+	}
+	if err := h.DTLB.CopyFrom(src.DTLB); err != nil {
+		return err
+	}
+	h.MSHRs.Reset()
+	h.WriteBuf.Reset()
+	h.Backside.Reset()
+	h.MemBus.Reset()
+	h.LoadAccesses, h.StoreAccesses, h.IFetches = 0, 0, 0
+	return nil
+}
+
 // WarmState bundles the hierarchy state that functional warmup carries
 // across fast-forwarded regions and into detailed measurement windows.
 type WarmState struct {

@@ -260,6 +260,89 @@ type BootState struct {
 	// PC-keyed and safe to carry between pipelines.
 	IT   *core.Table
 	LISP *core.LISP
+
+	// Scratch recycles a finished pipeline's allocation pools and ring
+	// buffers (Pipeline.Recycle) into this one. Only adopted when every
+	// buffer matches the Config's sizing; a mismatched or nil Scratch
+	// falls back to fresh allocations. Purely an allocation optimization:
+	// recycled buffers never change simulated behavior.
+	Scratch *Scratch
+}
+
+// Scratch is the recyclable allocation state of a finished pipeline:
+// the uop and event pools, the ROB/RS/LSQ/fetch-queue rings, the
+// producer map, and the trace-window ring. The sampling engine threads
+// one Scratch through its per-window pipelines so steady-state window
+// simulation allocates almost nothing. A Scratch is single-owner: hand
+// it to at most one NewFrom at a time.
+type Scratch struct {
+	uops   []*uop
+	events [][]event
+	evFree [][]event
+	prod   []*uop
+	rob    []*uop
+	rs     []*uop
+	lsq    []*uop
+	fq     []*uop
+	cand   []*uop
+	win    []emu.TraceRec
+}
+
+// fits reports whether every recycled buffer matches cfg's sizing.
+func (s *Scratch) fits(cfg Config) bool {
+	return s != nil &&
+		len(s.rob) == cfg.ROBSize &&
+		len(s.rs) == cfg.NumRS &&
+		len(s.lsq) == cfg.LSQSize &&
+		len(s.fq) == cfg.FetchQueue &&
+		len(s.prod) == cfg.PhysRegs &&
+		len(s.events) == eventHorizon &&
+		len(s.win) >= cfg.ROBSize+cfg.FetchQueue+8
+}
+
+// Recycle strips a finished pipeline for parts, returning a Scratch a
+// successor pipeline of the same configuration can adopt through
+// BootState.Scratch. Call it only after a Run/RunWindow variant
+// returned successfully — the machine is halted and its in-flight
+// window drained — and do not touch the pipeline afterwards.
+func (pl *Pipeline) Recycle() *Scratch {
+	pl.drainInFlight() // idempotent: audit already drained on the success paths
+	for i := range pl.events {
+		if buf := pl.events[i]; buf != nil {
+			pl.events[i] = nil
+			pl.evFree = append(pl.evFree, buf[:0])
+		}
+	}
+	for i := range pl.rob {
+		pl.rob[i] = nil
+	}
+	for i := range pl.rs {
+		pl.rs[i] = nil
+	}
+	for i := range pl.lsq {
+		pl.lsq[i] = nil
+	}
+	for i := range pl.fq {
+		pl.fq[i] = nil
+	}
+	for i := range pl.prod {
+		pl.prod[i] = nil
+	}
+	for i := range pl.cand {
+		pl.cand[i] = nil
+	}
+	return &Scratch{
+		uops:   pl.uopFree,
+		events: pl.events,
+		evFree: pl.evFree,
+		prod:   pl.prod,
+		rob:    pl.rob,
+		rs:     pl.rs,
+		lsq:    pl.lsq,
+		fq:     pl.fq,
+		cand:   pl.cand[:0],
+		win:    pl.win.buf,
+	}
 }
 
 // NewFrom builds a pipeline booted from an explicit state instead of the
@@ -278,41 +361,62 @@ func NewFrom(cfg Config, p *prog.Program, src emu.TraceSource, boot *BootState) 
 		}),
 		front:   rename.NewMapTable(),
 		arch:    rename.NewMapTable(),
-		pred:    bpred.NewPredictor(cfg.Pred),
-		btb:     bpred.NewBTB(btbSize(cfg.Pred)),
-		ras:     bpred.NewRAS(rasSize(cfg.Pred)),
-		cht:     bpred.NewCHT(chtSize(cfg.Pred)),
-		mem:     memsys.New(cfg.Mem),
-		archMem: emu.NewMemory(),
-		rob:     make([]*uop, cfg.ROBSize),
-		rs:      make([]*uop, cfg.NumRS),
-		lsq:     make([]*uop, cfg.LSQSize),
-		fq:      make([]*uop, cfg.FetchQueue),
-		events:  make([][]event, eventHorizon),
-		uopFree: make([]*uop, 0, cfg.ROBSize+cfg.FetchQueue+1),
-		cand:    make([]*uop, 0, cfg.NumRS),
 		fetchPC: p.Entry,
 		onPath:  true,
 	}
+	// Warm structures: adopt the boot's when injected; cold defaults are
+	// built only when actually needed, so a fully-seeded boot (the
+	// sampling engine's per-window path) allocates none of them just to
+	// throw them away.
+	if boot != nil && boot.Pred != nil {
+		pl.pred = boot.Pred
+	} else {
+		pl.pred = bpred.NewPredictor(cfg.Pred)
+	}
+	if boot != nil && boot.BTB != nil {
+		pl.btb = boot.BTB
+	} else {
+		pl.btb = bpred.NewBTB(btbSize(cfg.Pred))
+	}
+	if boot != nil && boot.RAS != nil {
+		pl.ras = boot.RAS
+	} else {
+		pl.ras = bpred.NewRAS(rasSize(cfg.Pred))
+	}
+	if boot != nil && boot.CHT != nil {
+		pl.cht = boot.CHT
+	} else {
+		pl.cht = bpred.NewCHT(chtSize(cfg.Pred))
+	}
+	if boot != nil && boot.Hier != nil {
+		pl.mem = boot.Hier
+	} else {
+		pl.mem = memsys.New(cfg.Mem)
+	}
 	if boot != nil {
-		if boot.Pred != nil {
-			pl.pred = boot.Pred
-		}
-		if boot.BTB != nil {
-			pl.btb = boot.BTB
-		}
-		if boot.RAS != nil {
-			pl.ras = boot.RAS
-		}
-		if boot.CHT != nil {
-			pl.cht = boot.CHT
-		}
-		if boot.Hier != nil {
-			pl.mem = boot.Hier
-		}
 		pl.fetchPC = boot.PC
 	}
-	pl.win.init(src, cfg.ROBSize+cfg.FetchQueue+8)
+	var winBuf []emu.TraceRec
+	if boot != nil && boot.Scratch.fits(cfg) {
+		s := boot.Scratch
+		pl.rob, pl.rs, pl.lsq, pl.fq = s.rob, s.rs, s.lsq, s.fq
+		pl.events = s.events
+		pl.evFree = s.evFree
+		pl.uopFree = s.uops
+		pl.prod = s.prod
+		pl.cand = s.cand[:0]
+		winBuf = s.win
+	} else {
+		pl.rob = make([]*uop, cfg.ROBSize)
+		pl.rs = make([]*uop, cfg.NumRS)
+		pl.lsq = make([]*uop, cfg.LSQSize)
+		pl.fq = make([]*uop, cfg.FetchQueue)
+		pl.events = make([][]event, eventHorizon)
+		pl.uopFree = make([]*uop, 0, cfg.ROBSize+cfg.FetchQueue+1)
+		pl.cand = make([]*uop, 0, cfg.NumRS)
+		pl.prod = make([]*uop, cfg.PhysRegs)
+	}
+	pl.win.init(src, cfg.ROBSize+cfg.FetchQueue+8, winBuf)
 	pl.integ = core.New(cfg.Policy, cfg.IT, cfg.LISP, pl.rf)
 	if boot != nil {
 		if boot.IT != nil {
@@ -323,9 +427,9 @@ func NewFrom(cfg Config, p *prog.Program, src emu.TraceSource, boot *BootState) 
 		}
 	}
 	pl.prb = probe{pl}
-	pl.prod = make([]*uop, cfg.PhysRegs)
 
 	if boot == nil {
+		pl.archMem = emu.NewMemory()
 		pl.archMem.LoadImage(p.DataBase, p.Data)
 		// Architectural boot state: SP and GP mappings with their boot
 		// values, everything else on the zero register.
@@ -337,6 +441,7 @@ func NewFrom(cfg Config, p *prog.Program, src emu.TraceSource, boot *BootState) 
 	if boot.Mem != nil {
 		pl.archMem = boot.Mem
 	} else {
+		pl.archMem = emu.NewMemory()
 		pl.archMem.LoadImage(p.DataBase, p.Data)
 	}
 	// Boot every live architectural register value. SP and GP first so a

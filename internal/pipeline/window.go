@@ -22,12 +22,20 @@ type traceWindow struct {
 	peak int  // high-water occupancy, exported via Stats.TraceWindowPeak
 }
 
-func (w *traceWindow) init(src emu.TraceSource, capHint int) {
+// init binds the window to a source. A recycled ring buffer (Scratch)
+// of at least capHint records is adopted instead of allocating; ring
+// capacity never affects behavior (grow is a safety valve, and peak
+// tracks occupancy, not size).
+func (w *traceWindow) init(src emu.TraceSource, capHint int, buf []emu.TraceRec) {
 	if capHint < 16 {
 		capHint = 16
 	}
 	w.src = src
-	w.buf = make([]emu.TraceRec, capHint)
+	if len(buf) >= capHint {
+		w.buf = buf
+	} else {
+		w.buf = make([]emu.TraceRec, capHint)
+	}
 }
 
 // has reports whether trace record i exists, pulling from the source as

@@ -173,6 +173,8 @@ func execute(ctx context.Context, c *config, req *Request, bw workload.Built, re
 		Sampling:      *req.Options.Sampling,
 		CheckpointDir: req.CheckpointDir,
 		Parallel:      req.Parallel,
+		Windows:       req.Jobs,
+		CacheDir:      req.CheckpointCache,
 		MaxInstrs:     req.MaxInstrs,
 	}
 	if c.hasObs {
@@ -223,6 +225,24 @@ func sampleHooks(c *config, ev Event) sample.Hooks {
 			e := ev
 			e.Kind = CheckpointWritten
 			e.Window = index
+			e.Path = path
+			c.obs.Observe(e)
+		},
+		WindowScheduled: func(index int) {
+			e := ev
+			e.Kind = WindowScheduled
+			e.Window = index
+			c.obs.Observe(e)
+		},
+		CacheHit: func(path string) {
+			e := ev
+			e.Kind = CacheHit
+			e.Path = path
+			c.obs.Observe(e)
+		},
+		CacheWritten: func(path string) {
+			e := ev
+			e.Kind = CacheWritten
 			e.Path = path
 			c.obs.Observe(e)
 		},

@@ -13,6 +13,16 @@ const (
 	// WindowDone fires after each sampled measurement window; Window is
 	// its index and Instrs the instructions it measured.
 	WindowDone EventKind = "window-done"
+	// WindowScheduled fires when the two-phase sampled engine dispatches
+	// a detail window to a worker (possibly speculatively; a window that
+	// misspeculates on feedback is scheduled again). Window is its index.
+	WindowScheduled EventKind = "window-scheduled"
+	// CacheHit fires when a sampled run finds its warm set in the
+	// checkpoint cache and skips the warm pass; Path names the entry.
+	CacheHit EventKind = "cache-hit"
+	// CacheWritten fires after a sampled run persists its warm set into
+	// the checkpoint cache; Path names the entry.
+	CacheWritten EventKind = "cache-written"
 	// CheckpointWritten fires after a sampled-run checkpoint lands on
 	// disk; Path names the file and Window the index.
 	CheckpointWritten EventKind = "checkpoint-written"
@@ -31,8 +41,8 @@ type Event struct {
 	Mode     Mode      `json:"mode"`
 
 	Instrs uint64 `json:"instrs,omitempty"` // Progress, WindowDone
-	Window int    `json:"window,omitempty"` // WindowDone, CheckpointWritten
-	Path   string `json:"path,omitempty"`   // CheckpointWritten
+	Window int    `json:"window,omitempty"` // WindowDone, WindowScheduled, CheckpointWritten
+	Path   string `json:"path,omitempty"`   // CheckpointWritten, CacheHit, CacheWritten
 	Err    string `json:"err,omitempty"`    // CellFinished on failure
 }
 

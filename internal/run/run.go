@@ -83,6 +83,20 @@ type Request struct {
 	// ModeResume (default 1).
 	Parallel int `json:"parallel,omitempty"`
 
+	// Jobs bounds window-level parallelism for ModeSampled: >1 selects
+	// the two-phase engine (one warm pass, then up to Jobs detail windows
+	// concurrently), 1 forces the sequential engine, 0 leaves the choice
+	// to the caller's default (sequential unless a checkpoint cache or
+	// warm set makes the two-phase path worthwhile). The estimate is
+	// bit-identical either way.
+	Jobs int `json:"jobs,omitempty"`
+
+	// CheckpointCache is a directory for the content-addressed warm-set
+	// cache: a sampled run probes it before fast-forwarding and skips the
+	// warm pass on a hit. Safe to share across runs and processes; any
+	// configuration change is a clean miss.
+	CheckpointCache string `json:"checkpoint_cache,omitempty"`
+
 	// MaxInstrs bounds functional execution of inline sources and
 	// sampled fast-forward (default workload.MaxInstrs /
 	// sample.DefaultMaxInstrs).
@@ -141,6 +155,15 @@ func (r *Request) Validate() error {
 	}
 	if r.CheckpointDir != "" && r.Options.Sampling == nil {
 		return fmt.Errorf("run: CheckpointDir is only meaningful for sampled runs (set Options.Sampling)")
+	}
+	if r.Jobs < 0 {
+		return fmt.Errorf("run: Jobs must be >= 0, got %d", r.Jobs)
+	}
+	if r.Jobs > 1 && r.Options.Sampling == nil {
+		return fmt.Errorf("run: Jobs is only meaningful for sampled runs (set Options.Sampling)")
+	}
+	if r.CheckpointCache != "" && r.Options.Sampling == nil {
+		return fmt.Errorf("run: CheckpointCache is only meaningful for sampled runs (set Options.Sampling)")
 	}
 	return nil
 }

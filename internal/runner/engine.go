@@ -44,6 +44,19 @@ type Engine struct {
 	// be safe for concurrent use.
 	Observer run.Observer
 
+	// WindowJobs bounds window-level parallelism inside each sampled
+	// cell. 0 (the default) splits the Parallel budget across the two
+	// levels: with fewer concurrent cells than Parallel slots, the spare
+	// slots run each cell's detail windows concurrently, keeping the
+	// total number of live pipelines near Parallel (cells × windows).
+	// Set 1 to force the sequential sampled engine per cell.
+	WindowJobs int
+
+	// CheckpointCache, when set, is the content-addressed warm-set cache
+	// directory passed to every sampled cell: repeat runs of the same
+	// (workload, layout, geometry) skip their warm pass entirely.
+	CheckpointCache string
+
 	names    []string
 	src      WorkloadSource
 	simulate run.DetailRunner // test seam; nil = run.Do's real pipeline
@@ -107,12 +120,37 @@ func (e *Engine) DynLen(ctx context.Context, name string) int {
 	return bw.DynLen
 }
 
+// windowJobs resolves the per-cell window parallelism for a run of
+// `cells` concurrent cells: the explicit WindowJobs override, or the
+// spare Parallel budget once `cells` of it is spent on cell-level
+// concurrency — so a single sampled cell fans its windows across the
+// whole budget while a saturated matrix stays sequential per cell.
+func (e *Engine) windowJobs(cells int) int {
+	if e.WindowJobs > 0 {
+		return e.WindowJobs
+	}
+	par := e.parallel()
+	if cells < 1 {
+		cells = 1
+	}
+	if cells > par {
+		cells = par
+	}
+	wb := par / cells
+	if wb < 1 {
+		wb = 1
+	}
+	return wb
+}
+
 // Run simulates one workload under the given options, outside any spec.
+// A sampled run gets the engine's whole Parallel budget as window-level
+// parallelism — it is the only cell.
 func (e *Engine) Run(ctx context.Context, name string, o sim.Options) (*pipeline.Stats, error) {
 	if !e.has(name) {
 		return nil, fmt.Errorf("runner: workload %q not in engine", name)
 	}
-	return e.cell(ctx, name, Config{Label: o.Label(), Opt: o})
+	return e.cell(ctx, name, Config{Label: o.Label(), Opt: o}, e.windowJobs(1))
 }
 
 // cell executes one (workload, config) cell through run.Do. Each cell
@@ -122,7 +160,7 @@ func (e *Engine) Run(ctx context.Context, name string, o sim.Options) (*pipeline
 // the full-detail pipeline; their Stats cover the measured windows, so
 // every ratio metric (IPC, rates, per-million counts) estimates the
 // full run while absolute counters are sampled totals.
-func (e *Engine) cell(ctx context.Context, bench string, c Config) (*pipeline.Stats, error) {
+func (e *Engine) cell(ctx context.Context, bench string, c Config, jobs int) (*pipeline.Stats, error) {
 	opts := []run.Option{run.WithSource(e.src)}
 	if e.Observer != nil {
 		opts = append(opts, run.WithObserver(e.Observer))
@@ -130,7 +168,12 @@ func (e *Engine) cell(ctx context.Context, bench string, c Config) (*pipeline.St
 	if e.simulate != nil {
 		opts = append(opts, run.WithDetailRunner(e.simulate))
 	}
-	res, err := run.Do(ctx, run.Request{Workload: bench, Label: c.Label, Options: c.Opt}, opts...)
+	req := run.Request{Workload: bench, Label: c.Label, Options: c.Opt}
+	if c.Opt.Sampling != nil {
+		req.Jobs = jobs
+		req.CheckpointCache = e.CheckpointCache
+	}
+	res, err := run.Do(ctx, req, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -165,6 +208,11 @@ func (e *Engine) Stream(ctx context.Context, s *Spec, fn func(Result) error) err
 	if err := e.src.BuildAll(ctx, benches, par); err != nil {
 		return err
 	}
+	// Window-level budget per sampled cell: the Parallel slots not
+	// consumed by cell-level concurrency. The matrix size caps the cell
+	// count, so a two-cell spec on an 8-way engine runs 4 windows deep
+	// per cell instead of leaving 6 slots idle.
+	jobs := e.windowJobs(len(benches) * len(sp.Configs))
 
 	sem := make(chan struct{}, par)
 	results := make(chan Result)
@@ -194,7 +242,7 @@ func (e *Engine) Stream(ctx context.Context, s *Spec, fn func(Result) error) err
 				go func(b string, c Config) {
 					defer wg.Done()
 					defer func() { <-sem }()
-					st, err := e.cell(ctx, b, c)
+					st, err := e.cell(ctx, b, c, jobs)
 					results <- Result{Bench: b, Label: c.Label, Stats: st, Err: err}
 				}(b, c)
 			}

@@ -1,0 +1,98 @@
+package runner
+
+import (
+	"sync"
+	"testing"
+
+	"rix/internal/pipeline"
+	"rix/internal/run"
+	"rix/internal/sim"
+)
+
+// TestSampledWindowParallelStress runs real sampled cells through the
+// engine pool with both cell-level and window-level parallelism live at
+// once — the configuration the race detector needs to see. Every cell's
+// stats must equal a sequential (WindowJobs=1) engine's, and the
+// observer must witness the two-phase scheduler actually dispatching
+// windows.
+func TestSampledWindowParallelStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real workload builds + four sampled runs (~10s under -race)")
+	}
+	sp := &Spec{ID: "window-stress"}
+	layout := &sim.Sampling{Interval: 4000, Window: 300, Warmup: 150}
+	for _, o := range []sim.Options{
+		{Integration: sim.IntNone, Sampling: layout},
+		{Integration: sim.IntReverse, Sampling: layout},
+	} {
+		sp.Configs = append(sp.Configs, Config{Label: o.Label(), Opt: o})
+	}
+
+	gather := func(e *Engine) map[string]pipeline.Stats {
+		t.Helper()
+		rs, err := e.Gather(bg, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]pipeline.Stats)
+		for _, b := range rs.Benches() {
+			for _, l := range rs.Labels() {
+				out[b+"/"+l] = *rs.Get(b, l)
+			}
+		}
+		return out
+	}
+
+	seqEng, err := NewEngine([]string{"gzip", "crafty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqEng.Parallel = 2
+	seqEng.WindowJobs = 1
+	seq := gather(seqEng)
+
+	parEng, err := NewEngine([]string{"gzip", "crafty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parEng.Parallel = 4
+	parEng.WindowJobs = 3
+	var mu sync.Mutex
+	var scheduled int
+	parEng.Observer = run.ObserverFunc(func(e run.Event) {
+		if e.Kind == run.WindowScheduled {
+			mu.Lock()
+			scheduled++
+			mu.Unlock()
+		}
+	})
+	par := gather(parEng)
+
+	if scheduled == 0 {
+		t.Error("no WindowScheduled events: the two-phase engine never engaged")
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("%d parallel cells vs %d sequential", len(par), len(seq))
+	}
+	for k, sst := range seq {
+		if pst, ok := par[k]; !ok || pst != sst {
+			t.Errorf("cell %s: window-parallel stats diverge from sequential", k)
+		}
+	}
+}
+
+// TestWindowJobsBudgetSplit pins the cells×windows budget arithmetic.
+func TestWindowJobsBudgetSplit(t *testing.T) {
+	e := &Engine{Parallel: 8}
+	for _, tc := range []struct{ cells, want int }{
+		{1, 8}, {2, 4}, {3, 2}, {8, 1}, {100, 1}, {0, 8},
+	} {
+		if got := e.windowJobs(tc.cells); got != tc.want {
+			t.Errorf("windowJobs(%d) with Parallel=8: got %d, want %d", tc.cells, got, tc.want)
+		}
+	}
+	e.WindowJobs = 3
+	if got := e.windowJobs(5); got != 3 {
+		t.Errorf("explicit WindowJobs not honored: got %d", got)
+	}
+}

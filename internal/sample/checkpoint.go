@@ -76,7 +76,9 @@ func SaveCheckpoint(dir string, ck *Checkpoint) (string, error) {
 	return path, nil
 }
 
-// LoadCheckpoint reads and validates one checkpoint file.
+// LoadCheckpoint reads and validates one checkpoint file: the format
+// version must match this build's and the recorded window layout must
+// be internally valid. Every rejection names the offending file.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -89,6 +91,9 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	}
 	if ck.Format != CheckpointFormat {
 		return nil, fmt.Errorf("sample: checkpoint %s has format %d, want %d", path, ck.Format, CheckpointFormat)
+	}
+	if err := ck.Sampling.Validate(); err != nil {
+		return nil, fmt.Errorf("sample: checkpoint %s: %w", path, err)
 	}
 	return &ck, nil
 }
@@ -173,7 +178,11 @@ sched:
 			}
 			ws, err := RunCheckpoint(ctx, p, ck, cfg, sc.Sampling)
 			if err != nil {
-				errs[i] = err
+				if ctx.Err() != nil && err == ctx.Err() {
+					errs[i] = err
+				} else {
+					errs[i] = fmt.Errorf("checkpoint %s: %w", path, err)
+				}
 				return
 			}
 			windows[i] = ws
@@ -274,7 +283,7 @@ func Continue(ctx context.Context, p *prog.Program, dynLen int, cfg pipeline.Con
 		return nil, err
 	}
 	if err := validateLayout(sc.Sampling, last.Sampling); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("checkpoint %s: %w", paths[len(paths)-1], err)
 	}
 
 	windows, err := runCheckpointSet(ctx, p, paths[:len(paths)-1], cfg, sc)

@@ -1,0 +1,227 @@
+package sample
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"rix/internal/core"
+	"rix/internal/emu"
+	"rix/internal/pipeline"
+	"rix/internal/prog"
+)
+
+// This file is the second phase of the two-phase engine: a bounded
+// worker pool that executes the warm set's detail windows concurrently.
+//
+// The only cross-window dependency is the DIVA feedback chain: window
+// j+1 must boot with window j's final LISP state. The scheduler runs
+// the chain speculatively — a wave of up to Config.Windows windows is
+// dispatched with the feedback known at dispatch time, then settled in
+// index order; a window whose actual feedback requirement diverges from
+// its speculative boot invalidates the wave's remaining results, which
+// re-dispatch under the corrected feedback. The first window of every
+// wave boots with validated feedback by construction, so the scheduler
+// always makes progress, degrades to sequential execution under a
+// feedback chain that mutates every window, and reaches full
+// parallelism on the common quiescent chain — while the aggregate stays
+// bit-identical to the sequential engine in every case.
+
+// runTwoPhase is Run's two-phase path: warm pass (or cache hit /
+// injected warm set), then the parallel window phase, then the same
+// deterministic index-ordered aggregation as the sequential engine.
+func runTwoPhase(ctx context.Context, p *prog.Program, dynLen int, cfg pipeline.Config, sc Config) (*Estimate, error) {
+	set, err := prepareWarm(ctx, p, cfg, sc)
+	if err != nil {
+		return nil, err
+	}
+	if set.Total > sc.MaxInstrs {
+		// The sequential fast-forward would have tripped its budget
+		// before the program halted; a cached warm set must not bypass
+		// the bound.
+		return nil, fmt.Errorf("sample: %s did not halt within %d instructions", p.Name, sc.MaxInstrs)
+	}
+	windows, err := runParallel(ctx, p, cfg, sc, set)
+	if err != nil {
+		return nil, err
+	}
+	total := uint64(dynLen)
+	if total == 0 {
+		total = set.Total
+	}
+	return aggregate(sc.Sampling, detailPad(cfg), windows, total), nil
+}
+
+// winOut is one speculatively executed window's result.
+type winOut struct {
+	stat  pipeline.Stats
+	fb    core.LISPState // window's final LISP: the next window's requirement
+	guess core.LISPState // LISP this window booted with (for validation)
+	err   error
+}
+
+// winWorker carries one worker slot's recycled pipeline scratch across
+// the windows it executes. Slots are disjoint within a wave, so no
+// locking is needed.
+type winWorker struct {
+	scratch *pipeline.Scratch
+}
+
+// runParallel executes every boundary's detail window across a pool of
+// up to sc.Windows workers with speculative feedback validation,
+// returning WindowStats in index order.
+func runParallel(ctx context.Context, p *prog.Program, cfg pipeline.Config, sc Config, set *WarmSet) ([]WindowStat, error) {
+	sp := sc.Sampling
+	nb := len(set.Boundaries)
+	width := sc.Windows
+	if width < 1 {
+		width = 1
+	}
+	if width > nb {
+		width = nb
+	}
+	results := make([]*winOut, nb)
+	workers := make([]winWorker, width)
+	var windows []WindowStat
+	// Feedback only chains when the integration policy is on: with it
+	// off the boot LISP is ignored by every window, so speculation is
+	// vacuously correct and validation is skipped.
+	chain := cfg.Policy.Enable
+	// Adopted feedback: nil until the first window settles, meaning
+	// "boot with the boundary snapshot's own (warm-pass) LISP" — which
+	// is exactly what the sequential engine's first window boots with.
+	var fb *core.LISPState
+
+	i := 0
+	for i < nb {
+		hi := i + width
+		if hi > nb {
+			hi = nb
+		}
+		var wg sync.WaitGroup
+		for j := i; j < hi; j++ {
+			b := &set.Boundaries[j]
+			guess := b.Warm.LISP
+			if fb != nil {
+				guess = *fb
+			}
+			if sc.Hooks.WindowScheduled != nil {
+				sc.Hooks.WindowScheduled(b.Index)
+			}
+			wg.Add(1)
+			go func(j int, wk *winWorker, guess core.LISPState) {
+				defer wg.Done()
+				results[j] = runWindowJob(ctx, p, cfg, sp, &set.Boundaries[j], guess, wk)
+			}(j, &workers[j-i], guess)
+		}
+		wg.Wait()
+
+		// Settle in index order; stop the wave at the first feedback
+		// misspeculation and re-dispatch the remainder under the
+		// corrected chain.
+		for i < hi {
+			r := results[i]
+			b := &set.Boundaries[i]
+			if r.err != nil {
+				if ctx.Err() != nil && r.err == ctx.Err() {
+					return windows, r.err
+				}
+				return windows, fmt.Errorf("sample: window %d of %s: %w", b.Index, p.Name, r.err)
+			}
+			ws := WindowStat{
+				Index:        b.Index,
+				Start:        b.Start,
+				MeasuredFrom: b.Start + sp.Warmup,
+				Stats:        r.stat,
+			}
+			windows = append(windows, ws)
+			if sc.Hooks.WindowDone != nil {
+				sc.Hooks.WindowDone(ws)
+			}
+			if sc.CheckpointDir != "" {
+				// Authoritative rewrite of the provisional warm-pass
+				// checkpoint: the boot feedback replaces the warm-pass
+				// LISP, converging on the exact bytes the sequential
+				// engine writes for this boundary.
+				warm := b.Warm
+				warm.LISP = r.guess
+				ck := &Checkpoint{
+					Format:   CheckpointFormat,
+					Program:  p.Name,
+					Index:    b.Index,
+					Start:    b.Start,
+					Sampling: sp,
+					Emu:      b.Emu,
+					Warm:     warm,
+				}
+				path, err := SaveCheckpoint(sc.CheckpointDir, ck)
+				if err != nil {
+					return windows, err
+				}
+				if sc.Hooks.CheckpointWritten != nil {
+					sc.Hooks.CheckpointWritten(path, b.Index)
+				}
+			}
+			results[i] = nil
+			i++
+			if !chain {
+				continue
+			}
+			next := r.fb
+			fb = &next
+			if i < hi && !lispStateEqual(next, results[i].guess) {
+				// Misspeculation: the remaining wave results booted with
+				// stale feedback. Discard and re-dispatch from i.
+				for k := i; k < hi; k++ {
+					results[k] = nil
+				}
+				break
+			}
+		}
+	}
+	return windows, nil
+}
+
+// runWindowJob executes one detail window from its boundary snapshot
+// with the given boot feedback, recycling the worker slot's pipeline
+// scratch. The window span is re-derived from the emulator checkpoint
+// (emu.ResumeStream) — the path the checkpoint-equivalence tests prove
+// bit-identical to the sequential engine's in-memory record replay.
+func runWindowJob(ctx context.Context, p *prog.Program, cfg pipeline.Config, sp Sampling,
+	b *Boundary, guess core.LISPState, wk *winWorker) *winOut {
+
+	warm := b.Warm
+	warm.LISP = guess
+	boot, err := buildBoot(cfg, p, b.Emu, warm)
+	if err != nil {
+		return &winOut{err: err}
+	}
+	boot.Scratch = wk.scratch
+	n := sp.Warmup + sp.Window + detailPad(cfg)
+	src, err := emu.ResumeStream(p, b.Emu, b.Emu.Count+n+1)
+	if err != nil {
+		return &winOut{err: err}
+	}
+	pl := pipeline.NewFrom(cfg, p, emu.Limit(src, n), boot)
+	stats, err := pl.RunWindowContext(ctx, sp.Warmup, sp.Window)
+	if err != nil {
+		return &winOut{err: err}
+	}
+	out := &winOut{stat: *stats, fb: pl.Integrator().LISP.State(), guess: guess}
+	wk.scratch = pl.Recycle()
+	return out
+}
+
+// lispStateEqual reports whether two serialized LISP states are
+// identical — the feedback-speculation validation predicate.
+func lispStateEqual(a, b core.LISPState) bool {
+	if a.Tick != b.Tick || len(a.Entries) != len(b.Entries) {
+		return false
+	}
+	for i := range a.Entries {
+		if a.Entries[i] != b.Entries[i] {
+			return false
+		}
+	}
+	return true
+}

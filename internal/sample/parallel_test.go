@@ -1,0 +1,251 @@
+package sample_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rix/internal/sample"
+	"rix/internal/sim"
+)
+
+// TestParallelEstimateBitEqual is the two-phase engine's core
+// guarantee: across the no-integration baseline and every integration
+// preset, on both a feedback-quiescent workload (gzip) and one whose
+// LISP trains mid-run (crafty, exercising the misspeculation path), the
+// parallel Estimate must equal the sequential Estimate bit-for-bit.
+func TestParallelEstimateBitEqual(t *testing.T) {
+	ctx := context.Background()
+	opts := []sim.Options{{Integration: sim.IntNone}}
+	for _, p := range sim.IntegrationPresets() {
+		opts = append(opts, sim.Options{Integration: p})
+	}
+	for _, name := range []string{"gzip", "crafty"} {
+		bw := buildBench(t, name)
+		for _, o := range opts {
+			cfg, err := o.Config()
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := sample.Run(ctx, bw.Prog, bw.DynLen, cfg, sample.Config{})
+			if err != nil {
+				t.Fatalf("%s [%s] sequential: %v", name, o.Label(), err)
+			}
+			par, err := sample.Run(ctx, bw.Prog, bw.DynLen, cfg, sample.Config{Windows: 4})
+			if err != nil {
+				t.Fatalf("%s [%s] parallel: %v", name, o.Label(), err)
+			}
+			if par.Agg != seq.Agg {
+				t.Errorf("%s [%s]: parallel Agg diverges from sequential", name, o.Label())
+			}
+			if !reflect.DeepEqual(par, seq) {
+				t.Errorf("%s [%s]: parallel Estimate diverges from sequential", name, o.Label())
+			}
+		}
+	}
+}
+
+// TestWarmCacheRoundTrip drives the content-addressed cache through a
+// miss (warm pass runs, entry written), a hit (warm pass skipped,
+// bit-identical estimate), and the invalidation rules (layout change
+// keys a different entry; a corrupt entry is a clean miss that gets
+// rewritten).
+func TestWarmCacheRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	bw := buildBench(t, "gzip")
+	o := sim.Options{Integration: sim.IntReverse}
+	cfg, err := o.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	seq, err := sample.Run(ctx, bw.Prog, bw.DynLen, cfg, sample.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var hits, writes int
+	var entry string
+	sc := sample.Config{CacheDir: dir, Windows: 2, Hooks: sample.Hooks{
+		CacheHit:     func(path string) { hits++; entry = path },
+		CacheWritten: func(path string) { writes++; entry = path },
+	}}
+	first, err := sample.Run(ctx, bw.Prog, bw.DynLen, cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != 0 || writes != 1 {
+		t.Fatalf("cold run: %d hits, %d writes; want 0/1", hits, writes)
+	}
+	if !reflect.DeepEqual(first, seq) {
+		t.Error("cached-miss run diverges from sequential")
+	}
+
+	second, err := sample.Run(ctx, bw.Prog, bw.DynLen, cfg, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != 1 || writes != 1 {
+		t.Fatalf("warm run: %d hits, %d writes; want 1/1", hits, writes)
+	}
+	if !reflect.DeepEqual(second, seq) {
+		t.Error("cache-hit run diverges from sequential")
+	}
+
+	// A different window layout must key a different entry, not reuse
+	// this one.
+	spp := sample.Sampling{Interval: 8000, Window: 400, Warmup: 200}
+	scLayout := sc
+	scLayout.Sampling = spp
+	if _, err := sample.Run(ctx, bw.Prog, bw.DynLen, cfg, scLayout); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 1 || writes != 2 {
+		t.Fatalf("layout change: %d hits, %d writes; want 1/2 (distinct key)", hits, writes)
+	}
+
+	// A corrupt entry is a miss: the run still succeeds, rewrites the
+	// entry, and a following run hits it again.
+	if err := os.WriteFile(entry, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := filepath.Glob(filepath.Join(dir, "*.warmset"))
+	if len(entries) != 2 {
+		t.Fatalf("%d cache entries; want 2", len(entries))
+	}
+	hits, writes = 0, 0
+	if _, err := sample.Run(ctx, bw.Prog, bw.DynLen, cfg, scLayout); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 0 || writes != 1 {
+		t.Fatalf("corrupt entry: %d hits, %d writes; want 0/1", hits, writes)
+	}
+	if _, err := sample.Run(ctx, bw.Prog, bw.DynLen, cfg, scLayout); err != nil {
+		t.Fatal(err)
+	}
+	if hits != 1 {
+		t.Fatalf("rewritten entry: %d hits; want 1", hits)
+	}
+}
+
+// TestPrepareWarmInjection proves the Config.Warm fast path: a
+// prepared warm set injected into Run skips the warm pass (no cache
+// involved) and reproduces the sequential estimate bit-for-bit.
+func TestPrepareWarmInjection(t *testing.T) {
+	ctx := context.Background()
+	bw := buildBench(t, "crafty")
+	o := sim.Options{Integration: sim.IntReverse}
+	cfg, err := o.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sample.PrepareWarm(ctx, bw.Prog, cfg, sample.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warm.Boundaries) < 4 {
+		t.Fatalf("only %d boundaries; want a multi-window run", len(warm.Boundaries))
+	}
+	seq, err := sample.Run(ctx, bw.Prog, bw.DynLen, cfg, sample.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := sample.Run(ctx, bw.Prog, bw.DynLen, cfg, sample.Config{Windows: 4, Warm: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par, seq) {
+		t.Error("warm-injected parallel run diverges from sequential")
+	}
+	// Rejects a mismatched layout rather than silently misusing the set.
+	bad := sample.Config{Warm: warm, Sampling: sample.Sampling{Interval: 8000, Window: 400, Warmup: 200}}
+	if _, err := sample.Run(ctx, bw.Prog, bw.DynLen, cfg, bad); err == nil {
+		t.Error("mismatched warm-set layout accepted")
+	}
+}
+
+// TestCheckpointErrorsNameFile: a layout mismatch or unreadable entry
+// in a checkpoint set must be reported with the offending file's path —
+// a set holds dozens of files and "some checkpoint was bad" is not
+// actionable.
+func TestCheckpointErrorsNameFile(t *testing.T) {
+	ctx := context.Background()
+	bw := buildBench(t, "gzip")
+	cfg, err := (sim.Options{Integration: sim.IntReverse}).Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := sample.Run(ctx, bw.Prog, bw.DynLen, cfg, sample.Config{CheckpointDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := sample.Checkpoints(dir, bw.Prog.Name)
+	if err != nil || len(paths) < 2 {
+		t.Fatalf("checkpoints: %v (%d files)", err, len(paths))
+	}
+
+	mismatch := sample.Config{CheckpointDir: dir, Sampling: sample.Sampling{Interval: 8000, Window: 400, Warmup: 200}}
+	_, err = sample.Continue(ctx, bw.Prog, bw.DynLen, cfg, mismatch)
+	if err == nil || !strings.Contains(err.Error(), filepath.Base(paths[len(paths)-1])) {
+		t.Errorf("layout-mismatch error does not name the checkpoint file: %v", err)
+	}
+
+	if err := os.WriteFile(paths[0], []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sample.Resume(ctx, bw.Prog, bw.DynLen, cfg, sample.Config{CheckpointDir: dir})
+	if err == nil || !strings.Contains(err.Error(), filepath.Base(paths[0])) {
+		t.Errorf("corrupt-checkpoint error does not name the file: %v", err)
+	}
+}
+
+// TestParallelCheckpointParity: a parallel run with a checkpoint
+// directory must leave checkpoints equal to the sequential run's — the
+// warm-pass provisional writes are rewritten at settle time with the
+// validated feedback. Compared decoded, not byte-wise: gob's map
+// encoding makes the file bytes nondeterministic even across two
+// sequential runs.
+func TestParallelCheckpointParity(t *testing.T) {
+	ctx := context.Background()
+	bw := buildBench(t, "crafty")
+	o := sim.Options{Integration: sim.IntReverse}
+	cfg, err := o.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqDir, parDir := t.TempDir(), t.TempDir()
+	if _, err := sample.Run(ctx, bw.Prog, bw.DynLen, cfg, sample.Config{CheckpointDir: seqDir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sample.Run(ctx, bw.Prog, bw.DynLen, cfg, sample.Config{CheckpointDir: parDir, Windows: 4}); err != nil {
+		t.Fatal(err)
+	}
+	seqPaths, err := sample.Checkpoints(seqDir, bw.Prog.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parPaths, err := sample.Checkpoints(parDir, bw.Prog.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqPaths) == 0 || len(seqPaths) != len(parPaths) {
+		t.Fatalf("%d sequential vs %d parallel checkpoints", len(seqPaths), len(parPaths))
+	}
+	for i := range seqPaths {
+		a, err := sample.LoadCheckpoint(seqPaths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sample.LoadCheckpoint(parPaths[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("checkpoint %s differs between sequential and parallel runs", filepath.Base(seqPaths[i]))
+		}
+	}
+}

@@ -35,6 +35,27 @@
 // self-contained, so Resume fans windows out across a bounded worker
 // pool (Config.Parallel).
 //
+// # Two-phase parallel engine
+//
+// Setting Config.Windows > 1 (or Config.CacheDir, or Config.Warm)
+// selects the two-phase engine: one warm pass fast-forwards the whole
+// trace, snapshotting a WarmSnapshot per window boundary (PrepareWarm
+// exposes this phase directly), then a bounded pool executes all
+// detail windows concurrently. The chained LISP feedback is the only
+// cross-window dependency, so windows dispatch speculatively in waves
+// — each settles in index order, and a misspeculated feedback guess
+// discards the rest of its wave for re-dispatch — which keeps the
+// Estimate bit-identical to the sequential engine while the common
+// quiescent chain reaches full parallelism.
+//
+// Config.CacheDir names a content-addressed warm-set cache: the warm
+// pass's output is keyed by a SHA-256 over the program content, window
+// layout, drain pad, warm-relevant machine geometry, and the encoding
+// format versions, so a repeat run skips fast-forward entirely and any
+// invalidating change is a clean miss. Loads are best-effort (corrupt
+// or mismatched entries are misses that get rewritten); saves are
+// atomic.
+//
 // Every run accepts a context.Context, checked at batched boundaries
 // (cancelCheckInterval instructions of fast-forward, every poll interval
 // of detailed simulation). Cancelling a checkpointing run flushes one
@@ -91,11 +112,21 @@ type Hooks struct {
 	// Progress reports the dynamic instruction count reached by the
 	// functional fast-forward, at cancelCheckInterval granularity.
 	Progress func(instrs uint64)
+	// WindowScheduled fires when the two-phase engine dispatches a
+	// window to a worker (from the coordinating goroutine, in dispatch
+	// order; re-dispatch after a feedback misspeculation fires again).
+	WindowScheduled func(index int)
 	// WindowDone fires after each measurement window completes
 	// (possibly concurrently; see above).
 	WindowDone func(w WindowStat)
 	// CheckpointWritten fires after each checkpoint lands on disk.
 	CheckpointWritten func(path string, index int)
+	// CacheHit fires when a warm pass is skipped because the
+	// content-addressed cache (Config.CacheDir) held a valid warm set.
+	CacheHit func(path string)
+	// CacheWritten fires after a freshly built warm set lands in the
+	// cache.
+	CacheWritten func(path string)
 }
 
 // Config configures a sampled run.
@@ -111,10 +142,29 @@ type Config struct {
 	CheckpointDir string
 
 	// Parallel bounds concurrently re-simulated windows in Resume and
-	// Continue's prefix (default 1). Run executes windows sequentially
-	// regardless: the feedback chain is order-dependent, and cells
-	// already fan out across the runner pool.
+	// Continue's prefix (default 1).
 	Parallel int
+
+	// Windows bounds concurrently executed detail windows in Run
+	// (default 1: the classic sequential loop). Any value above 1
+	// selects the two-phase engine — one warm pass over the whole
+	// trace, then a bounded pool running windows concurrently with
+	// speculative feedback validation — whose Estimate is bit-identical
+	// to the sequential path's.
+	Windows int
+
+	// CacheDir, when non-empty, selects the two-phase engine and backs
+	// its warm pass with an on-disk content-addressed cache: the warm
+	// set is keyed by program content, window layout, warm-relevant
+	// machine geometry, and format versions, so a repeat run skips the
+	// warm pass entirely and an invalidating change (different binary,
+	// layout, geometry, or format) is a clean miss, never a stale hit.
+	CacheDir string
+
+	// Warm injects a pre-built warm set (PrepareWarm), skipping both
+	// the warm pass and the cache probe. The set is read-only during
+	// the run and may be shared by concurrent runs.
+	Warm *WarmSet
 
 	// MaxInstrs bounds functional execution (default DefaultMaxInstrs).
 	MaxInstrs uint64
@@ -132,6 +182,9 @@ func (c Config) normalized() (Config, error) {
 	}
 	if c.Parallel < 1 {
 		c.Parallel = 1
+	}
+	if c.Windows < 1 {
+		c.Windows = 1
 	}
 	if c.MaxInstrs == 0 {
 		c.MaxInstrs = DefaultMaxInstrs
@@ -153,6 +206,9 @@ func Run(ctx context.Context, p *prog.Program, dynLen int, cfg pipeline.Config, 
 	sc, err := sc.normalized()
 	if err != nil {
 		return nil, err
+	}
+	if sc.Windows > 1 || sc.CacheDir != "" || sc.Warm != nil {
+		return runTwoPhase(ctx, p, dynLen, cfg, sc)
 	}
 	e := emu.New(p)
 	w := newWarmer(cfg)
@@ -185,6 +241,8 @@ func runFrom(ctx context.Context, p *prog.Program, e *emu.Emulator, w *warmer,
 	var windows []WindowStat
 
 	n := sp.Warmup + sp.Window + detailPad(cfg)
+	var pool bootPool
+	recs := make([]emu.TraceRec, 0, n)
 	for idx := startIdx; !e.Halted; idx++ {
 		// Fast-forward (warming) to this window's detailed start. The
 		// clamp covers jittered starts that would land inside the
@@ -247,12 +305,17 @@ func runFrom(ctx context.Context, p *prog.Program, e *emu.Emulator, w *warmer,
 			}
 		}
 
-		// Boot state by direct clones, then record the window's golden
-		// records while the same pass keeps warming — the span is
-		// emulated once, and the window replays it from memory.
-		boot := w.cloneBoot(cfg, e)
+		// Boot state from the pooled structures (direct copies of the
+		// live warm state — fresh clones on the first window only), then
+		// record the window's golden records while the same pass keeps
+		// warming: the span is emulated once, and the window replays it
+		// from memory.
+		boot, err := pool.fromWarmer(cfg, e, w)
+		if err != nil {
+			return windows, err
+		}
 		start := e.Count
-		recs := make([]emu.TraceRec, 0, n)
+		recs = recs[:0]
 		for uint64(len(recs)) < n && !e.Halted {
 			if done != nil && e.Count&(cancelCheckInterval-1) == 0 {
 				select {
@@ -290,10 +353,16 @@ func runFrom(ctx context.Context, p *prog.Program, e *emu.Emulator, w *warmer,
 		if sc.Hooks.WindowDone != nil {
 			sc.Hooks.WindowDone(ws)
 		}
-		fb := feedback{LISP: pl.Integrator().LISP.State()}
-		if err := w.adoptFeedback(fb); err != nil {
-			return windows, err
+		// Feedback chaining, allocation-free: fold the window's final
+		// LISP straight into the warmer (equivalent to adoptFeedback
+		// over its serialized state — the integrator's LISP always has
+		// full geometry).
+		if w.lisp != nil {
+			if err := w.lisp.CopyFrom(pl.Integrator().LISP); err != nil {
+				return windows, err
+			}
 		}
+		pool.scratch = pl.Recycle()
 	}
 	return windows, nil
 }

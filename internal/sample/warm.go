@@ -213,6 +213,68 @@ func (w *warmer) cloneBoot(cfg pipeline.Config, e *emu.Emulator) *pipeline.BootS
 	}
 }
 
+// bootPool recycles one set of window-boot structures — predictor, BTB,
+// RAS, CHT, hierarchy, LISP — plus the finished pipeline's Scratch
+// across a run's windows, so steady-state window boot performs in-place
+// copies instead of fresh clone allocations. The CopyFrom primitives
+// zero every diagnostic tally and reset the transient timing parts, so
+// a pooled boot is bit-equivalent to cloneBoot's fresh clones.
+type bootPool struct {
+	pred    *bpred.Predictor
+	btb     *bpred.BTB
+	ras     *bpred.RAS
+	cht     *bpred.CHT
+	hier    *memsys.Hierarchy
+	lisp    *core.LISP
+	scratch *pipeline.Scratch
+}
+
+// fromWarmer builds the next window's boot state from the live warmer:
+// fresh clones on first use (exactly cloneBoot), in-place copies into
+// the pooled structures afterwards. The returned BootState is owned by
+// the next pipeline until it finishes; call again only after that.
+func (bp *bootPool) fromWarmer(cfg pipeline.Config, e *emu.Emulator, w *warmer) (*pipeline.BootState, error) {
+	if bp.pred == nil {
+		boot := w.cloneBoot(cfg, e)
+		bp.pred, bp.btb, bp.ras, bp.cht = boot.Pred, boot.BTB, boot.RAS, boot.CHT
+		bp.hier, bp.lisp = boot.Hier, boot.LISP
+		boot.Scratch = bp.scratch
+		return boot, nil
+	}
+	if err := bp.pred.CopyFrom(w.pred); err != nil {
+		return nil, err
+	}
+	if err := bp.btb.CopyFrom(w.btb); err != nil {
+		return nil, err
+	}
+	if err := bp.ras.CopyFrom(w.ras); err != nil {
+		return nil, err
+	}
+	if err := bp.cht.CopyFrom(w.cht); err != nil {
+		return nil, err
+	}
+	if err := bp.hier.CopyWarmFrom(w.hier); err != nil {
+		return nil, err
+	}
+	if w.lisp != nil {
+		if err := bp.lisp.CopyFrom(w.lisp); err != nil {
+			return nil, err
+		}
+	}
+	return &pipeline.BootState{
+		PC:      e.PC,
+		Regs:    e.Regs,
+		Mem:     e.Mem.Clone(),
+		Pred:    bp.pred,
+		BTB:     bp.btb,
+		RAS:     bp.ras,
+		CHT:     bp.cht,
+		Hier:    bp.hier,
+		LISP:    bp.lisp,
+		Scratch: bp.scratch,
+	}, nil
+}
+
 // buildBoot reconstructs a pipeline boot state from an emulator
 // checkpoint and a warm snapshot — the on-disk checkpoint path. It
 // yields the same state as cloneBoot over the live structures, so a

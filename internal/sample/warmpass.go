@@ -1,0 +1,189 @@
+package sample
+
+import (
+	"context"
+	"fmt"
+
+	"rix/internal/emu"
+	"rix/internal/pipeline"
+	"rix/internal/prog"
+)
+
+// This file is the first phase of the two-phase sampled engine: one
+// functional fast-forward over the whole trace that snapshots the
+// emulator and warm state at every window boundary. The boundaries are
+// mutually independent by construction — each one is exactly the
+// checkpoint the sequential engine would have written there — so the
+// second phase (parallel.go) can execute all detail windows
+// concurrently and still aggregate bit-identically.
+
+// WarmSet is the warm pass's output: every window boundary of one
+// (program, window layout, warm-relevant machine geometry) triple. A
+// WarmSet is read-only once built; concurrent runs may share it
+// (Config.Warm), and the content-addressed cache (cache.go) persists it
+// across processes. The boundary snapshots carry the warmer's LISP as
+// of the warm pass — untrained — because DIVA feedback is discovered
+// only by detailed windows; the scheduler substitutes the chained
+// feedback at boot time.
+type WarmSet struct {
+	Program    string
+	Sampling   Sampling
+	Total      uint64 // dynamic instruction count at program halt
+	Boundaries []Boundary
+}
+
+// Boundary is one window's self-contained starting state.
+type Boundary struct {
+	Index int
+	Start uint64 // dynamic instruction of the detailed (warmup) start
+	Emu   emu.State
+	Warm  WarmSnapshot
+}
+
+// PrepareWarm returns the warm set for (p, cfg, sc): the injected
+// sc.Warm when present, else a cache load (sc.CacheDir), else one warm
+// pass — saved back into the cache when sc.CacheDir is set. Callers
+// that run the same cell repeatedly (benchmarks, figure regeneration)
+// can prepare once and inject the set via Config.Warm to skip the warm
+// pass on every run.
+func PrepareWarm(ctx context.Context, p *prog.Program, cfg pipeline.Config, sc Config) (*WarmSet, error) {
+	sc, err := sc.normalized()
+	if err != nil {
+		return nil, err
+	}
+	return prepareWarm(ctx, p, cfg, sc)
+}
+
+// prepareWarm is PrepareWarm over an already-normalized Config.
+func prepareWarm(ctx context.Context, p *prog.Program, cfg pipeline.Config, sc Config) (*WarmSet, error) {
+	if sc.Warm != nil {
+		if sc.Warm.Program != p.Name {
+			return nil, fmt.Errorf("sample: warm set is for %q, not %q", sc.Warm.Program, p.Name)
+		}
+		if sc.Warm.Sampling != sc.Sampling {
+			return nil, fmt.Errorf("sample: warm set layout %s does not match requested %s",
+				sc.Warm.Sampling, sc.Sampling)
+		}
+		return sc.Warm, nil
+	}
+	var key string
+	if sc.CacheDir != "" {
+		key = warmKey(p, cfg, sc.Sampling)
+		if set, path := loadWarmSet(sc.CacheDir, key, p.Name, sc.Sampling); set != nil {
+			if sc.Hooks.CacheHit != nil {
+				sc.Hooks.CacheHit(path)
+			}
+			return set, nil
+		}
+	}
+	set, err := buildWarmSet(ctx, p, cfg, sc)
+	if err != nil {
+		return nil, err
+	}
+	if sc.CacheDir != "" {
+		// Best-effort: a failed save costs the next run a warm pass, not
+		// this run its result.
+		if path, err := saveWarmSet(sc.CacheDir, key, set); err == nil && sc.Hooks.CacheWritten != nil {
+			sc.Hooks.CacheWritten(path)
+		}
+	}
+	return set, nil
+}
+
+// buildWarmSet is the warm pass proper. It reproduces the sequential
+// engine's fast-forward exactly — including the advance through each
+// window's record span, which determines where later (jitter-clamped)
+// boundaries land — so every Boundary matches the sequential run's
+// checkpoint at the same index. When sc.CheckpointDir is set, each
+// boundary is provisionally persisted as it is snapshotted (keeping an
+// interrupted two-phase run continuable); the window phase later
+// rewrites each file with the validated feedback, converging on the
+// exact bytes the sequential engine writes.
+func buildWarmSet(ctx context.Context, p *prog.Program, cfg pipeline.Config, sc Config) (*WarmSet, error) {
+	sp := sc.Sampling
+	e := emu.New(p)
+	w := newWarmer(cfg)
+	done := ctx.Done()
+	n := sp.Warmup + sp.Window + detailPad(cfg)
+	set := &WarmSet{Program: p.Name, Sampling: sp}
+
+	for idx := 0; !e.Halted; idx++ {
+		target := windowStart(idx, sp)
+		if target < e.Count {
+			target = e.Count
+		}
+		for e.Count < target && !e.Halted {
+			if e.Count&(cancelCheckInterval-1) == 0 {
+				if done != nil {
+					select {
+					case <-done:
+						if sc.CheckpointDir != "" {
+							flushPartial(sc, p, idx, e, w)
+						}
+						return nil, ctx.Err()
+					default:
+					}
+				}
+				if sc.Hooks.Progress != nil {
+					sc.Hooks.Progress(e.Count)
+				}
+			}
+			if e.Count >= sc.MaxInstrs {
+				return nil, fmt.Errorf("sample: %s did not halt within %d instructions", p.Name, sc.MaxInstrs)
+			}
+			pc := e.PC
+			rec, err := e.Step()
+			if err != nil {
+				return nil, fmt.Errorf("sample: fast-forward failed: %w", err)
+			}
+			w.observe(p.Code[rec.CodeIdx], pc, rec, e.PC)
+		}
+		if e.Halted {
+			break
+		}
+
+		b := Boundary{Index: idx, Start: e.Count, Emu: e.State(), Warm: w.snapshot()}
+		set.Boundaries = append(set.Boundaries, b)
+		if sc.CheckpointDir != "" {
+			ck := &Checkpoint{
+				Format:   CheckpointFormat,
+				Program:  p.Name,
+				Index:    b.Index,
+				Start:    b.Start,
+				Sampling: sp,
+				Emu:      b.Emu,
+				Warm:     b.Warm,
+			}
+			if _, err := SaveCheckpoint(sc.CheckpointDir, ck); err != nil {
+				return nil, err
+			}
+			// CheckpointWritten fires on the authoritative settle-time
+			// rewrite, not this provisional write.
+		}
+
+		// Advance through the window's record span, still warming: the
+		// sequential engine consumes these records for the detail window,
+		// and later boundary positions depend on the cursor having moved.
+		var taken uint64
+		for taken < n && !e.Halted {
+			if done != nil && e.Count&(cancelCheckInterval-1) == 0 {
+				select {
+				case <-done:
+					// The provisional boundary checkpoint written above
+					// already covers this interruption point.
+					return nil, ctx.Err()
+				default:
+				}
+			}
+			pc := e.PC
+			rec, err := e.Step()
+			if err != nil {
+				return nil, fmt.Errorf("sample: fast-forward failed: %w", err)
+			}
+			taken++
+			w.observe(p.Code[rec.CodeIdx], pc, rec, e.PC)
+		}
+	}
+	set.Total = e.Count
+	return set, nil
+}
