@@ -203,7 +203,13 @@ func BenchmarkSampledParallel(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	sc := sample.Config{Windows: runtime.GOMAXPROCS(0), Warm: warm}
+	// A persistent scheduler, as deployed: the runner engine creates one
+	// pool per matrix and every cell's windows flow through it, so the
+	// timed loop sees the steady state — each slot's boot structures and
+	// pipeline scratch already built, rebooted in place per window.
+	sched := sample.NewScheduler(runtime.GOMAXPROCS(0))
+	defer sched.Close()
+	sc := sample.Config{Scheduler: sched, Warm: warm}
 
 	b.ResetTimer()
 	var covered uint64
@@ -219,6 +225,85 @@ func BenchmarkSampledParallel(b *testing.B) {
 	}
 	b.ReportMetric(float64(covered)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 	b.ReportMetric(seqWall.Seconds()/(b.Elapsed().Seconds()/float64(b.N)), "speedup")
+	b.ReportMetric(float64(runtime.NumCPU()), "cores")
+}
+
+// BenchmarkSampledStealing measures what the shared work-stealing pool
+// buys over the retired static per-cell split on a deliberately skewed
+// matrix: two concurrent sampled cells of the same workload, one laid
+// out with 4x the windows of the other. Under the static split (each
+// cell its own half-size pool — the old `windows = max(1, j / cells)`
+// arithmetic), the short cell's slots idle once it settles while the
+// long cell grinds at half width; the shared pool hands them over.
+// The static-split wall clock is measured untimed before the loop;
+// "speedup" is its ratio to the timed shared-pool runs, and "cores"
+// lets the benchgate skip judgment on starved runners (a 1-core host
+// cannot show wall-clock gain from slot handoff). Warm sets are
+// prepared once and injected, so both variants time only the window
+// phase the scheduler actually governs.
+func BenchmarkSampledStealing(b *testing.B) {
+	bench, _ := workload.ByName("gzip")
+	bw, err := bench.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := sim.Options{Integration: sim.IntReverse}.Config()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	layouts := []sample.Sampling{
+		{Interval: 4000, Window: 600, Warmup: 300},  // long cell: ~4x the windows
+		{Interval: 16000, Window: 600, Warmup: 300}, // short cell: settles early
+	}
+	warms := make([]*sample.WarmSet, len(layouts))
+	for i, l := range layouts {
+		if warms[i], err = sample.PrepareWarm(ctx, bw.Prog, cfg, sample.Config{Sampling: l}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	jobs := runtime.GOMAXPROCS(0)
+	if jobs < 4 {
+		jobs = 4
+	}
+
+	runMatrix := func(scheds []*sample.Scheduler) time.Duration {
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make([]error, len(layouts))
+		for i := range layouts {
+			sc := sample.Config{Sampling: layouts[i], Scheduler: scheds[i], Warm: warms[i]}
+			wg.Add(1)
+			go func(i int, sc sample.Config) {
+				defer wg.Done()
+				_, errs[i] = sample.Run(ctx, bw.Prog, bw.DynLen, cfg, sc)
+			}(i, sc)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+
+	// Untimed static-split reference: one private half-size pool per
+	// cell, no stealing possible.
+	half := []*sample.Scheduler{sample.NewScheduler(jobs / 2), sample.NewScheduler(jobs / 2)}
+	staticWall := runMatrix(half)
+	half[0].Close()
+	half[1].Close()
+
+	shared := sample.NewScheduler(jobs)
+	defer shared.Close()
+	pool := []*sample.Scheduler{shared, shared}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runMatrix(pool)
+	}
+	b.ReportMetric(staticWall.Seconds()/(b.Elapsed().Seconds()/float64(b.N)), "speedup")
 	b.ReportMetric(float64(runtime.NumCPU()), "cores")
 }
 

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# lint_docs.sh — keep the user-facing docs honest about the CLIs.
+#
+# Fails if README.md or EXPERIMENTS.md reference a `-flag` that no
+# command under cmd/ actually defines, the way the docs drifted when
+# the static per-cell window split was retired. Flag definitions are
+# discovered by grepping cmd/ for flag.<Type>("name", ...) calls, so a
+# renamed or deleted flag fails this lint until every doc mention is
+# updated. Go-toolchain flags that legitimately appear in doc command
+# lines (go test -bench, gofmt -l, ...) are allowlisted.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+defined=$(grep -rhoE 'flag\.[A-Za-z][A-Za-z0-9]*\("[a-z][a-z0-9-]*"' cmd/ \
+  | sed -E 's/.*\("([^"]+)".*/\1/' | sort -u)
+if [ -z "$defined" ]; then
+  echo "lint_docs: found no flag definitions under cmd/ — the grep is broken" >&2
+  exit 1
+fi
+
+# go test / gofmt / go vet flags quoted in CI and benchmarking docs.
+toolchain="bench benchmem benchtime race run count cover l"
+
+fail=0
+for doc in README.md EXPERIMENTS.md; do
+  # A doc flag reference is `-name` at a word start: preceded by a
+  # space, backtick, or parenthesis so hyphenated prose (two-phase,
+  # best-effort) and numeric ranges (2-5x) never match.
+  refs=$(grep -oE "(^|[ \`(])-[a-z][a-z0-9-]*" "$doc" \
+    | sed -E 's/^[^-]*-//' | sort -u)
+  for r in $refs; do
+    case " $toolchain " in *" $r "*) continue ;; esac
+    if ! grep -qx "$r" <<<"$defined"; then
+      echo "lint_docs: $doc references -$r but no command under cmd/ defines it" >&2
+      fail=1
+    fi
+  done
+done
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "lint_docs: every doc-referenced flag is defined by a command"

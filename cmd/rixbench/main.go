@@ -64,9 +64,13 @@ func body(ctx context.Context) error {
 	list := flag.Bool("list", false, "list registered specs and exit")
 	parallel := flag.Int("j", 0, "max parallel simulations (default: NumCPU)")
 	jobs := flag.Int("jobs", 0,
-		"window-level parallelism per sampled cell (0 = split -j budget across cells x windows, 1 = sequential)")
+		"shared window-scheduler slots all sampled cells draw from (0 = the -j budget, 1 = sequential per cell)")
 	ckptCache := flag.String("ckpt-cache", "",
 		"content-addressed warm-set cache directory shared by all sampled cells")
+	cacheMB := flag.Int("ckpt-cache-mb", 0,
+		"bound -ckpt-cache total size in MiB, LRU-evicting on save (0 = unbounded)")
+	cacheAge := flag.Duration("ckpt-cache-age", 0,
+		"evict -ckpt-cache entries not used within this duration (0 = no age bound)")
 	sampleSpec := flag.String("sample", "",
 		"run interval-sampled variants of the selected specs: 'default' or interval/window[/warmup]")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
@@ -108,6 +112,8 @@ func body(ctx context.Context) error {
 	}
 	engine.WindowJobs = *jobs
 	engine.CheckpointCache = *ckptCache
+	engine.CacheMaxMB = *cacheMB
+	engine.CacheMaxAgeSec = int(*cacheAge / time.Second)
 	if *verbose {
 		engine.Observer = newCellLogger()
 	}

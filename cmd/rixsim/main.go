@@ -56,8 +56,10 @@ func body(ctx context.Context) error {
 		"interval sampling: 'default' or interval/window[/warmup] in dynamic instructions")
 	ckptDir := flag.String("ckpt", "", "checkpoint directory (written during -sample, read by -resume)")
 	resume := flag.Bool("resume", false, "finish (or re-measure) the run checkpointed in -ckpt")
-	jobs := flag.Int("jobs", 0, "sampled window-level parallelism (0 = NumCPU, 1 = sequential)")
+	jobs := flag.Int("jobs", 0, "sampled window-scheduler slots (0 = NumCPU, 1 = sequential)")
 	ckptCache := flag.String("ckpt-cache", "", "content-addressed warm-set cache directory for sampled runs")
+	cacheMB := flag.Int("ckpt-cache-mb", 0, "bound -ckpt-cache total size in MiB, LRU-evicting on save (0 = unbounded)")
+	cacheAge := flag.Duration("ckpt-cache-age", 0, "evict -ckpt-cache entries not used within this duration (0 = no age bound)")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
 	verbose := flag.Bool("v", false, "stream typed progress events to stderr")
 	asJSON := flag.Bool("json", false, "print the run result as JSON instead of the stats block")
@@ -90,7 +92,7 @@ func body(ctx context.Context) error {
 			Core:        *coreV,
 			ITEntries:   *itEntries,
 			ITAssoc:     *itAssoc,
-		}, *sampleSpec, *ckptDir, *resume, *jobs, *ckptCache); err != nil {
+		}, *sampleSpec, *ckptDir, *resume, *jobs, *ckptCache, *cacheMB, *cacheAge); err != nil {
 			return err
 		}
 	}
@@ -137,7 +139,8 @@ func body(ctx context.Context) error {
 }
 
 // buildRequest assembles the run.Request the config flags describe.
-func buildRequest(bench, file string, o sim.Options, sampleSpec, ckptDir string, resume bool, jobs int, ckptCache string) (*run.Request, error) {
+func buildRequest(bench, file string, o sim.Options, sampleSpec, ckptDir string, resume bool,
+	jobs int, ckptCache string, cacheMB int, cacheAge time.Duration) (*run.Request, error) {
 	if sampleSpec != "" || resume {
 		sp := sim.DefaultSampling()
 		if sampleSpec != "" {
@@ -155,6 +158,10 @@ func buildRequest(bench, file string, o sim.Options, sampleSpec, ckptDir string,
 		}
 		req.Jobs = jobs
 		req.CheckpointCache = ckptCache
+		if ckptCache != "" {
+			req.CacheMaxMB = cacheMB
+			req.CacheMaxAgeSec = int(cacheAge / time.Second)
+		}
 	}
 	switch {
 	case file != "":
@@ -183,6 +190,12 @@ func printEvent(e run.Event) {
 		fmt.Fprintf(os.Stderr, "[%s] %s [%s] %d instructions\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Instrs)
 	case run.WindowDone:
 		fmt.Fprintf(os.Stderr, "[%s] %s [%s] window %d done (%d measured)\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Window, e.Instrs)
+	case run.WindowDiscarded:
+		fmt.Fprintf(os.Stderr, "[%s] %s [%s] window %d discarded (feedback misspeculation)\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Window)
+	case run.SlotStolen:
+		fmt.Fprintf(os.Stderr, "[%s] %s [%s] stole scheduler slot %d\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Slot)
+	case run.SlotReturned:
+		fmt.Fprintf(os.Stderr, "[%s] %s [%s] window %d settled, slot returned to pool\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Window)
 	case run.CheckpointWritten:
 		fmt.Fprintf(os.Stderr, "[%s] %s [%s] checkpoint %d -> %s\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Window, e.Path)
 	case run.CacheHit:

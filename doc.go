@@ -52,16 +52,25 @@
 // (a warmup prefix with statistics gated off warms the
 // rename-dependent state), per-window Stats aggregated into estimates
 // with confidence half-widths, and gob checkpoints per window boundary
-// so runs resume and windows shard across processes. A two-phase mode
-// (run.Request.Jobs > 1) fast-forwards once, snapshots every window
-// boundary, and executes the detail windows on a speculative worker
-// pool with the estimate bit-identical to the sequential engine; the
-// warm pass's output is reusable through a content-addressed checkpoint
-// cache (run.Request.CheckpointCache, rixsim/rixbench -ckpt-cache).
-// sim.Options.Sampling selects sampling per cell; runner routes sampled
-// cells automatically, splits its -j budget across cells x windows, and
-// runner.Sampled derives sampled variants of whole specs
-// (rixbench -sample).
+// so runs resume and windows shard across processes (doc/FORMATS.md
+// specifies the on-disk encodings). A two-phase mode fast-forwards
+// once, snapshots every window boundary, and executes the detail
+// windows speculatively on a shared work-stealing scheduler
+// (sample.Scheduler): a process-wide pool of worker slots, each
+// holding a pooled boot clone re-seeded in place per window, that all
+// sampled cells draw from — a cell that settles early stops
+// submitting and its slots flow to cells still draining — with the
+// estimate bit-identical to the sequential engine and the
+// dispatched/settled/discarded window counts reported on
+// run.Result.Sampled. The warm pass's output is reusable through a
+// content-addressed, LRU-bounded checkpoint cache
+// (run.Request.CheckpointCache, rixsim/rixbench -ckpt-cache,
+// -ckpt-cache-mb, -ckpt-cache-age). sim.Options.Sampling selects
+// sampling per cell; runner routes sampled cells automatically and
+// sizes the matrix-wide scheduler from its -j budget (Engine
+// .WindowJobs overrides), and runner.Sampled derives sampled variants
+// of whole specs (rixbench -sample). doc/ARCHITECTURE.md maps the
+// whole sampling stack top to bottom.
 //
 // Layout:
 //

@@ -128,12 +128,26 @@ func (h *Hierarchy) CopyWarmFrom(src *Hierarchy) error {
 	if err := h.DTLB.CopyFrom(src.DTLB); err != nil {
 		return err
 	}
+	h.ResetTransient()
+	return nil
+}
+
+// ResetTransient empties the transient timing state (MSHRs, write
+// buffer, buses) and zeroes every diagnostic tally, hierarchy-wide.
+// After ResetTransient plus SetWarmState, a previously used hierarchy is
+// bit-equivalent to a fresh CloneWarm — the pooled-slot reboot path of
+// the sampling scheduler.
+func (h *Hierarchy) ResetTransient() {
 	h.MSHRs.Reset()
 	h.WriteBuf.Reset()
 	h.Backside.Reset()
 	h.MemBus.Reset()
 	h.LoadAccesses, h.StoreAccesses, h.IFetches = 0, 0, 0
-	return nil
+	h.L1I.Accesses, h.L1I.Misses, h.L1I.Writebacks = 0, 0, 0
+	h.L1D.Accesses, h.L1D.Misses, h.L1D.Writebacks = 0, 0, 0
+	h.L2.Accesses, h.L2.Misses, h.L2.Writebacks = 0, 0, 0
+	h.ITLB.Accesses, h.ITLB.Misses = 0, 0
+	h.DTLB.Accesses, h.DTLB.Misses = 0, 0
 }
 
 // WarmState bundles the hierarchy state that functional warmup carries

@@ -3,6 +3,7 @@ package run
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"rix/internal/asm"
@@ -37,6 +38,7 @@ type config struct {
 	src           Source
 	detail        DetailRunner
 	progressEvery uint64
+	sched         *sample.Scheduler
 }
 
 // Option customizes one Do call.
@@ -68,6 +70,22 @@ func WithProgressEvery(n uint64) Option {
 	return func(c *config) {
 		if n > 0 {
 			c.progressEvery = n
+		}
+	}
+}
+
+// WithScheduler runs a sampled request's detail-window phase on the
+// given shared work-stealing pool (see sample.Scheduler) instead of a
+// per-run worker set: concurrent Do calls passing the same scheduler
+// steal each other's idle slots, and each slot's pooled boot state is
+// reused across every window it executes. The pool is a live resource,
+// not part of the serializable Request — the request's Jobs field
+// records the intended pool size, and the caller (e.g. the runner
+// engine) owns the scheduler's lifecycle. Ignored for detail runs.
+func WithScheduler(s *sample.Scheduler) Option {
+	return func(c *config) {
+		if s != nil {
+			c.sched = s
 		}
 	}
 }
@@ -175,10 +193,32 @@ func execute(ctx context.Context, c *config, req *Request, bw workload.Built, re
 		Parallel:      req.Parallel,
 		Windows:       req.Jobs,
 		CacheDir:      req.CheckpointCache,
+		CacheMaxBytes: int64(req.CacheMaxMB) << 20,
+		CacheMaxAge:   time.Duration(req.CacheMaxAgeSec) * time.Second,
+		Scheduler:     c.sched,
 		MaxInstrs:     req.MaxInstrs,
 	}
 	if c.hasObs {
 		sc.Hooks = sampleHooks(c, ev)
+	}
+	// Wave telemetry is part of the Result, observer or not: count
+	// dispatches and discards on top of whatever event hooks are
+	// installed. Both fire from the coordinating goroutine, but WindowDone
+	// (and thus a future reader of these counters) may run concurrently in
+	// Resume mode, so keep them atomic.
+	var dispatched, discarded atomic.Uint64
+	prevSched, prevDisc := sc.Hooks.WindowScheduled, sc.Hooks.WindowDiscarded
+	sc.Hooks.WindowScheduled = func(index int) {
+		dispatched.Add(1)
+		if prevSched != nil {
+			prevSched(index)
+		}
+	}
+	sc.Hooks.WindowDiscarded = func(index int) {
+		discarded.Add(1)
+		if prevDisc != nil {
+			prevDisc(index)
+		}
 	}
 	var est *sample.Estimate
 	if req.Resume {
@@ -190,7 +230,7 @@ func execute(ctx context.Context, c *config, req *Request, bw workload.Built, re
 		return err
 	}
 	res.Stats = est.Agg
-	res.Sampled = summarize(est)
+	res.Sampled = summarize(est, dispatched.Load(), discarded.Load())
 	return nil
 }
 
@@ -231,6 +271,24 @@ func sampleHooks(c *config, ev Event) sample.Hooks {
 		WindowScheduled: func(index int) {
 			e := ev
 			e.Kind = WindowScheduled
+			e.Window = index
+			c.obs.Observe(e)
+		},
+		WindowDiscarded: func(index int) {
+			e := ev
+			e.Kind = WindowDiscarded
+			e.Window = index
+			c.obs.Observe(e)
+		},
+		SlotStolen: func(slot int) {
+			e := ev
+			e.Kind = SlotStolen
+			e.Slot = slot
+			c.obs.Observe(e)
+		},
+		SlotReturned: func(index int) {
+			e := ev
+			e.Kind = SlotReturned
 			e.Window = index
 			c.obs.Observe(e)
 		},

@@ -17,6 +17,22 @@ const (
 	// a detail window to a worker (possibly speculatively; a window that
 	// misspeculates on feedback is scheduled again). Window is its index.
 	WindowScheduled EventKind = "window-scheduled"
+	// WindowDiscarded fires when the two-phase engine cancels a
+	// speculatively dispatched window because an earlier settle
+	// invalidated its boot feedback; the window is scheduled again under
+	// the corrected chain. Window is its index. Dispatch, settle, and
+	// discard events follow a deterministic sequence for a given run.
+	WindowDiscarded EventKind = "window-discarded"
+	// SlotStolen fires when a shared window-scheduler slot that last
+	// served another cell picks up one of this run's windows — the
+	// work-stealing handoff. Slot is the pool slot index. Emitted from
+	// the pool's worker goroutines; the count depends on runtime
+	// scheduling and is not deterministic.
+	SlotStolen EventKind = "slot-stolen"
+	// SlotReturned fires once per window settled after the run has
+	// dispatched its last one — each such settle releases a scheduler
+	// slot back to the shared pool. Window is the settled index.
+	SlotReturned EventKind = "slot-returned"
 	// CacheHit fires when a sampled run finds its warm set in the
 	// checkpoint cache and skips the warm pass; Path names the entry.
 	CacheHit EventKind = "cache-hit"
@@ -41,7 +57,8 @@ type Event struct {
 	Mode     Mode      `json:"mode"`
 
 	Instrs uint64 `json:"instrs,omitempty"` // Progress, WindowDone
-	Window int    `json:"window,omitempty"` // WindowDone, WindowScheduled, CheckpointWritten
+	Window int    `json:"window,omitempty"` // WindowDone, WindowScheduled, WindowDiscarded, SlotReturned, CheckpointWritten
+	Slot   int    `json:"slot,omitempty"`   // SlotStolen
 	Path   string `json:"path,omitempty"`   // CheckpointWritten, CacheHit, CacheWritten
 	Err    string `json:"err,omitempty"`    // CellFinished on failure
 }

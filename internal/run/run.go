@@ -85,10 +85,13 @@ type Request struct {
 
 	// Jobs bounds window-level parallelism for ModeSampled: >1 selects
 	// the two-phase engine (one warm pass, then up to Jobs detail windows
-	// concurrently), 1 forces the sequential engine, 0 leaves the choice
-	// to the caller's default (sequential unless a checkpoint cache or
-	// warm set makes the two-phase path worthwhile). The estimate is
-	// bit-identical either way.
+	// in flight on a worker pool), 1 forces the sequential engine, 0
+	// leaves the choice to the caller's default (sequential unless a
+	// checkpoint cache or warm set makes the two-phase path worthwhile).
+	// When the caller supplies a shared pool (WithScheduler), the pool's
+	// slot count governs instead and Jobs records the intended size for
+	// request-serialization fidelity. The estimate is bit-identical in
+	// every case.
 	Jobs int `json:"jobs,omitempty"`
 
 	// CheckpointCache is a directory for the content-addressed warm-set
@@ -96,6 +99,17 @@ type Request struct {
 	// warm pass on a hit. Safe to share across runs and processes; any
 	// configuration change is a clean miss.
 	CheckpointCache string `json:"checkpoint_cache,omitempty"`
+
+	// CacheMaxMB bounds the warm-set cache directory's total size in
+	// MiB: after each save, least-recently-used entries are evicted
+	// until the directory fits (0 = unbounded). Requires
+	// CheckpointCache.
+	CacheMaxMB int `json:"cache_max_mb,omitempty"`
+
+	// CacheMaxAgeSec evicts warm-set cache entries not written or hit
+	// within this many seconds, during the same post-save sweep (0 = no
+	// age bound). Requires CheckpointCache.
+	CacheMaxAgeSec int `json:"cache_max_age_sec,omitempty"`
 
 	// MaxInstrs bounds functional execution of inline sources and
 	// sampled fast-forward (default workload.MaxInstrs /
@@ -165,6 +179,13 @@ func (r *Request) Validate() error {
 	if r.CheckpointCache != "" && r.Options.Sampling == nil {
 		return fmt.Errorf("run: CheckpointCache is only meaningful for sampled runs (set Options.Sampling)")
 	}
+	if r.CacheMaxMB < 0 || r.CacheMaxAgeSec < 0 {
+		return fmt.Errorf("run: cache bounds must be >= 0 (got CacheMaxMB=%d, CacheMaxAgeSec=%d)",
+			r.CacheMaxMB, r.CacheMaxAgeSec)
+	}
+	if (r.CacheMaxMB > 0 || r.CacheMaxAgeSec > 0) && r.CheckpointCache == "" {
+		return fmt.Errorf("run: cache bounds need CheckpointCache")
+	}
 	return nil
 }
 
@@ -192,7 +213,23 @@ type Sampled struct {
 	Rate            float64         `json:"rate"`      // sample-weighted integration-rate estimate
 	IPCCI95         float64         `json:"ipc_ci95"`  // relative half-width on IPC
 	RateCI95        float64         `json:"rate_ci95"` // absolute half-width on integration rate
-	Windows         []Window        `json:"windows"`
+
+	// Speculative-wave telemetry. The two-phase engine dispatches detail
+	// windows speculatively on guessed feedback: WindowsDispatched counts
+	// dispatches (re-dispatches after a misspeculation count again),
+	// WindowsSettled the windows whose results were adopted, and
+	// WindowsDiscarded the dispatches cancelled by a feedback
+	// misspeculation — so Dispatched = Settled + Discarded + (in-flight
+	// at an error). A feedback-volatile workload that degrades toward
+	// sequential execution shows up here as Discarded approaching
+	// Settled, rather than as unexplained slowness. The sequential
+	// engine reports Dispatched = Settled, Discarded = 0. These counts
+	// are deterministic for a given run (unlike SlotStolen events).
+	WindowsDispatched uint64 `json:"windows_dispatched"`
+	WindowsSettled    uint64 `json:"windows_settled"`
+	WindowsDiscarded  uint64 `json:"windows_discarded"`
+
+	Windows []Window `json:"windows"`
 }
 
 // DetailFraction is the fraction of the run simulated in detail.
@@ -204,19 +241,28 @@ func (s *Sampled) DetailFraction() float64 {
 }
 
 // summarize flattens a sample.Estimate into the serializable Sampled
-// form.
-func summarize(est *sample.Estimate) *Sampled {
+// form. dispatched/discarded are the run's wave-telemetry tallies; a
+// sequential run (which never dispatches speculatively) passes 0 and is
+// normalized to Dispatched = Settled.
+func summarize(est *sample.Estimate, dispatched, discarded uint64) *Sampled {
+	settled := uint64(len(est.Windows))
+	if dispatched == 0 {
+		dispatched = settled
+	}
 	s := &Sampled{
-		Sampling:        est.Sampling,
-		TotalInstrs:     est.TotalInstrs,
-		SampledInstrs:   est.SampledInstrs,
-		DetailedInstrs:  est.DetailedInstrs,
-		EstimatedCycles: est.EstimatedCycles(),
-		IPC:             est.IPC(),
-		Rate:            est.IntegrationRate(),
-		IPCCI95:         est.IPCCI95,
-		RateCI95:        est.RateCI95,
-		Windows:         make([]Window, len(est.Windows)),
+		WindowsDispatched: dispatched,
+		WindowsSettled:    settled,
+		WindowsDiscarded:  discarded,
+		Sampling:          est.Sampling,
+		TotalInstrs:       est.TotalInstrs,
+		SampledInstrs:     est.SampledInstrs,
+		DetailedInstrs:    est.DetailedInstrs,
+		EstimatedCycles:   est.EstimatedCycles(),
+		IPC:               est.IPC(),
+		Rate:              est.IntegrationRate(),
+		IPCCI95:           est.IPCCI95,
+		RateCI95:          est.RateCI95,
+		Windows:           make([]Window, len(est.Windows)),
 	}
 	for i, w := range est.Windows {
 		s.Windows[i] = Window{

@@ -9,6 +9,7 @@ import (
 
 	"rix/internal/pipeline"
 	"rix/internal/run"
+	"rix/internal/sample"
 	"rix/internal/sim"
 	"rix/internal/stats"
 	"rix/internal/workload"
@@ -44,18 +45,26 @@ type Engine struct {
 	// be safe for concurrent use.
 	Observer run.Observer
 
-	// WindowJobs bounds window-level parallelism inside each sampled
-	// cell. 0 (the default) splits the Parallel budget across the two
-	// levels: with fewer concurrent cells than Parallel slots, the spare
-	// slots run each cell's detail windows concurrently, keeping the
-	// total number of live pipelines near Parallel (cells × windows).
-	// Set 1 to force the sequential sampled engine per cell.
+	// WindowJobs sizes the shared window-scheduler pool every sampled
+	// cell in a Run/Stream/Gather call draws from. 0 (the default) sizes
+	// the pool to Parallel: there is no static per-cell split — a cell
+	// that settles its speculative waves early simply stops submitting,
+	// and its slots immediately execute the windows other cells still
+	// have queued (work stealing). Each pool slot reuses one set of boot
+	// structures across every window it runs, whatever the cell. Set 1
+	// to force the sequential sampled engine per cell (no pool).
 	WindowJobs int
 
 	// CheckpointCache, when set, is the content-addressed warm-set cache
 	// directory passed to every sampled cell: repeat runs of the same
 	// (workload, layout, geometry) skip their warm pass entirely.
 	CheckpointCache string
+
+	// CacheMaxMB / CacheMaxAgeSec bound CheckpointCache by total size
+	// (MiB) and entry age (seconds): each sampled cell's save sweeps
+	// least-recently-used entries over the bounds. 0 disables a bound.
+	CacheMaxMB     int
+	CacheMaxAgeSec int
 
 	names    []string
 	src      WorkloadSource
@@ -120,37 +129,39 @@ func (e *Engine) DynLen(ctx context.Context, name string) int {
 	return bw.DynLen
 }
 
-// windowJobs resolves the per-cell window parallelism for a run of
-// `cells` concurrent cells: the explicit WindowJobs override, or the
-// spare Parallel budget once `cells` of it is spent on cell-level
-// concurrency — so a single sampled cell fans its windows across the
-// whole budget while a saturated matrix stays sequential per cell.
-func (e *Engine) windowJobs(cells int) int {
+// schedSlots resolves the shared window-scheduler pool size: the
+// explicit WindowJobs override, or the whole Parallel budget. 1 means
+// "no pool" — each sampled cell runs its classic sequential engine.
+func (e *Engine) schedSlots() int {
 	if e.WindowJobs > 0 {
 		return e.WindowJobs
 	}
-	par := e.parallel()
-	if cells < 1 {
-		cells = 1
+	return e.parallel()
+}
+
+// scheduler creates the shared window pool for one Run/Stream call, or
+// nil when the resolved slot count forces sequential sampled cells. The
+// caller must call the returned release func after every cell has
+// settled.
+func (e *Engine) scheduler() (*sample.Scheduler, int, func()) {
+	slots := e.schedSlots()
+	if slots <= 1 {
+		return nil, 1, func() {}
 	}
-	if cells > par {
-		cells = par
-	}
-	wb := par / cells
-	if wb < 1 {
-		wb = 1
-	}
-	return wb
+	sched := sample.NewScheduler(slots)
+	return sched, slots, sched.Close
 }
 
 // Run simulates one workload under the given options, outside any spec.
-// A sampled run gets the engine's whole Parallel budget as window-level
-// parallelism — it is the only cell.
+// A sampled run fans its detail windows across a scheduler pool sized
+// to the engine's whole Parallel budget — it is the only cell.
 func (e *Engine) Run(ctx context.Context, name string, o sim.Options) (*pipeline.Stats, error) {
 	if !e.has(name) {
 		return nil, fmt.Errorf("runner: workload %q not in engine", name)
 	}
-	return e.cell(ctx, name, Config{Label: o.Label(), Opt: o}, e.windowJobs(1))
+	sched, slots, release := e.scheduler()
+	defer release()
+	return e.cell(ctx, name, Config{Label: o.Label(), Opt: o}, sched, slots)
 }
 
 // cell executes one (workload, config) cell through run.Do. Each cell
@@ -160,7 +171,7 @@ func (e *Engine) Run(ctx context.Context, name string, o sim.Options) (*pipeline
 // the full-detail pipeline; their Stats cover the measured windows, so
 // every ratio metric (IPC, rates, per-million counts) estimates the
 // full run while absolute counters are sampled totals.
-func (e *Engine) cell(ctx context.Context, bench string, c Config, jobs int) (*pipeline.Stats, error) {
+func (e *Engine) cell(ctx context.Context, bench string, c Config, sched *sample.Scheduler, slots int) (*pipeline.Stats, error) {
 	opts := []run.Option{run.WithSource(e.src)}
 	if e.Observer != nil {
 		opts = append(opts, run.WithObserver(e.Observer))
@@ -170,8 +181,15 @@ func (e *Engine) cell(ctx context.Context, bench string, c Config, jobs int) (*p
 	}
 	req := run.Request{Workload: bench, Label: c.Label, Options: c.Opt}
 	if c.Opt.Sampling != nil {
-		req.Jobs = jobs
+		req.Jobs = slots
 		req.CheckpointCache = e.CheckpointCache
+		if e.CheckpointCache != "" {
+			req.CacheMaxMB = e.CacheMaxMB
+			req.CacheMaxAgeSec = e.CacheMaxAgeSec
+		}
+		if sched != nil {
+			opts = append(opts, run.WithScheduler(sched))
+		}
 	}
 	res, err := run.Do(ctx, req, opts...)
 	if err != nil {
@@ -208,11 +226,13 @@ func (e *Engine) Stream(ctx context.Context, s *Spec, fn func(Result) error) err
 	if err := e.src.BuildAll(ctx, benches, par); err != nil {
 		return err
 	}
-	// Window-level budget per sampled cell: the Parallel slots not
-	// consumed by cell-level concurrency. The matrix size caps the cell
-	// count, so a two-cell spec on an 8-way engine runs 4 windows deep
-	// per cell instead of leaving 6 slots idle.
-	jobs := e.windowJobs(len(benches) * len(sp.Configs))
+	// One shared window-scheduler pool for the whole matrix: every
+	// sampled cell dispatches its speculative detail windows into it, so
+	// the WindowJobs budget is never stranded on a cell that settled
+	// early — its slots immediately pick up the windows other cells
+	// still have queued.
+	sched, slots, release := e.scheduler()
+	defer release()
 
 	sem := make(chan struct{}, par)
 	results := make(chan Result)
@@ -242,7 +262,7 @@ func (e *Engine) Stream(ctx context.Context, s *Spec, fn func(Result) error) err
 				go func(b string, c Config) {
 					defer wg.Done()
 					defer func() { <-sem }()
-					st, err := e.cell(ctx, b, c, jobs)
+					st, err := e.cell(ctx, b, c, sched, slots)
 					results <- Result{Bench: b, Label: c.Label, Stats: st, Err: err}
 				}(b, c)
 			}

@@ -81,18 +81,29 @@ func TestSampledWindowParallelStress(t *testing.T) {
 	}
 }
 
-// TestWindowJobsBudgetSplit pins the cells×windows budget arithmetic.
-func TestWindowJobsBudgetSplit(t *testing.T) {
+// TestSchedulerPoolResolution pins the shared-pool sizing rules that
+// replaced the old static cells×windows budget split: the pool is the
+// whole Parallel budget unless WindowJobs overrides it, and a 1-slot
+// resolution means no pool at all (sequential sampled cells).
+func TestSchedulerPoolResolution(t *testing.T) {
 	e := &Engine{Parallel: 8}
-	for _, tc := range []struct{ cells, want int }{
-		{1, 8}, {2, 4}, {3, 2}, {8, 1}, {100, 1}, {0, 8},
-	} {
-		if got := e.windowJobs(tc.cells); got != tc.want {
-			t.Errorf("windowJobs(%d) with Parallel=8: got %d, want %d", tc.cells, got, tc.want)
-		}
+	if got := e.schedSlots(); got != 8 {
+		t.Errorf("default pool: got %d slots, want Parallel=8", got)
 	}
 	e.WindowJobs = 3
-	if got := e.windowJobs(5); got != 3 {
+	if got := e.schedSlots(); got != 3 {
 		t.Errorf("explicit WindowJobs not honored: got %d", got)
+	}
+	e.WindowJobs = 1
+	sched, slots, release := e.scheduler()
+	defer release()
+	if sched != nil || slots != 1 {
+		t.Errorf("WindowJobs=1 must disable the pool: got sched=%v slots=%d", sched, slots)
+	}
+	e.WindowJobs = 4
+	sched, slots, release = e.scheduler()
+	defer release()
+	if sched == nil || sched.Size() != 4 || slots != 4 {
+		t.Errorf("WindowJobs=4: got sched=%v (slots=%d), want a 4-slot pool", sched, slots)
 	}
 }

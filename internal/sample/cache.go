@@ -13,16 +13,16 @@ import (
 )
 
 // This file is the content-addressed warm-set cache: the warm pass's
-// output keyed by everything that determines it, so a repeat run (CI,
-// nightly, figure regeneration) skips the warm pass entirely and any
-// invalidating change — different program bytes, window layout,
-// warm-relevant machine geometry, or encoding format — is a clean miss
-// rather than a stale hit. Loads are strictly best-effort: a missing,
-// corrupt, or mismatched entry behaves like a miss and is overwritten
-// by the fresh build.
+// output keyed by everything that determines it, so a repeat run
+// skips the warm pass entirely and any invalidating change is a clean
+// miss rather than a stale hit. doc/FORMATS.md is the authoritative
+// description of the entry layout, key derivation, invalidation
+// rules, and the LRU sweep (sweep.go) — keep it in lockstep with any
+// change here.
 
-// WarmCacheFormat versions the on-disk warm-set encoding. Bump it
-// whenever WarmSet, Boundary, WarmSnapshot or emu.State change shape.
+// WarmCacheFormat versions the on-disk warm-set encoding
+// (doc/FORMATS.md). Bump it whenever WarmSet, Boundary, WarmSnapshot
+// or emu.State change shape.
 const WarmCacheFormat = 1
 
 // warmSetFile is the cache entry envelope. The embedded key detects a
@@ -36,14 +36,10 @@ type warmSetFile struct {
 }
 
 // warmKey derives the cache key: a SHA-256 over the format versions,
-// the program's content (name, layout, code, data — symbols and line
-// tables do not affect execution), the window layout, and the machine
-// geometry the warm state depends on. The integration policy
-// contributes only its Enable bit: every enabled preset shares the same
-// untrained warm-pass LISP, so the whole Figure-4 suite shares one
-// cache entry per workload. The drain pad is keyed because it sets the
-// per-window span the warm pass advances through, which moves every
-// later jitter-clamped boundary.
+// the program's execution content, the window layout plus drain pad,
+// and the warm-relevant machine geometry. doc/FORMATS.md documents
+// each keyed input and why it is (or is not) included — notably the
+// policy's Enable bit standing in for the whole integration preset.
 func warmKey(p *prog.Program, cfg pipeline.Config, sp Sampling) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "warmset/%d/%d\n", WarmCacheFormat, CheckpointFormat)

@@ -16,19 +16,20 @@ import (
 
 // CheckpointFormat versions the on-disk checkpoint encoding. Bump it
 // whenever Checkpoint, WarmSnapshot, emu.State or any of the embedded
-// state structs change shape; loads reject other versions. Format 2
-// added Checkpoint.Partial and WarmSnapshot.LastLine (cancellation
-// flush + exact warmer restoration).
+// state structs change shape; loads reject other versions.
+// doc/FORMATS.md is the authoritative field-by-field description and
+// version history — keep it in lockstep with any change here.
 const CheckpointFormat = 2
 
 // Checkpoint is everything one measurement window needs to run in
-// isolation: the emulator's architectural state at the window's detailed
-// start and the warmed microarchitectural state at the same boundary.
-// The warm snapshot includes the LISP feedback chained from the windows
-// already run, which is specific to the machine configuration (policy
-// and suppression mode) that produced it — so a checkpoint set belongs
-// to one configuration; keep one directory per config. RunCheckpoint
-// validates the window layout but cannot detect a policy mismatch.
+// isolation: the emulator's architectural state at the window's
+// detailed start and the warmed microarchitectural state at the same
+// boundary (doc/FORMATS.md). The warm snapshot includes the LISP
+// feedback chained from the windows already run, which is specific to
+// the machine configuration that produced it — so a checkpoint set
+// belongs to one configuration; keep one directory per config.
+// RunCheckpoint validates the window layout but cannot detect a
+// policy mismatch.
 type Checkpoint struct {
 	Format   int
 	Program  string

@@ -3,7 +3,6 @@ package sample
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"rix/internal/core"
 	"rix/internal/emu"
@@ -11,24 +10,32 @@ import (
 	"rix/internal/prog"
 )
 
-// This file is the second phase of the two-phase engine: a bounded
-// worker pool that executes the warm set's detail windows concurrently.
+// This file is the second phase of the two-phase engine: the cell-side
+// coordinator that drives a detail-window run on the work-stealing
+// scheduler (scheduler.go).
 //
 // The only cross-window dependency is the DIVA feedback chain: window
-// j+1 must boot with window j's final LISP state. The scheduler runs
-// the chain speculatively — a wave of up to Config.Windows windows is
-// dispatched with the feedback known at dispatch time, then settled in
-// index order; a window whose actual feedback requirement diverges from
-// its speculative boot invalidates the wave's remaining results, which
-// re-dispatch under the corrected feedback. The first window of every
-// wave boots with validated feedback by construction, so the scheduler
-// always makes progress, degrades to sequential execution under a
-// feedback chain that mutates every window, and reaches full
-// parallelism on the common quiescent chain — while the aggregate stays
-// bit-identical to the sequential engine in every case.
+// j+1 must boot with window j's final LISP state. The coordinator runs
+// the chain speculatively — it keeps up to the pool's width of windows
+// in flight, each dispatched with the feedback known at its dispatch
+// time, and settles strictly in index order; a settled window whose
+// actual feedback diverges from the next window's speculative boot
+// cancels every in-flight successor, which re-dispatch under the
+// corrected chain. The window right after a settle always boots with
+// validated feedback, so the coordinator always makes progress,
+// degrades to sequential execution under a feedback chain that mutates
+// every window, and reaches full parallelism on the common quiescent
+// chain — while the aggregate stays bit-identical to the sequential
+// engine in every case.
+//
+// Because dispatch and settlement both happen on the coordinator
+// goroutine and window results depend only on their boot inputs, the
+// dispatch/settle interleaving — and with it the dispatched and
+// discarded counts — is deterministic for a given run, regardless of
+// how many pools, slots, or competing cells execute the windows.
 
 // runTwoPhase is Run's two-phase path: warm pass (or cache hit /
-// injected warm set), then the parallel window phase, then the same
+// injected warm set), then the scheduled window phase, then the same
 // deterministic index-ordered aggregation as the sequential engine.
 func runTwoPhase(ctx context.Context, p *prog.Program, dynLen int, cfg pipeline.Config, sc Config) (*Estimate, error) {
 	set, err := prepareWarm(ctx, p, cfg, sc)
@@ -60,28 +67,38 @@ type winOut struct {
 	err   error
 }
 
-// winWorker carries one worker slot's recycled pipeline scratch across
-// the windows it executes. Slots are disjoint within a wave, so no
-// locking is needed.
-type winWorker struct {
-	scratch *pipeline.Scratch
-}
-
-// runParallel executes every boundary's detail window across a pool of
-// up to sc.Windows workers with speculative feedback validation,
-// returning WindowStats in index order.
+// runParallel executes every boundary's detail window on a scheduler
+// pool — the run's own Config.Scheduler when set, otherwise an
+// ephemeral pool of sc.Windows slots — returning WindowStats in index
+// order.
 func runParallel(ctx context.Context, p *prog.Program, cfg pipeline.Config, sc Config, set *WarmSet) ([]WindowStat, error) {
 	sp := sc.Sampling
 	nb := len(set.Boundaries)
-	width := sc.Windows
-	if width < 1 {
-		width = 1
+	sched := sc.Scheduler
+	if sched == nil {
+		width := sc.Windows
+		if width > nb {
+			width = nb
+		}
+		sched = NewScheduler(width)
+		defer sched.Close()
 	}
-	if width > nb {
-		width = nb
+	depth := sched.Size()
+	if depth > nb {
+		depth = nb
 	}
-	results := make([]*winOut, nb)
-	workers := make([]winWorker, width)
+	cell := &cellTag{hooks: &sc.Hooks}
+	tasks := make([]*schedTask, nb)
+	// Cancel whatever is still queued on every exit path, so an error
+	// (or ctx cancellation) never leaves this run's jobs occupying a
+	// shared pool.
+	defer func() {
+		for _, t := range tasks {
+			if t != nil {
+				t.cancelled.Store(true)
+			}
+		}
+	}()
 	var windows []WindowStat
 	// Feedback only chains when the integration policy is on: with it
 	// off the boot LISP is ignored by every window, so speculation is
@@ -92,111 +109,123 @@ func runParallel(ctx context.Context, p *prog.Program, cfg pipeline.Config, sc C
 	// is exactly what the sequential engine's first window boots with.
 	var fb *core.LISPState
 
-	i := 0
-	for i < nb {
-		hi := i + width
-		if hi > nb {
-			hi = nb
+	dispatch := func(j int) {
+		b := &set.Boundaries[j]
+		guess := b.Warm.LISP
+		if fb != nil {
+			guess = *fb
 		}
-		var wg sync.WaitGroup
-		for j := i; j < hi; j++ {
-			b := &set.Boundaries[j]
-			guess := b.Warm.LISP
-			if fb != nil {
-				guess = *fb
-			}
-			if sc.Hooks.WindowScheduled != nil {
-				sc.Hooks.WindowScheduled(b.Index)
-			}
-			wg.Add(1)
-			go func(j int, wk *winWorker, guess core.LISPState) {
-				defer wg.Done()
-				results[j] = runWindowJob(ctx, p, cfg, sp, &set.Boundaries[j], guess, wk)
-			}(j, &workers[j-i], guess)
+		if sc.Hooks.WindowScheduled != nil {
+			sc.Hooks.WindowScheduled(b.Index)
 		}
-		wg.Wait()
+		t := &schedTask{
+			cell:  cell,
+			guess: guess,
+			out:   make(chan *winOut, 1),
+		}
+		t.run = func(sl *slot) *winOut {
+			return runWindowJob(ctx, p, cfg, sp, b, guess, sl)
+		}
+		tasks[j] = t
+		sched.submit(t)
+	}
 
-		// Settle in index order; stop the wave at the first feedback
-		// misspeculation and re-dispatch the remainder under the
-		// corrected chain.
-		for i < hi {
-			r := results[i]
-			b := &set.Boundaries[i]
-			if r.err != nil {
-				if ctx.Err() != nil && r.err == ctx.Err() {
-					return windows, r.err
+	next := 0 // next window index to dispatch
+	for i := 0; i < nb; i++ {
+		// Keep the speculation window full: everything from the settle
+		// cursor out to the pool's width is in flight.
+		for next < nb && next < i+depth {
+			dispatch(next)
+			next++
+		}
+		t := tasks[i]
+		tasks[i] = nil
+		r := <-t.out
+		b := &set.Boundaries[i]
+		if r.err != nil {
+			if ctx.Err() != nil && r.err == ctx.Err() {
+				return windows, r.err
+			}
+			return windows, fmt.Errorf("sample: window %d of %s: %w", b.Index, p.Name, r.err)
+		}
+		ws := WindowStat{
+			Index:        b.Index,
+			Start:        b.Start,
+			MeasuredFrom: b.Start + sp.Warmup,
+			Stats:        r.stat,
+		}
+		windows = append(windows, ws)
+		if sc.Hooks.WindowDone != nil {
+			sc.Hooks.WindowDone(ws)
+		}
+		if next == nb && sc.Hooks.SlotReturned != nil {
+			// The run has dispatched its last window: each settle from
+			// here on shrinks its in-flight set, releasing one pool slot
+			// to whatever cells are still dispatching.
+			sc.Hooks.SlotReturned(b.Index)
+		}
+		if sc.CheckpointDir != "" {
+			// Authoritative rewrite of the provisional warm-pass
+			// checkpoint: the boot feedback replaces the warm-pass
+			// LISP, converging on the exact bytes the sequential
+			// engine writes for this boundary.
+			warm := b.Warm
+			warm.LISP = r.guess
+			ck := &Checkpoint{
+				Format:   CheckpointFormat,
+				Program:  p.Name,
+				Index:    b.Index,
+				Start:    b.Start,
+				Sampling: sp,
+				Emu:      b.Emu,
+				Warm:     warm,
+			}
+			path, err := SaveCheckpoint(sc.CheckpointDir, ck)
+			if err != nil {
+				return windows, err
+			}
+			if sc.Hooks.CheckpointWritten != nil {
+				sc.Hooks.CheckpointWritten(path, b.Index)
+			}
+		}
+		if !chain {
+			continue
+		}
+		fbNext := r.fb
+		fb = &fbNext
+		if i+1 < next && !lispStateEqual(fbNext, tasks[i+1].guess) {
+			// Misspeculation: every in-flight successor booted with a
+			// chain this settle just invalidated. Cancel them and pull
+			// the dispatch cursor back, so the next settle iteration
+			// re-dispatches under the corrected feedback.
+			for k := i + 1; k < next; k++ {
+				tasks[k].cancelled.Store(true)
+				tasks[k] = nil
+				if sc.Hooks.WindowDiscarded != nil {
+					sc.Hooks.WindowDiscarded(set.Boundaries[k].Index)
 				}
-				return windows, fmt.Errorf("sample: window %d of %s: %w", b.Index, p.Name, r.err)
 			}
-			ws := WindowStat{
-				Index:        b.Index,
-				Start:        b.Start,
-				MeasuredFrom: b.Start + sp.Warmup,
-				Stats:        r.stat,
-			}
-			windows = append(windows, ws)
-			if sc.Hooks.WindowDone != nil {
-				sc.Hooks.WindowDone(ws)
-			}
-			if sc.CheckpointDir != "" {
-				// Authoritative rewrite of the provisional warm-pass
-				// checkpoint: the boot feedback replaces the warm-pass
-				// LISP, converging on the exact bytes the sequential
-				// engine writes for this boundary.
-				warm := b.Warm
-				warm.LISP = r.guess
-				ck := &Checkpoint{
-					Format:   CheckpointFormat,
-					Program:  p.Name,
-					Index:    b.Index,
-					Start:    b.Start,
-					Sampling: sp,
-					Emu:      b.Emu,
-					Warm:     warm,
-				}
-				path, err := SaveCheckpoint(sc.CheckpointDir, ck)
-				if err != nil {
-					return windows, err
-				}
-				if sc.Hooks.CheckpointWritten != nil {
-					sc.Hooks.CheckpointWritten(path, b.Index)
-				}
-			}
-			results[i] = nil
-			i++
-			if !chain {
-				continue
-			}
-			next := r.fb
-			fb = &next
-			if i < hi && !lispStateEqual(next, results[i].guess) {
-				// Misspeculation: the remaining wave results booted with
-				// stale feedback. Discard and re-dispatch from i.
-				for k := i; k < hi; k++ {
-					results[k] = nil
-				}
-				break
-			}
+			next = i + 1
 		}
 	}
 	return windows, nil
 }
 
 // runWindowJob executes one detail window from its boundary snapshot
-// with the given boot feedback, recycling the worker slot's pipeline
-// scratch. The window span is re-derived from the emulator checkpoint
-// (emu.ResumeStream) — the path the checkpoint-equivalence tests prove
-// bit-identical to the sequential engine's in-memory record replay.
+// with the given boot feedback, on the worker slot's pooled boot
+// structures and recycled pipeline scratch. The window span is
+// re-derived from the emulator checkpoint (emu.ResumeStream) — the path
+// the checkpoint-equivalence tests prove bit-identical to the
+// sequential engine's in-memory record replay.
 func runWindowJob(ctx context.Context, p *prog.Program, cfg pipeline.Config, sp Sampling,
-	b *Boundary, guess core.LISPState, wk *winWorker) *winOut {
+	b *Boundary, guess core.LISPState, sl *slot) *winOut {
 
 	warm := b.Warm
 	warm.LISP = guess
-	boot, err := buildBoot(cfg, p, b.Emu, warm)
+	boot, err := sl.bootFrom(cfg, p, b.Emu, warm)
 	if err != nil {
 		return &winOut{err: err}
 	}
-	boot.Scratch = wk.scratch
 	n := sp.Warmup + sp.Window + detailPad(cfg)
 	src, err := emu.ResumeStream(p, b.Emu, b.Emu.Count+n+1)
 	if err != nil {
@@ -208,7 +237,7 @@ func runWindowJob(ctx context.Context, p *prog.Program, cfg pipeline.Config, sp 
 		return &winOut{err: err}
 	}
 	out := &winOut{stat: *stats, fb: pl.Integrator().LISP.State(), guess: guess}
-	wk.scratch = pl.Recycle()
+	sl.scratch = pl.Recycle()
 	return out
 }
 

@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"rix/internal/sample"
@@ -44,6 +45,88 @@ func TestParallelEstimateBitEqual(t *testing.T) {
 			if !reflect.DeepEqual(par, seq) {
 				t.Errorf("%s [%s]: parallel Estimate diverges from sequential", name, o.Label())
 			}
+		}
+	}
+}
+
+// TestSharedSchedulerBitEqual drives two concurrent sampled runs
+// through one shared work-stealing scheduler — the cross-cell pool the
+// runner engine uses — and requires both estimates bit-identical to
+// their sequential counterparts. It also pins the wave-telemetry
+// invariant: every dispatched window is either settled or discarded,
+// and the counts are deterministic (the coordinator's dispatch/settle
+// interleaving does not depend on worker timing).
+func TestSharedSchedulerBitEqual(t *testing.T) {
+	ctx := context.Background()
+	o := sim.Options{Integration: sim.IntReverse}
+	cfg, err := o.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	benches := []string{"gzip", "crafty"}
+	seq := make([]*sample.Estimate, len(benches))
+	for i, name := range benches {
+		bw := buildBench(t, name)
+		if seq[i], err = sample.Run(ctx, bw.Prog, bw.DynLen, cfg, sample.Config{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type tally struct{ scheduled, settled, discarded, returned int32 }
+	run := func() ([]*sample.Estimate, []tally) {
+		sched := sample.NewScheduler(3)
+		defer sched.Close()
+		ests := make([]*sample.Estimate, len(benches))
+		tallies := make([]tally, len(benches))
+		errs := make([]error, len(benches))
+		var wg sync.WaitGroup
+		for i, name := range benches {
+			bw := buildBench(t, name)
+			tl := &tallies[i]
+			sc := sample.Config{Scheduler: sched, Hooks: sample.Hooks{
+				WindowScheduled: func(int) { tl.scheduled++ },
+				WindowDone:      func(sample.WindowStat) { tl.settled++ },
+				WindowDiscarded: func(int) { tl.discarded++ },
+				SlotReturned:    func(int) { tl.returned++ },
+				// SlotStolen is deliberately not tallied: it fires from
+				// pool workers and its count is timing-dependent.
+			}}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ests[i], errs[i] = sample.Run(ctx, bw.Prog, bw.DynLen, cfg, sc)
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("%s: %v", benches[i], err)
+			}
+		}
+		return ests, tallies
+	}
+
+	ests, tallies := run()
+	for i, name := range benches {
+		if !reflect.DeepEqual(ests[i], seq[i]) {
+			t.Errorf("%s: shared-scheduler estimate diverges from sequential", name)
+		}
+		tl := tallies[i]
+		if tl.scheduled != tl.settled+tl.discarded {
+			t.Errorf("%s: %d dispatched != %d settled + %d discarded", name, tl.scheduled, tl.settled, tl.discarded)
+		}
+		if tl.settled != int32(len(ests[i].Windows)) {
+			t.Errorf("%s: %d settled vs %d windows", name, tl.settled, len(ests[i].Windows))
+		}
+		if tl.returned == 0 {
+			t.Errorf("%s: no SlotReturned events", name)
+		}
+	}
+	// Determinism of the telemetry counters across a rerun.
+	_, again := run()
+	for i, name := range benches {
+		if again[i].scheduled != tallies[i].scheduled || again[i].discarded != tallies[i].discarded {
+			t.Errorf("%s: telemetry not deterministic: %+v vs %+v", name, again[i], tallies[i])
 		}
 	}
 }

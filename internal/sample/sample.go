@@ -67,6 +67,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"rix/internal/core"
 	"rix/internal/emu"
@@ -119,6 +120,23 @@ type Hooks struct {
 	// WindowDone fires after each measurement window completes
 	// (possibly concurrently; see above).
 	WindowDone func(w WindowStat)
+	// WindowDiscarded fires when a speculatively dispatched window is
+	// cancelled because an earlier window settled with feedback that
+	// invalidated its boot guess; the window re-dispatches under the
+	// corrected chain. Fires from the coordinating goroutine, so the
+	// dispatch/discard sequence is deterministic for a given run.
+	WindowDiscarded func(index int)
+	// SlotStolen fires when a shared scheduler slot that last executed
+	// another run's window picks up one of this run's — the work-stealing
+	// handoff. Fires from the pool's worker goroutines (concurrently,
+	// and dependent on scheduling timing: the count is not
+	// deterministic).
+	SlotStolen func(slot int)
+	// SlotReturned fires once per window settled after this run has
+	// dispatched its last one — each such settle shrinks the run's
+	// in-flight set, releasing a pool slot to cells still dispatching.
+	// Fires from the coordinating goroutine, deterministically.
+	SlotReturned func(index int)
 	// CheckpointWritten fires after each checkpoint lands on disk.
 	CheckpointWritten func(path string, index int)
 	// CacheHit fires when a warm pass is skipped because the
@@ -161,10 +179,31 @@ type Config struct {
 	// layout, geometry, or format) is a clean miss, never a stale hit.
 	CacheDir string
 
+	// CacheMaxBytes bounds the total size of CacheDir's .warmset
+	// entries: after each save, least-recently-used entries (by
+	// modification time — cache hits re-stamp it) are evicted until the
+	// directory fits. 0 leaves the size unbounded. The entry the run
+	// just wrote is never evicted.
+	CacheMaxBytes int64
+
+	// CacheMaxAge evicts CacheDir entries not written or hit within the
+	// window, during the same post-save sweep. 0 disables the age bound.
+	CacheMaxAge time.Duration
+
 	// Warm injects a pre-built warm set (PrepareWarm), skipping both
 	// the warm pass and the cache probe. The set is read-only during
 	// the run and may be shared by concurrent runs.
 	Warm *WarmSet
+
+	// Scheduler, when non-nil, selects the two-phase engine and runs
+	// the detail-window phase on this shared work-stealing pool instead
+	// of an ephemeral per-run pool; the run's speculation depth is the
+	// pool's slot count (Windows is ignored). Concurrent runs may share
+	// one Scheduler: a run that settles early stops submitting, and its
+	// slots immediately serve the runs still dispatching. The caller
+	// owns the pool and must Close it only after every run sharing it
+	// has returned.
+	Scheduler *Scheduler
 
 	// MaxInstrs bounds functional execution (default DefaultMaxInstrs).
 	MaxInstrs uint64
@@ -207,7 +246,7 @@ func Run(ctx context.Context, p *prog.Program, dynLen int, cfg pipeline.Config, 
 	if err != nil {
 		return nil, err
 	}
-	if sc.Windows > 1 || sc.CacheDir != "" || sc.Warm != nil {
+	if sc.Windows > 1 || sc.CacheDir != "" || sc.Warm != nil || sc.Scheduler != nil {
 		return runTwoPhase(ctx, p, dynLen, cfg, sc)
 	}
 	e := emu.New(p)

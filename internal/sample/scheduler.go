@@ -1,0 +1,224 @@
+package sample
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"rix/internal/bpred"
+	"rix/internal/core"
+	"rix/internal/emu"
+	"rix/internal/memsys"
+	"rix/internal/pipeline"
+	"rix/internal/prog"
+)
+
+// This file is the work-stealing window scheduler: a process-wide pool
+// of worker slots that every sampled cell draws from. Cells submit
+// window jobs into one shared FIFO; each worker owns a slot whose boot
+// structures (predictor, BTB, RAS, CHT, hierarchy, LISP, pipeline
+// scratch) are recycled across every window the slot ever executes —
+// regardless of which cell the window belongs to. Stealing is implicit
+// in the shared queue: a cell that has settled its speculative waves
+// stops submitting, so its share of the workers immediately drains the
+// windows other cells still have queued. See doc/ARCHITECTURE.md for
+// the slot lifecycle diagram.
+
+// Scheduler is a shared pool of window worker slots. One scheduler
+// serves any number of concurrent sampled runs (Config.Scheduler): all
+// of them dispatch speculative detail windows into the same queue, and
+// the pool's slots execute them in arrival order. A run that settles
+// early implicitly returns its slots — the queue simply stops holding
+// its jobs — and runs still dispatching pick them up; Hooks.SlotStolen
+// fires on each such cross-cell handoff.
+//
+// Each worker slot carries pooled boot structures that are restored
+// in place (SetState into existing arrays) for every window it runs,
+// so steady-state window boot allocates only the per-window memory
+// image instead of a full set of predictor and cache clones.
+//
+// The zero Scheduler is not usable; construct with NewScheduler and
+// release with Close after every run sharing it has returned.
+type Scheduler struct {
+	queue chan *schedTask
+	wg    sync.WaitGroup
+	size  int
+	close sync.Once
+}
+
+// schedTask is one speculatively dispatched detail window in the shared
+// queue.
+type schedTask struct {
+	cell      *cellTag       // owning run, for steal detection
+	guess     core.LISPState // boot feedback this dispatch speculated on
+	cancelled atomic.Bool    // set when the owning wave misspeculates
+	run       func(*slot) *winOut
+	out       chan *winOut // buffered 1: workers never block on delivery
+}
+
+// cellTag identifies one sampled run for the lifetime of its window
+// phase. Pointer identity is the comparison, so concurrent runs —
+// even of the same program under the same configuration — are distinct
+// cells to the scheduler.
+type cellTag struct {
+	hooks *Hooks
+}
+
+// slot is one worker's private execution state: the recycled pipeline
+// scratch plus the pooled boot structures, reused across every window
+// (and every cell) the slot serves.
+type slot struct {
+	id       int
+	lastCell *cellTag
+	scratch  *pipeline.Scratch
+	boot     slotBoot
+}
+
+// bootGeom is the machine geometry a pooled boot set was built for.
+// A window whose configuration differs in any of these rebuilds the
+// slot's structures from scratch; within one cell — and across cells of
+// the same machine — the pooled set is restored in place.
+type bootGeom struct {
+	Pred   bpred.Config
+	Mem    memsys.Config
+	LISP   core.LISPConfig
+	Enable bool
+}
+
+// slotBoot pools one full set of window-boot structures.
+type slotBoot struct {
+	ok   bool
+	geom bootGeom
+	pred *bpred.Predictor
+	btb  *bpred.BTB
+	ras  *bpred.RAS
+	cht  *bpred.CHT
+	hier *memsys.Hierarchy
+	lisp *core.LISP
+}
+
+// NewScheduler starts a pool of `slots` worker slots (minimum 1).
+func NewScheduler(slots int) *Scheduler {
+	if slots < 1 {
+		slots = 1
+	}
+	s := &Scheduler{
+		// Submission blocks only under heavy cross-cell pressure; the
+		// buffer keeps dispatch bursts (a full speculative wave per
+		// cell) off the coordinators' critical path.
+		queue: make(chan *schedTask, slots*4),
+		size:  slots,
+	}
+	s.wg.Add(slots)
+	for i := 0; i < slots; i++ {
+		go s.worker(i)
+	}
+	return s
+}
+
+// Size is the number of worker slots — the bound on concurrently
+// executing detail windows across every run sharing the pool.
+func (s *Scheduler) Size() int { return s.size }
+
+// Close stops the pool after the in-flight and queued jobs drain. Call
+// only after every run sharing the scheduler has returned; submitting
+// after Close panics. Close is idempotent.
+func (s *Scheduler) Close() {
+	s.close.Do(func() { close(s.queue) })
+	s.wg.Wait()
+}
+
+// submit enqueues one window job. Blocks only when the queue is full
+// (every slot busy and the backlog at capacity) — safe, because workers
+// never block and therefore always drain the queue.
+func (s *Scheduler) submit(t *schedTask) { s.queue <- t }
+
+// worker owns one slot and executes queued window jobs until Close.
+func (s *Scheduler) worker(id int) {
+	defer s.wg.Done()
+	sl := &slot{id: id}
+	for t := range s.queue {
+		if t.cancelled.Load() {
+			// Misspeculated before starting: skip the work entirely.
+			// The owning coordinator has already stopped listening, so
+			// no result is owed.
+			continue
+		}
+		if sl.lastCell != nil && sl.lastCell != t.cell && t.cell.hooks.SlotStolen != nil {
+			// This slot last served a different cell: the submitting
+			// cell just picked up a slot another cell released.
+			t.cell.hooks.SlotStolen(id)
+		}
+		sl.lastCell = t.cell
+		t.out <- t.run(sl)
+	}
+}
+
+// bootFrom builds a window's pipeline boot state on the slot's pooled
+// structures: fresh allocations only when the slot has never served
+// this machine geometry, in-place SetState restores afterwards. The
+// result is bit-equivalent to buildBoot's fresh construction — SetState
+// overwrites every behavioral field, and the transient timing state and
+// diagnostic tallies are explicitly reset, exactly as the sequential
+// engine's bootPool.CopyFrom guarantees.
+func (sl *slot) bootFrom(cfg pipeline.Config, p *prog.Program, st emu.State, ws WarmSnapshot) (*pipeline.BootState, error) {
+	g := bootGeom{Pred: cfg.Pred, Mem: cfg.Mem, LISP: cfg.LISP, Enable: cfg.Policy.Enable}
+	b := &sl.boot
+	if !b.ok || b.geom != g {
+		pc := cfg.Pred.WithDefaults()
+		*b = slotBoot{
+			ok:   true,
+			geom: g,
+			pred: bpred.NewPredictor(cfg.Pred),
+			btb:  bpred.NewBTB(pc.BTBEntries),
+			ras:  bpred.NewRAS(pc.RASEntries),
+			cht:  bpred.NewCHT(pc.CHTEntries),
+			hier: memsys.New(cfg.Mem),
+		}
+	}
+	if err := b.pred.SetState(ws.Pred); err != nil {
+		return nil, err
+	}
+	b.pred.Lookups = 0
+	if err := b.btb.SetState(ws.BTB); err != nil {
+		return nil, err
+	}
+	b.btb.Lookups, b.btb.Hits = 0, 0
+	if err := b.ras.SetState(ws.RAS); err != nil {
+		return nil, err
+	}
+	if err := b.cht.SetState(ws.CHT); err != nil {
+		return nil, err
+	}
+	b.cht.Lookups, b.cht.Hits, b.cht.Trained = 0, 0, 0
+	if err := b.hier.SetWarmState(ws.Mem); err != nil {
+		return nil, err
+	}
+	b.hier.ResetTransient()
+	var lisp *core.LISP
+	if cfg.Policy.Enable && len(ws.LISP.Entries) > 0 {
+		if b.lisp == nil {
+			b.lisp = core.NewLISP(cfg.LISP)
+		}
+		if err := b.lisp.SetState(ws.LISP); err != nil {
+			return nil, err
+		}
+		b.lisp.Lookups, b.lisp.Suppressed, b.lisp.TrainInsert = 0, 0, 0
+		lisp = b.lisp
+	}
+	mem, err := emu.NewMemoryFromState(st.Mem)
+	if err != nil {
+		return nil, err
+	}
+	return &pipeline.BootState{
+		PC:      st.PC,
+		Regs:    st.Regs,
+		Mem:     mem,
+		Pred:    b.pred,
+		BTB:     b.btb,
+		RAS:     b.ras,
+		CHT:     b.cht,
+		Hier:    b.hier,
+		LISP:    lisp,
+		Scratch: sl.scratch,
+	}, nil
+}

@@ -1,0 +1,95 @@
+package sample
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeEntry drops a synthetic cache entry with a given size and age.
+func writeEntry(t *testing.T, dir, name string, size int, age time.Duration) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, make([]byte, size), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mod := time.Now().Add(-age)
+	if err := os.Chtimes(path, mod, mod); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func names(t *testing.T, dir string) map[string]bool {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string]bool, len(ents))
+	for _, e := range ents {
+		out[e.Name()] = true
+	}
+	return out
+}
+
+// TestSweepEvictionOrder pins the LRU sweep: size pressure evicts the
+// least-recently-used .warmset entries first, non-cache files are never
+// touched, and the just-written entry survives any bound.
+func TestSweepEvictionOrder(t *testing.T) {
+	dir := t.TempDir()
+	writeEntry(t, dir, "old.warmset", 100, 3*time.Hour)
+	writeEntry(t, dir, "mid.warmset", 100, 2*time.Hour)
+	writeEntry(t, dir, "hot.warmset", 100, 1*time.Hour)
+	writeEntry(t, dir, "bystander.ckpt", 100, 5*time.Hour)
+	keep := writeEntry(t, dir, "fresh.warmset", 100, 0)
+
+	// 250 bytes of budget for 400 bytes of entries: the two oldest
+	// non-kept entries must go, in age order, and nothing else.
+	sweepWarmCache(dir, 250, 0, keep)
+	got := names(t, dir)
+	for n, want := range map[string]bool{
+		"old.warmset": false, "mid.warmset": false,
+		"hot.warmset": true, "fresh.warmset": true, "bystander.ckpt": true,
+	} {
+		if got[n] != want {
+			t.Errorf("after size sweep, %s present=%v, want %v", n, got[n], want)
+		}
+	}
+
+	// A bound smaller than one entry still never evicts the entry the
+	// run just wrote.
+	sweepWarmCache(dir, 1, 0, keep)
+	got = names(t, dir)
+	if !got["fresh.warmset"] {
+		t.Error("size sweep evicted the just-written entry")
+	}
+	if got["hot.warmset"] {
+		t.Error("size sweep under 1-byte bound kept a non-protected entry")
+	}
+}
+
+// TestSweepAgeBound: entries idle past the age bound are evicted
+// regardless of size pressure, and a touch (the cache-hit path)
+// refreshes an entry's standing.
+func TestSweepAgeBound(t *testing.T) {
+	dir := t.TempDir()
+	writeEntry(t, dir, "stale.warmset", 10, 3*time.Hour)
+	touched := writeEntry(t, dir, "revived.warmset", 10, 3*time.Hour)
+	writeEntry(t, dir, "young.warmset", 10, 10*time.Minute)
+
+	touchWarmSet(touched) // a cache hit re-stamps recency
+	sweepWarmCache(dir, 0, time.Hour, "")
+
+	got := names(t, dir)
+	if got["stale.warmset"] {
+		t.Error("age sweep kept a stale entry")
+	}
+	if !got["revived.warmset"] {
+		t.Error("age sweep evicted an entry a cache hit had just touched")
+	}
+	if !got["young.warmset"] {
+		t.Error("age sweep evicted a young entry")
+	}
+}

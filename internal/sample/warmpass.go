@@ -70,6 +70,8 @@ func prepareWarm(ctx context.Context, p *prog.Program, cfg pipeline.Config, sc C
 	if sc.CacheDir != "" {
 		key = warmKey(p, cfg, sc.Sampling)
 		if set, path := loadWarmSet(sc.CacheDir, key, p.Name, sc.Sampling); set != nil {
+			// Re-stamp the entry so the LRU sweep ranks it as hot.
+			touchWarmSet(path)
 			if sc.Hooks.CacheHit != nil {
 				sc.Hooks.CacheHit(path)
 			}
@@ -83,8 +85,11 @@ func prepareWarm(ctx context.Context, p *prog.Program, cfg pipeline.Config, sc C
 	if sc.CacheDir != "" {
 		// Best-effort: a failed save costs the next run a warm pass, not
 		// this run its result.
-		if path, err := saveWarmSet(sc.CacheDir, key, set); err == nil && sc.Hooks.CacheWritten != nil {
-			sc.Hooks.CacheWritten(path)
+		if path, err := saveWarmSet(sc.CacheDir, key, set); err == nil {
+			if sc.Hooks.CacheWritten != nil {
+				sc.Hooks.CacheWritten(path)
+			}
+			sweepWarmCache(sc.CacheDir, sc.CacheMaxBytes, sc.CacheMaxAge, path)
 		}
 	}
 	return set, nil
