@@ -8,6 +8,7 @@ package rix
 
 import (
 	"context"
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
@@ -222,6 +223,64 @@ func BenchmarkSampledParallel(b *testing.B) {
 			b.Fatal("parallel estimate diverges from sequential")
 		}
 		covered += est.TotalInstrs
+	}
+	b.ReportMetric(float64(covered)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+	b.ReportMetric(seqWall.Seconds()/(b.Elapsed().Seconds()/float64(b.N)), "speedup")
+	b.ReportMetric(float64(runtime.NumCPU()), "cores")
+}
+
+// BenchmarkWarmShard measures the sharded warm pass: stride snapshots
+// are prepared once outside the loop and injected (Config.Strides —
+// the stride-cache-hit path), so each timed iteration rebuilds the
+// full WarmSet with its trace spans fanned across GOMAXPROCS warm
+// workers. "speedup" is wall-clock relative to the sequential warm
+// pass on the same machine, measured untimed before the loop; "cores"
+// reports the host's parallelism so the benchgate can refuse to judge
+// the speedup on starved runners. The sharded set is asserted
+// bit-identical to the sequential pass before timing begins; Minstr/s
+// counts warmed (fast-forwarded) instructions per second.
+func BenchmarkWarmShard(b *testing.B) {
+	bench, _ := workload.ByName("crafty")
+	bw, err := bench.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := sim.Options{Integration: sim.IntReverse}.Config()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Sequential warm-pass baseline, and the reference set the sharded
+	// build must reproduce exactly.
+	seqStart := time.Now()
+	seqWarm, err := sample.PrepareWarm(ctx, bw.Prog, cfg, sample.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	seqWall := time.Since(seqStart)
+
+	str, err := sample.PrepareStrides(ctx, bw.Prog, cfg, sample.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := sample.Config{Strides: str, WarmJobs: runtime.GOMAXPROCS(0)}
+	warm, err := sample.PrepareWarm(ctx, bw.Prog, cfg, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm, seqWarm) {
+		b.Fatal("sharded warm set diverges from sequential")
+	}
+
+	b.ResetTimer()
+	var covered uint64
+	for i := 0; i < b.N; i++ {
+		w, err := sample.PrepareWarm(ctx, bw.Prog, cfg, sc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		covered += w.Total
 	}
 	b.ReportMetric(float64(covered)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 	b.ReportMetric(seqWall.Seconds()/(b.Elapsed().Seconds()/float64(b.N)), "speedup")

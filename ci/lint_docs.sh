@@ -4,15 +4,17 @@
 # Fails if README.md or EXPERIMENTS.md reference a `-flag` that no
 # command under cmd/ actually defines, the way the docs drifted when
 # the static per-cell window split was retired. Flag definitions are
-# discovered by grepping cmd/ for flag.<Type>("name", ...) calls, so a
-# renamed or deleted flag fails this lint until every doc mention is
-# updated. Go-toolchain flags that legitimately appear in doc command
-# lines (go test -bench, gofmt -l, ...) are allowlisted.
+# discovered by grepping cmd/ for flag.<Type>("name", ...) calls and
+# for fs.<Type>Var(...) registrations on a FlagSet (how the shared
+# cmdutil.SampledFlags group installs its flags), so a renamed or
+# deleted flag fails this lint until every doc mention is updated.
+# Go-toolchain flags that legitimately appear in doc command lines
+# (go test -bench, gofmt -l, ...) are allowlisted.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-defined=$(grep -rhoE 'flag\.[A-Za-z][A-Za-z0-9]*\("[a-z][a-z0-9-]*"' cmd/ \
-  | sed -E 's/.*\("([^"]+)".*/\1/' | sort -u)
+defined=$(grep -rhoE '(flag|fs)\.[A-Za-z][A-Za-z0-9]*\((&[A-Za-z0-9.]+, )?"[a-z][a-z0-9-]*"' cmd/ \
+  | sed -E 's/.*"([^"]+)".*/\1/' | sort -u)
 if [ -z "$defined" ]; then
   echo "lint_docs: found no flag definitions under cmd/ — the grep is broken" >&2
   exit 1

@@ -36,7 +36,7 @@ import (
 	_ "rix/internal/experiments" // registers the paper's specs
 	"rix/internal/run"
 	"rix/internal/runner"
-	"rix/internal/sim"
+	"rix/internal/sample"
 	"rix/internal/stats"
 )
 
@@ -63,23 +63,17 @@ func body(ctx context.Context) error {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	list := flag.Bool("list", false, "list registered specs and exit")
 	parallel := flag.Int("j", 0, "max parallel simulations (default: NumCPU)")
-	jobs := flag.Int("jobs", 0,
-		"shared window-scheduler slots all sampled cells draw from (0 = the -j budget, 1 = sequential per cell)")
-	ckptCache := flag.String("ckpt-cache", "",
-		"content-addressed warm-set cache directory shared by all sampled cells")
-	cacheMB := flag.Int("ckpt-cache-mb", 0,
-		"bound -ckpt-cache total size in MiB, LRU-evicting on save (0 = unbounded)")
-	cacheAge := flag.Duration("ckpt-cache-age", 0,
-		"evict -ckpt-cache entries not used within this duration (0 = no age bound)")
+	var sampled cmdutil.SampledFlags
+	sampled.Register(flag.CommandLine)
 	sampleSpec := flag.String("sample", "",
 		"run interval-sampled variants of the selected specs: 'default' or interval/window[/warmup]")
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
 	verbose := flag.Bool("v", false, "stream per-cell progress events to stderr")
 	flag.Parse()
 
-	var sampling *sim.Sampling
+	var sampling *sample.Sampling
 	if *sampleSpec != "" {
-		sp, err := sim.ParseSampling(*sampleSpec)
+		sp, err := sample.ParseSampling(*sampleSpec)
 		if err != nil {
 			return err
 		}
@@ -110,10 +104,7 @@ func body(ctx context.Context) error {
 	if *parallel > 0 {
 		engine.Parallel = *parallel
 	}
-	engine.WindowJobs = *jobs
-	engine.CheckpointCache = *ckptCache
-	engine.CacheMaxMB = *cacheMB
-	engine.CacheMaxAgeSec = int(*cacheAge / time.Second)
+	sampled.Configure(engine)
 	if *verbose {
 		engine.Observer = newCellLogger()
 	}

@@ -32,12 +32,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"rix/cmd/internal/cmdutil"
 	"rix/internal/pipeline"
 	"rix/internal/run"
+	"rix/internal/sample"
 	"rix/internal/sim"
 	"rix/internal/workload"
 )
@@ -56,10 +56,8 @@ func body(ctx context.Context) error {
 		"interval sampling: 'default' or interval/window[/warmup] in dynamic instructions")
 	ckptDir := flag.String("ckpt", "", "checkpoint directory (written during -sample, read by -resume)")
 	resume := flag.Bool("resume", false, "finish (or re-measure) the run checkpointed in -ckpt")
-	jobs := flag.Int("jobs", 0, "sampled window-scheduler slots (0 = NumCPU, 1 = sequential)")
-	ckptCache := flag.String("ckpt-cache", "", "content-addressed warm-set cache directory for sampled runs")
-	cacheMB := flag.Int("ckpt-cache-mb", 0, "bound -ckpt-cache total size in MiB, LRU-evicting on save (0 = unbounded)")
-	cacheAge := flag.Duration("ckpt-cache-age", 0, "evict -ckpt-cache entries not used within this duration (0 = no age bound)")
+	var sampled cmdutil.SampledFlags
+	sampled.Register(flag.CommandLine)
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
 	verbose := flag.Bool("v", false, "stream typed progress events to stderr")
 	asJSON := flag.Bool("json", false, "print the run result as JSON instead of the stats block")
@@ -92,7 +90,7 @@ func body(ctx context.Context) error {
 			Core:        *coreV,
 			ITEntries:   *itEntries,
 			ITAssoc:     *itAssoc,
-		}, *sampleSpec, *ckptDir, *resume, *jobs, *ckptCache, *cacheMB, *cacheAge); err != nil {
+		}, *sampleSpec, *ckptDir, *resume, &sampled); err != nil {
 			return err
 		}
 	}
@@ -140,12 +138,12 @@ func body(ctx context.Context) error {
 
 // buildRequest assembles the run.Request the config flags describe.
 func buildRequest(bench, file string, o sim.Options, sampleSpec, ckptDir string, resume bool,
-	jobs int, ckptCache string, cacheMB int, cacheAge time.Duration) (*run.Request, error) {
+	sampled *cmdutil.SampledFlags) (*run.Request, error) {
 	if sampleSpec != "" || resume {
-		sp := sim.DefaultSampling()
+		sp := sample.DefaultSampling()
 		if sampleSpec != "" {
 			var err error
-			if sp, err = sim.ParseSampling(sampleSpec); err != nil {
+			if sp, err = sample.ParseSampling(sampleSpec); err != nil {
 				return nil, err
 			}
 		}
@@ -153,15 +151,7 @@ func buildRequest(bench, file string, o sim.Options, sampleSpec, ckptDir string,
 	}
 	req := &run.Request{Options: o, CheckpointDir: ckptDir, Resume: resume}
 	if o.Sampling != nil && !resume {
-		if jobs == 0 {
-			jobs = runtime.NumCPU()
-		}
-		req.Jobs = jobs
-		req.CheckpointCache = ckptCache
-		if ckptCache != "" {
-			req.CacheMaxMB = cacheMB
-			req.CacheMaxAgeSec = int(cacheAge / time.Second)
-		}
+		sampled.Apply(req)
 	}
 	switch {
 	case file != "":
@@ -192,6 +182,10 @@ func printEvent(e run.Event) {
 		fmt.Fprintf(os.Stderr, "[%s] %s [%s] window %d done (%d measured)\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Window, e.Instrs)
 	case run.WindowDiscarded:
 		fmt.Fprintf(os.Stderr, "[%s] %s [%s] window %d discarded (feedback misspeculation)\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Window)
+	case run.WarmShardStarted:
+		fmt.Fprintf(os.Stderr, "[%s] %s [%s] warm shard %d started (instrs %d-%d)\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Shard, e.SpanStart, e.SpanEnd)
+	case run.WarmShardDone:
+		fmt.Fprintf(os.Stderr, "[%s] %s [%s] warm shard %d done (instrs %d-%d)\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Shard, e.SpanStart, e.SpanEnd)
 	case run.SlotStolen:
 		fmt.Fprintf(os.Stderr, "[%s] %s [%s] stole scheduler slot %d\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Slot)
 	case run.SlotReturned:

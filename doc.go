@@ -39,9 +39,9 @@
 // (sample.Continue). run.Observer receives typed progress events (cell
 // started/finished, instructions retired, window completed, checkpoint
 // written); runner.Engine executes its spec matrices through run.Do and
-// forwards every cell's events to Engine.Observer. sim.Run survives as
-// a deprecated shim over the same engines and now honors sampled
-// options.
+// forwards every cell's events to Engine.Observer. internal/sim is pure
+// configuration — Options renders presets into pipeline.Config and has
+// no execution entry point of its own.
 //
 // # Sampled simulation
 //
@@ -62,10 +62,15 @@
 // submitting and its slots flow to cells still draining — with the
 // estimate bit-identical to the sequential engine and the
 // dispatched/settled/discarded window counts reported on
-// run.Result.Sampled. The warm pass's output is reusable through a
-// content-addressed, LRU-bounded checkpoint cache
+// run.Result.Sampled. The warm pass itself shards over disjoint trace
+// spans (-warm-jobs workers resuming from layout-independent stride
+// snapshots, captured every -warm-stride instructions via the
+// emulator's copy-on-write memory) with the resulting warm set
+// bit-identical to the sequential pass's, and its output is reusable
+// through a content-addressed, LRU-bounded checkpoint cache
 // (run.Request.CheckpointCache, rixsim/rixbench -ckpt-cache,
-// -ckpt-cache-mb, -ckpt-cache-age). sim.Options.Sampling selects
+// -ckpt-cache-mb, -ckpt-cache-age) that holds both .warmset and
+// .stride entries. sim.Options.Sampling selects
 // sampling per cell; runner routes sampled cells automatically and
 // sizes the matrix-wide scheduler from its -j budget (Engine
 // .WindowJobs overrides), and runner.Sampled derives sampled variants
@@ -83,7 +88,7 @@
 //	internal/rename       pointer-based map table
 //	internal/core         the paper's contribution: IT, LISP, logic
 //	internal/pipeline     13-stage 4-way out-of-order core
-//	internal/sim          named configuration presets (facade; sampling knobs alias internal/sample)
+//	internal/sim          named configuration presets (pure configuration facade)
 //	internal/sample       checkpointed interval-sampling engine (Run/Resume/Continue)
 //	internal/run          unified run API: Request/Do/Observer/Result (serializable, cancellable)
 //	internal/workload     16 synthetic SPEC2000int stand-ins

@@ -6,14 +6,28 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"rix/internal/run"
 	"rix/internal/sim"
 	"rix/internal/workload"
 )
 
+// do executes one configuration of the workload through the unified run
+// API and returns its IPC. Each call mints an independent golden-trace
+// stream, so runs never share consumable state.
+func do(ctx context.Context, bench string, o sim.Options) float64 {
+	res, err := run.Do(ctx, run.Request{Workload: bench, Options: o})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Stats.IPC()
+}
+
 func main() {
+	ctx := context.Background()
 	bench := "vortex"
 	b, ok := workload.ByName(bench)
 	if !ok {
@@ -23,7 +37,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	p := bw.Prog
 	fmt.Printf("workload: %s (%s), %d dynamic instructions\n\n",
 		b.Name, b.Description, bw.DynLen)
 
@@ -36,23 +49,13 @@ func main() {
 		{"IW+RS: both reductions", sim.CoreIWRS},
 	}
 
-	baseStats, err := sim.Run(p, bw.Source(), sim.Options{Core: sim.CoreBase, Integration: sim.IntNone})
-	if err != nil {
-		log.Fatal(err)
-	}
-	baseIPC := baseStats.IPC()
+	baseIPC := do(ctx, bench, sim.Options{Core: sim.CoreBase, Integration: sim.IntNone})
 	fmt.Printf("%-34s %10s %12s %14s\n", "core", "plain", "+integration", "int. recovers")
 	for _, c := range cores {
-		plain, err := sim.Run(p, bw.Source(), sim.Options{Core: c.core, Integration: sim.IntNone})
-		if err != nil {
-			log.Fatal(err)
-		}
-		integ, err := sim.Run(p, bw.Source(), sim.Options{Core: c.core, Integration: sim.IntReverse})
-		if err != nil {
-			log.Fatal(err)
-		}
-		dPlain := 100 * (plain.IPC()/baseIPC - 1)
-		dInteg := 100 * (integ.IPC()/baseIPC - 1)
+		plainIPC := do(ctx, bench, sim.Options{Core: c.core, Integration: sim.IntNone})
+		integIPC := do(ctx, bench, sim.Options{Core: c.core, Integration: sim.IntReverse})
+		dPlain := 100 * (plainIPC/baseIPC - 1)
+		dInteg := 100 * (integIPC/baseIPC - 1)
 		fmt.Printf("%-34s %+9.1f%% %+11.1f%% %13.1f%%\n",
 			c.name, dPlain, dInteg, dInteg-dPlain)
 	}

@@ -5,14 +5,24 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"rix/internal/run"
 	"rix/internal/sim"
 	"rix/internal/workload"
 )
 
+// builtSource resolves every workload name to one pre-built workload —
+// the run.WithSource seam that lets run.Do execute programs outside the
+// registry, such as this example's synthetic sweep points.
+type builtSource struct{ bw workload.Built }
+
+func (s builtSource) Get(context.Context, string) (workload.Built, error) { return s.bw, nil }
+
 func main() {
+	ctx := context.Background()
 	fmt.Printf("%-14s %10s %10s %10s %10s\n",
 		"call density", "rate%", "reverse%", "speedup%", "IPC")
 	for _, callEvery := range []int{0, 12, 6, 3} {
@@ -29,14 +39,20 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		base, err := sim.Run(bw.Prog, bw.Source(), sim.Options{Integration: sim.IntNone})
+		src := run.WithSource(builtSource{bw})
+		baseRes, err := run.Do(ctx, run.Request{
+			Workload: b.Name, Options: sim.Options{Integration: sim.IntNone},
+		}, src)
 		if err != nil {
 			log.Fatal(err)
 		}
-		full, err := sim.Run(bw.Prog, bw.Source(), sim.Options{Integration: sim.IntReverse})
+		fullRes, err := run.Do(ctx, run.Request{
+			Workload: b.Name, Options: sim.Options{Integration: sim.IntReverse},
+		}, src)
 		if err != nil {
 			log.Fatal(err)
 		}
+		base, full := &baseRes.Stats, &fullRes.Stats
 		label := "none"
 		if callEvery > 0 {
 			label = fmt.Sprintf("1 per %d ops", callEvery)

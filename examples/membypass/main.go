@@ -6,15 +6,15 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"rix/internal/asm"
 	"rix/internal/core"
-	"rix/internal/emu"
 	"rix/internal/isa"
 	"rix/internal/regfile"
 	"rix/internal/rename"
+	"rix/internal/run"
 	"rix/internal/sim"
 )
 
@@ -131,19 +131,24 @@ f:      lda  sp, -32(sp)
 `
 
 func pipelineDemo() {
-	p, err := asm.Assemble("membypass.s", demoSrc)
+	// Each run.Do call assembles the inline source and streams its own
+	// golden trace straight from the emulator.
+	ctx := context.Background()
+	noRevRes, err := run.Do(ctx, run.Request{
+		Source: demoSrc, SourceName: "membypass.s",
+		Options: sim.Options{Integration: sim.IntOpcode},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Each run streams its own golden trace straight from the emulator.
-	noRev, err := sim.Run(p, emu.Stream(p, 1<<22), sim.Options{Integration: sim.IntOpcode})
+	revRes, err := run.Do(ctx, run.Request{
+		Source: demoSrc, SourceName: "membypass.s",
+		Options: sim.Options{Integration: sim.IntReverse},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	rev, err := sim.Run(p, emu.Stream(p, 1<<22), sim.Options{Integration: sim.IntReverse})
-	if err != nil {
-		log.Fatal(err)
-	}
+	noRev, rev := &noRevRes.Stats, &revRes.Stats
 	fmt.Printf("without reverse integration: %5.1f%% of sp loads bypass, IPC %.3f\n",
 		100*noRev.SPLoadIntegrationRate(), noRev.IPC())
 	fmt.Printf("with    reverse integration: %5.1f%% of sp loads bypass, IPC %.3f\n",

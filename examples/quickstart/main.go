@@ -5,11 +5,13 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"rix/internal/asm"
 	"rix/internal/emu"
+	"rix/internal/run"
 	"rix/internal/sim"
 )
 
@@ -65,14 +67,24 @@ func main() {
 	fmt.Printf("program: %d static, %d dynamic instructions, output %q\n\n",
 		len(p.Code), len(trace), e.Output)
 
-	base, err := sim.Run(p, emu.FromSlice(trace), sim.Options{Integration: sim.IntNone})
+	// Each run.Do call assembles the inline source and streams its own
+	// golden trace — no shared state between the two configurations.
+	ctx := context.Background()
+	baseRes, err := run.Do(ctx, run.Request{
+		Source: src, SourceName: "quickstart.s",
+		Options: sim.Options{Integration: sim.IntNone},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	full, err := sim.Run(p, emu.FromSlice(trace), sim.Options{Integration: sim.IntReverse})
+	fullRes, err := run.Do(ctx, run.Request{
+		Source: src, SourceName: "quickstart.s",
+		Options: sim.Options{Integration: sim.IntReverse},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	base, full := &baseRes.Stats, &fullRes.Stats
 
 	fmt.Printf("%-22s %12s %12s\n", "", "baseline", "+reverse")
 	fmt.Printf("%-22s %12.3f %12.3f\n", "IPC", base.IPC(), full.IPC())

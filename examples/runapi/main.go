@@ -26,6 +26,7 @@ import (
 	"reflect"
 
 	"rix/internal/run"
+	"rix/internal/sample"
 	"rix/internal/sim"
 )
 
@@ -36,7 +37,7 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	sp := sim.DefaultSampling()
+	sp := sample.DefaultSampling()
 	req := run.Request{
 		Workload:      "gzip",
 		Options:       sim.Options{Integration: sim.IntReverse, Sampling: &sp},

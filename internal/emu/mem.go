@@ -5,13 +5,28 @@ package emu
 // demand. It serves as both the functional emulator's memory and the
 // pipeline's architectural memory image.
 //
-// A one-entry page cache short-circuits the map lookup on the common
-// same-page access streak (stack traffic, sequential buffers); it is
-// derived state and never serialized.
+// Snapshots are copy-on-write: State and Clone share the resident page
+// arrays with the new snapshot/copy instead of duplicating them, and the
+// first write to a shared page afterwards clones just that page. Sharing
+// is tracked per page with an epoch counter — a page is privately
+// writable only when its epoch matches the memory's current epoch, and
+// every snapshot or clone bumps the epoch, instantly demoting all pages
+// to shared. Shared page arrays are never written again by any owner, so
+// a snapshot handed to another goroutine is race-free without locks.
+//
+// One-entry read and write caches short-circuit the map lookups on the
+// common same-page access streak (stack traffic, sequential buffers);
+// both are derived state and never serialized. The write cache
+// additionally certifies that its page is already private in the current
+// epoch, keeping the copy-on-write check off the hot write path.
 type Memory struct {
-	pages  map[uint64]*page
-	lastPN uint64
-	last   *page
+	pages   map[uint64]*page
+	epochs  map[uint64]uint64 // page number → epoch at which it became private
+	epoch   uint64
+	lastPN  uint64
+	last    *page
+	lastWPN uint64
+	lastW   *page
 }
 
 const (
@@ -24,7 +39,10 @@ type page [pageSize]byte
 
 // NewMemory returns an empty address space.
 func NewMemory() *Memory {
-	return &Memory{pages: make(map[uint64]*page)}
+	return &Memory{
+		pages:  make(map[uint64]*page),
+		epochs: make(map[uint64]uint64),
+	}
 }
 
 // LoadImage copies a byte image to base.
@@ -34,7 +52,8 @@ func (m *Memory) LoadImage(base uint64, img []byte) {
 	}
 }
 
-// lookup returns the page holding addr, or nil when unmapped.
+// lookup returns the page holding addr, or nil when unmapped. The page
+// may be shared with snapshots; callers must not write through it.
 func (m *Memory) lookup(pn uint64) *page {
 	if m.last != nil && m.lastPN == pn {
 		return m.last
@@ -46,14 +65,29 @@ func (m *Memory) lookup(pn uint64) *page {
 	return p
 }
 
-// ensure returns the page holding addr, allocating it if needed.
-func (m *Memory) ensure(pn uint64) *page {
-	if p := m.lookup(pn); p != nil {
-		return p
+// ensureWritable returns a privately owned page for pn, allocating an
+// empty one if unmapped and cloning a shared one on first write after a
+// snapshot. Both caches are pointed at the (possibly new) private page so
+// the streak path never re-checks the epoch.
+func (m *Memory) ensureWritable(pn uint64) *page {
+	if m.lastW != nil && m.lastWPN == pn {
+		return m.lastW
 	}
-	p := new(page)
-	m.pages[pn] = p
+	p := m.pages[pn]
+	switch {
+	case p == nil:
+		p = new(page)
+		m.pages[pn] = p
+		m.epochs[pn] = m.epoch
+	case m.epochs[pn] != m.epoch:
+		np := new(page)
+		*np = *p
+		m.pages[pn] = np
+		m.epochs[pn] = m.epoch
+		p = np
+	}
 	m.lastPN, m.last = pn, p
+	m.lastWPN, m.lastW = pn, p
 	return p
 }
 
@@ -68,7 +102,7 @@ func (m *Memory) Read8(addr uint64) byte {
 
 // Write8 writes one byte, allocating the page if needed.
 func (m *Memory) Write8(addr uint64, v byte) {
-	m.ensure(addr >> pageShift)[addr&pageMask] = v
+	m.ensureWritable(addr >> pageShift)[addr&pageMask] = v
 }
 
 // Read64 reads a little-endian 64-bit word (no alignment requirement; the
@@ -93,7 +127,7 @@ func (m *Memory) Read64(addr uint64) uint64 {
 // Write64 writes a little-endian 64-bit word.
 func (m *Memory) Write64(addr uint64, v uint64) {
 	if addr&7 == 0 {
-		p := m.ensure(addr >> pageShift)
+		p := m.ensureWritable(addr >> pageShift)
 		off := addr & pageMask
 		b := p[off : off+8 : off+8]
 		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
@@ -126,12 +160,23 @@ func (m *Memory) Write32(addr uint64, v uint64) {
 // tests).
 func (m *Memory) PageCount() int { return len(m.pages) }
 
-// Clone returns a deep copy of the address space.
+// Clone returns an independent copy of the address space in O(resident
+// pages) map work: both sides keep the same page arrays and each clones
+// a page privately on its next write to it. Clone mutates the receiver's
+// sharing bookkeeping and must be called from the goroutine that owns
+// it; the returned copy can then move to any other goroutine.
 func (m *Memory) Clone() *Memory {
-	c := NewMemory()
+	m.epoch++
+	m.lastWPN, m.lastW = 0, nil
+	c := &Memory{
+		pages: make(map[uint64]*page, len(m.pages)),
+		// Left empty: a missing entry reads as epoch 0, below the
+		// clone's starting epoch, so every inherited page is shared.
+		epochs: make(map[uint64]uint64, len(m.pages)),
+		epoch:  1,
+	}
 	for pn, p := range m.pages {
-		cp := *p
-		c.pages[pn] = &cp
+		c.pages[pn] = p
 	}
 	return c
 }

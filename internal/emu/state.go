@@ -28,18 +28,28 @@ type State struct {
 
 // MemState is the serializable form of a sparse Memory: page number →
 // page image. Only resident pages appear.
+//
+// A MemState produced by Memory.State aliases the memory's page arrays
+// copy-on-write rather than duplicating them; treat its pages as
+// immutable. Serializing it, comparing it, or rebuilding a Memory with
+// NewMemoryFromState are all safe — from any goroutine — because the
+// source memory clones a shared page before ever writing to it again.
 type MemState struct {
 	Pages map[uint64][]byte
 }
 
-// State deep-copies the memory into its serializable form.
+// State captures the memory in its serializable form. The snapshot is
+// O(resident pages) map work, not a byte copy: the returned pages alias
+// the live arrays, and the memory's next write to any captured page
+// copies that page first (see Memory). Like Clone, State mutates the
+// sharing bookkeeping and must be called from the owning goroutine.
 func (m *Memory) State() MemState {
 	st := MemState{Pages: make(map[uint64][]byte, len(m.pages))}
 	for pn, p := range m.pages {
-		img := make([]byte, pageSize)
-		copy(img, p[:])
-		st.Pages[pn] = img
+		st.Pages[pn] = p[:]
 	}
+	m.epoch++
+	m.lastWPN, m.lastW = 0, nil
 	return st
 }
 

@@ -31,25 +31,71 @@ type DetailRunner func(ctx context.Context, cfg pipeline.Config, p *prog.Program
 // cadence of Progress events when an Observer is attached.
 const DefaultProgressInterval = 1 << 18
 
-// config collects Do's options.
-type config struct {
-	obs           Observer
-	hasObs        bool
-	src           Source
-	detail        DetailRunner
-	progressEvery uint64
-	sched         *sample.Scheduler
+// Options collects every per-call execution knob Do accepts beyond the
+// serializable Request: live resources (observer, workload source,
+// shared scheduler), test seams, and event cadence. The zero value
+// selects all defaults. This struct is the whole option surface — the
+// With* functions below are thin wrappers over its fields, for call
+// sites that prefer variadic style — so a caller holding several knobs
+// can pass one WithOptions instead of composing wrappers.
+type Options struct {
+	// Observer streams the run's typed progress events (nil: none).
+	Observer Observer
+
+	// Source resolves workload names (nil: the package registry,
+	// memoized across Do calls).
+	Source Source
+
+	// DetailRunner substitutes the full-detail execution path — a test
+	// seam; sampled modes are unaffected.
+	DetailRunner DetailRunner
+
+	// ProgressEvery is the Progress event cadence in instructions
+	// (0: DefaultProgressInterval).
+	ProgressEvery uint64
+
+	// Scheduler runs a sampled request's detail-window phase on a
+	// shared work-stealing pool (see sample.Scheduler) instead of a
+	// per-run worker set: concurrent Do calls passing the same
+	// scheduler steal each other's idle slots, and each slot's pooled
+	// boot state is reused across every window it executes. The pool is
+	// a live resource, not part of the serializable Request — the
+	// request's Jobs field records the intended pool size, and the
+	// caller (e.g. the runner engine) owns the scheduler's lifecycle.
+	// Ignored for detail runs.
+	Scheduler *sample.Scheduler
 }
 
 // Option customizes one Do call.
-type Option func(*config)
+type Option func(*Options)
+
+// WithOptions merges every non-zero field of o into the call's options
+// — the bulk form of the wrappers below.
+func WithOptions(o Options) Option {
+	return func(c *Options) {
+		if o.Observer != nil {
+			c.Observer = o.Observer
+		}
+		if o.Source != nil {
+			c.Source = o.Source
+		}
+		if o.DetailRunner != nil {
+			c.DetailRunner = o.DetailRunner
+		}
+		if o.ProgressEvery > 0 {
+			c.ProgressEvery = o.ProgressEvery
+		}
+		if o.Scheduler != nil {
+			c.Scheduler = o.Scheduler
+		}
+	}
+}
 
 // WithObserver streams the run's typed progress events to o.
 func WithObserver(o Observer) Option {
-	return func(c *config) {
+	return func(c *Options) {
 		if o != nil {
-			c.obs = o
-			c.hasObs = true
+			c.Observer = o
 		}
 	}
 }
@@ -57,47 +103,48 @@ func WithObserver(o Observer) Option {
 // WithSource resolves workload names through s instead of the package
 // registry.
 func WithSource(s Source) Option {
-	return func(c *config) {
+	return func(c *Options) {
 		if s != nil {
-			c.src = s
+			c.Source = s
 		}
 	}
 }
 
-// WithProgressEvery sets the Progress event cadence in instructions
-// (default DefaultProgressInterval; 0 keeps the default).
+// WithProgressEvery sets Options.ProgressEvery (0 keeps the default).
 func WithProgressEvery(n uint64) Option {
-	return func(c *config) {
+	return func(c *Options) {
 		if n > 0 {
-			c.progressEvery = n
+			c.ProgressEvery = n
 		}
 	}
 }
 
-// WithScheduler runs a sampled request's detail-window phase on the
-// given shared work-stealing pool (see sample.Scheduler) instead of a
-// per-run worker set: concurrent Do calls passing the same scheduler
-// steal each other's idle slots, and each slot's pooled boot state is
-// reused across every window it executes. The pool is a live resource,
-// not part of the serializable Request — the request's Jobs field
-// records the intended pool size, and the caller (e.g. the runner
-// engine) owns the scheduler's lifecycle. Ignored for detail runs.
+// WithScheduler sets Options.Scheduler; see that field for the sharing
+// and ownership contract.
 func WithScheduler(s *sample.Scheduler) Option {
-	return func(c *config) {
+	return func(c *Options) {
 		if s != nil {
-			c.sched = s
+			c.Scheduler = s
 		}
 	}
 }
 
-// WithDetailRunner substitutes the full-detail execution path — a test
-// seam; sampled modes are unaffected.
+// WithDetailRunner sets Options.DetailRunner — a test seam; sampled
+// modes are unaffected.
 func WithDetailRunner(fn DetailRunner) Option {
-	return func(c *config) {
+	return func(c *Options) {
 		if fn != nil {
-			c.detail = fn
+			c.DetailRunner = fn
 		}
 	}
+}
+
+// config is the resolved option set execute works from: Options with
+// defaults applied, plus whether a real observer is attached (the
+// detail path skips progress instrumentation entirely without one).
+type config struct {
+	Options
+	hasObs bool
 }
 
 // defaultSource memoizes registry builds across Do calls (programs and
@@ -113,9 +160,19 @@ func Do(ctx context.Context, req Request, opts ...Option) (*Result, error) {
 	if err := req.Validate(); err != nil {
 		return nil, err
 	}
-	c := config{obs: nopObserver{}, src: defaultSource, progressEvery: DefaultProgressInterval}
-	for _, o := range opts {
-		o(&c)
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	c := config{Options: o, hasObs: o.Observer != nil}
+	if c.Observer == nil {
+		c.Observer = nopObserver{}
+	}
+	if c.Source == nil {
+		c.Source = defaultSource
+	}
+	if c.ProgressEvery == 0 {
+		c.ProgressEvery = DefaultProgressInterval
 	}
 
 	start := time.Now()
@@ -128,16 +185,16 @@ func Do(ctx context.Context, req Request, opts ...Option) (*Result, error) {
 	ev := Event{Workload: res.Workload, Label: res.Label, Mode: res.Mode}
 
 	ev.Kind = CellStarted
-	c.obs.Observe(ev)
+	c.Observer.Observe(ev)
 	err = execute(ctx, &c, &req, bw, res, ev)
 	ev.Kind = CellFinished
 	if err != nil {
 		ev.Err = err.Error()
-		c.obs.Observe(ev)
+		c.Observer.Observe(ev)
 		return nil, err
 	}
 	ev.Instrs = res.Stats.Retired
-	c.obs.Observe(ev)
+	c.Observer.Observe(ev)
 	res.Wall = time.Since(start)
 	return res, nil
 }
@@ -146,7 +203,7 @@ func Do(ctx context.Context, req Request, opts ...Option) (*Result, error) {
 // source, or inline assembly.
 func resolve(ctx context.Context, c *config, req *Request) (workload.Built, error) {
 	if req.Workload != "" {
-		return c.src.Get(ctx, req.Workload)
+		return c.Source.Get(ctx, req.Workload)
 	}
 	p, err := asm.Assemble(req.name(), req.Source)
 	if err != nil {
@@ -164,16 +221,16 @@ func execute(ctx context.Context, c *config, req *Request, bw workload.Built, re
 	}
 
 	if req.Options.Sampling == nil {
-		detail := c.detail
+		detail := c.DetailRunner
 		if detail == nil {
 			detail = func(ctx context.Context, cfg pipeline.Config, p *prog.Program, src emu.TraceSource) (*pipeline.Stats, error) {
 				pl := pipeline.New(cfg, p, src)
 				if c.hasObs {
 					pev := ev
 					pev.Kind = Progress
-					pl.SetProgress(c.progressEvery, func(retired uint64) {
+					pl.SetProgress(c.ProgressEvery, func(retired uint64) {
 						pev.Instrs = retired
-						c.obs.Observe(pev)
+						c.Observer.Observe(pev)
 					})
 				}
 				return pl.RunContext(ctx)
@@ -192,10 +249,12 @@ func execute(ctx context.Context, c *config, req *Request, bw workload.Built, re
 		CheckpointDir: req.CheckpointDir,
 		Parallel:      req.Parallel,
 		Windows:       req.Jobs,
+		WarmJobs:      req.WarmJobs,
+		WarmStride:    req.WarmStride,
 		CacheDir:      req.CheckpointCache,
 		CacheMaxBytes: int64(req.CacheMaxMB) << 20,
 		CacheMaxAge:   time.Duration(req.CacheMaxAgeSec) * time.Second,
-		Scheduler:     c.sched,
+		Scheduler:     c.Scheduler,
 		MaxInstrs:     req.MaxInstrs,
 	}
 	if c.hasObs {
@@ -242,7 +301,7 @@ func execute(ctx context.Context, c *config, req *Request, bw workload.Built, re
 // hot path, so the per-call value is free).
 func sampleHooks(c *config, ev Event) sample.Hooks {
 	var lastProgress uint64
-	every := c.progressEvery
+	every := c.ProgressEvery
 	return sample.Hooks{
 		Progress: func(instrs uint64) {
 			if instrs-lastProgress < every {
@@ -252,57 +311,71 @@ func sampleHooks(c *config, ev Event) sample.Hooks {
 			e := ev
 			e.Kind = Progress
 			e.Instrs = instrs
-			c.obs.Observe(e)
+			c.Observer.Observe(e)
 		},
 		WindowDone: func(w sample.WindowStat) {
 			e := ev
 			e.Kind = WindowDone
 			e.Window = w.Index
 			e.Instrs = w.Stats.Retired
-			c.obs.Observe(e)
+			c.Observer.Observe(e)
 		},
 		CheckpointWritten: func(path string, index int) {
 			e := ev
 			e.Kind = CheckpointWritten
 			e.Window = index
 			e.Path = path
-			c.obs.Observe(e)
+			c.Observer.Observe(e)
 		},
 		WindowScheduled: func(index int) {
 			e := ev
 			e.Kind = WindowScheduled
 			e.Window = index
-			c.obs.Observe(e)
+			c.Observer.Observe(e)
 		},
 		WindowDiscarded: func(index int) {
 			e := ev
 			e.Kind = WindowDiscarded
 			e.Window = index
-			c.obs.Observe(e)
+			c.Observer.Observe(e)
+		},
+		WarmShardStarted: func(shard int, start, end uint64) {
+			e := ev
+			e.Kind = WarmShardStarted
+			e.Shard = shard
+			e.SpanStart, e.SpanEnd = start, end
+			c.Observer.Observe(e)
+		},
+		WarmShardDone: func(shard int, start, end uint64) {
+			e := ev
+			e.Kind = WarmShardDone
+			e.Shard = shard
+			e.SpanStart, e.SpanEnd = start, end
+			c.Observer.Observe(e)
 		},
 		SlotStolen: func(slot int) {
 			e := ev
 			e.Kind = SlotStolen
 			e.Slot = slot
-			c.obs.Observe(e)
+			c.Observer.Observe(e)
 		},
 		SlotReturned: func(index int) {
 			e := ev
 			e.Kind = SlotReturned
 			e.Window = index
-			c.obs.Observe(e)
+			c.Observer.Observe(e)
 		},
 		CacheHit: func(path string) {
 			e := ev
 			e.Kind = CacheHit
 			e.Path = path
-			c.obs.Observe(e)
+			c.Observer.Observe(e)
 		},
 		CacheWritten: func(path string) {
 			e := ev
 			e.Kind = CacheWritten
 			e.Path = path
-			c.obs.Observe(e)
+			c.Observer.Observe(e)
 		},
 	}
 }

@@ -49,7 +49,7 @@ func ExampleDo_observer() {
 // pool worker goroutines (an observer counting them must synchronize)
 // and their count depends on worker timing, unlike the counters below.
 func ExampleDo_schedulerTelemetry() {
-	sp := sim.DefaultSampling()
+	sp := sample.DefaultSampling()
 	req := run.Request{
 		Workload: "gzip",
 		Options:  sim.Options{Integration: sim.IntReverse, Sampling: &sp},

@@ -1,6 +1,12 @@
 package run
 
 // EventKind discriminates the typed progress events a run emits.
+//
+// The enum is closed: the constants below are the complete set, new
+// kinds are added only alongside a new entry in EventKinds, and a JSON
+// consumer switching over them may treat an unknown string as a
+// protocol error rather than a forward-compatibility case. Each kind's
+// comment names the Event fields it populates.
 type EventKind string
 
 const (
@@ -33,8 +39,21 @@ const (
 	// dispatched its last one — each such settle releases a scheduler
 	// slot back to the shared pool. Window is the settled index.
 	SlotReturned EventKind = "slot-returned"
-	// CacheHit fires when a sampled run finds its warm set in the
-	// checkpoint cache and skips the warm pass; Path names the entry.
+	// WarmShardStarted fires when a sharded warm pass hands one trace
+	// span to a warm worker: Shard is the span's ordinal, SpanStart the
+	// dynamic instruction count the worker resumes from (its nearest
+	// preceding stride snapshot, 0 for a fresh boot), and SpanEnd the
+	// last window boundary inside the span. Emitted from the warm
+	// workers' goroutines: the set of events is deterministic, their
+	// order is not.
+	WarmShardStarted EventKind = "warm-shard-started"
+	// WarmShardDone fires when that worker has snapshotted every window
+	// boundary in its span; same fields and concurrency contract as
+	// WarmShardStarted.
+	WarmShardDone EventKind = "warm-shard-done"
+	// CacheHit fires when a sampled run finds its warm set — or the
+	// stride snapshots backing a sharded warm pass — in the checkpoint
+	// cache; Path names the entry (.warmset or .stride).
 	CacheHit EventKind = "cache-hit"
 	// CacheWritten fires after a sampled run persists its warm set into
 	// the checkpoint cache; Path names the entry.
@@ -47,6 +66,21 @@ const (
 	CellFinished EventKind = "cell-finished"
 )
 
+// EventKinds returns every EventKind, in the order a typical run emits
+// them. The slice is freshly allocated; callers may keep or mutate it.
+// Exhaustiveness tests (and JSON consumers building dispatch tables)
+// should range over this rather than hand-copying the constants.
+func EventKinds() []EventKind {
+	return []EventKind{
+		CellStarted, Progress,
+		WarmShardStarted, WarmShardDone,
+		CacheHit, CacheWritten,
+		WindowScheduled, WindowDone, WindowDiscarded,
+		SlotStolen, SlotReturned,
+		CheckpointWritten, CellFinished,
+	}
+}
+
 // Event is one typed progress notification. Events are values — they
 // serialize to JSON, so an Observer can forward them over a wire as
 // easily as render them.
@@ -56,11 +90,14 @@ type Event struct {
 	Label    string    `json:"label"`
 	Mode     Mode      `json:"mode"`
 
-	Instrs uint64 `json:"instrs,omitempty"` // Progress, WindowDone
-	Window int    `json:"window,omitempty"` // WindowDone, WindowScheduled, WindowDiscarded, SlotReturned, CheckpointWritten
-	Slot   int    `json:"slot,omitempty"`   // SlotStolen
-	Path   string `json:"path,omitempty"`   // CheckpointWritten, CacheHit, CacheWritten
-	Err    string `json:"err,omitempty"`    // CellFinished on failure
+	Instrs    uint64 `json:"instrs,omitempty"`     // Progress, WindowDone
+	Window    int    `json:"window,omitempty"`     // WindowDone, WindowScheduled, WindowDiscarded, SlotReturned, CheckpointWritten
+	Slot      int    `json:"slot,omitempty"`       // SlotStolen
+	Shard     int    `json:"shard,omitempty"`      // WarmShardStarted, WarmShardDone
+	SpanStart uint64 `json:"span_start,omitempty"` // WarmShardStarted, WarmShardDone
+	SpanEnd   uint64 `json:"span_end,omitempty"`   // WarmShardStarted, WarmShardDone
+	Path      string `json:"path,omitempty"`       // CheckpointWritten, CacheHit, CacheWritten
+	Err       string `json:"err,omitempty"`        // CellFinished on failure
 }
 
 // Observer receives a run's typed progress events. Observe is called

@@ -10,7 +10,9 @@ import (
 	"testing"
 	"time"
 
+	"rix/internal/pipeline"
 	"rix/internal/run"
+	"rix/internal/sample"
 	"rix/internal/sim"
 	"rix/internal/workload"
 )
@@ -50,7 +52,7 @@ func leakCheck(t *testing.T) func() {
 }
 
 func TestRequestValidation(t *testing.T) {
-	sp := sim.DefaultSampling()
+	sp := sample.DefaultSampling()
 	cases := []struct {
 		name string
 		req  run.Request
@@ -60,7 +62,7 @@ func TestRequestValidation(t *testing.T) {
 		{"both programs", run.Request{Workload: "gzip", Source: "x"}, "exactly one"},
 		{"bad axis", run.Request{Workload: "gzip", Options: sim.Options{Integration: "warp"}}, "unknown integration"},
 		{"bad sampling", run.Request{Workload: "gzip",
-			Options: sim.Options{Sampling: &sim.Sampling{Interval: 10, Window: 20}}}, "exceeds interval"},
+			Options: sim.Options{Sampling: &sample.Sampling{Interval: 10, Window: 20}}}, "exceeds interval"},
 		{"resume without sampling", run.Request{Workload: "gzip", Resume: true, CheckpointDir: "/tmp/x"}, "needs Options.Sampling"},
 		{"resume without dir", run.Request{Workload: "gzip", Resume: true,
 			Options: sim.Options{Sampling: &sp}}, "needs CheckpointDir"},
@@ -85,7 +87,7 @@ func TestRequestValidation(t *testing.T) {
 // TestRequestJSONRoundTrip: a request survives marshal/unmarshal with
 // every field intact — the serializable-run contract.
 func TestRequestJSONRoundTrip(t *testing.T) {
-	sp := sim.Sampling{Interval: 20000, Window: 800, Warmup: 400}
+	sp := sample.Sampling{Interval: 20000, Window: 800, Warmup: 400}
 	req := &run.Request{
 		Workload: "crafty",
 		Label:    "paper-full",
@@ -126,15 +128,19 @@ func TestRequestJSONRoundTrip(t *testing.T) {
 	}
 }
 
-// TestDoDetailMatchesSimRun: the new entry point reproduces the legacy
-// path's statistics exactly for a full-detail run, and the Result
-// round-trips through JSON.
-func TestDoDetailMatchesSimRun(t *testing.T) {
+// TestDoDetailMatchesPipeline: the entry point reproduces a directly
+// constructed pipeline's statistics exactly for a full-detail run, and
+// the Result round-trips through JSON.
+func TestDoDetailMatchesPipeline(t *testing.T) {
 	defer leakCheck(t)()
 	bw := buildBench(t, "gzip")
 	o := sim.Options{Integration: sim.IntReverse}
 
-	want, err := sim.Run(bw.Prog, bw.Source(), o)
+	cfg, err := o.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := pipeline.New(cfg, bw.Prog, bw.Source()).Run()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +149,7 @@ func TestDoDetailMatchesSimRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(res.Stats, *want) {
-		t.Errorf("run.Do stats differ from sim.Run:\nDo:  %+v\nsim: %+v", res.Stats, *want)
+		t.Errorf("run.Do stats differ from direct pipeline:\nDo:       %+v\npipeline: %+v", res.Stats, *want)
 	}
 	if res.Mode != run.ModeDetail || res.Workload != "gzip" || res.Label != o.Label() {
 		t.Errorf("result identity: %+v", res)
@@ -171,13 +177,18 @@ func TestDoDetailMatchesSimRun(t *testing.T) {
 func TestDoSampledMatchesEngine(t *testing.T) {
 	defer leakCheck(t)()
 	bw := buildBench(t, "gzip")
-	sp := sim.DefaultSampling()
+	sp := sample.DefaultSampling()
 	o := sim.Options{Integration: sim.IntReverse, Sampling: &sp}
 
-	want, err := sim.Run(bw.Prog, bw.Source(), o) // shim: sample.Run aggregate
+	cfg, err := o.Config()
 	if err != nil {
 		t.Fatal(err)
 	}
+	est, err := sample.Run(context.Background(), bw.Prog, bw.DynLen, cfg, sample.Config{Sampling: sp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := est.StatsEstimate()
 	res, err := run.Do(context.Background(), run.Request{Workload: "gzip", Options: o})
 	if err != nil {
 		t.Fatal(err)
@@ -228,7 +239,7 @@ func (l *eventLog) kinds() map[run.EventKind]int {
 // typed event vocabulary in a sane shape.
 func TestObserverEventStream(t *testing.T) {
 	defer leakCheck(t)()
-	sp := sim.DefaultSampling()
+	sp := sample.DefaultSampling()
 	o := sim.Options{Integration: sim.IntReverse, Sampling: &sp}
 	log := &eventLog{}
 	res, err := run.Do(context.Background(),
@@ -302,7 +313,7 @@ func TestDetailCancellation(t *testing.T) {
 // internal/sample).
 func TestSampledCancellationAndResume(t *testing.T) {
 	defer leakCheck(t)()
-	sp := sim.DefaultSampling()
+	sp := sample.DefaultSampling()
 	o := sim.Options{Integration: sim.IntReverse, Sampling: &sp}
 
 	uninterrupted, err := run.Do(context.Background(), run.Request{Workload: "gzip", Options: o})

@@ -6,6 +6,7 @@ import (
 
 	"rix/internal/pipeline"
 	"rix/internal/run"
+	"rix/internal/sample"
 	"rix/internal/sim"
 )
 
@@ -20,7 +21,7 @@ func TestSampledWindowParallelStress(t *testing.T) {
 		t.Skip("real workload builds + four sampled runs (~10s under -race)")
 	}
 	sp := &Spec{ID: "window-stress"}
-	layout := &sim.Sampling{Interval: 4000, Window: 300, Warmup: 150}
+	layout := &sample.Sampling{Interval: 4000, Window: 300, Warmup: 150}
 	for _, o := range []sim.Options{
 		{Integration: sim.IntNone, Sampling: layout},
 		{Integration: sim.IntReverse, Sampling: layout},

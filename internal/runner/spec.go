@@ -17,6 +17,7 @@ import (
 	"sort"
 	"sync"
 
+	"rix/internal/sample"
 	"rix/internal/sim"
 	"rix/internal/stats"
 )
@@ -179,7 +180,7 @@ func SortedIDs() []string {
 // switched to checkpointed interval sampling under sp. The variant's id
 // gains a "-sampled" suffix; it is returned, not registered — run it
 // ad-hoc through Engine.Gather, or register it explicitly.
-func Sampled(s *Spec, sp sim.Sampling) Spec {
+func Sampled(s *Spec, sp sample.Sampling) Spec {
 	c := *s
 	c.ID = s.ID + "-sampled"
 	c.Description = s.Description + " (sampled " + sp.String() + ")"

@@ -31,7 +31,11 @@ func buildBench(t testing.TB, name string) workload.Built {
 
 func fullDetail(t *testing.T, bw workload.Built, o sim.Options) *pipeline.Stats {
 	t.Helper()
-	full, err := sim.Run(bw.Prog, bw.Source(), o)
+	cfg, err := o.Config()
+	if err != nil {
+		t.Fatalf("%s [%s] config: %v", bw.Prog.Name, o.Label(), err)
+	}
+	full, err := pipeline.New(cfg, bw.Prog, bw.Source()).Run()
 	if err != nil {
 		t.Fatalf("%s [%s] full: %v", bw.Prog.Name, o.Label(), err)
 	}

@@ -132,10 +132,11 @@ func TestSharedSchedulerBitEqual(t *testing.T) {
 }
 
 // TestWarmCacheRoundTrip drives the content-addressed cache through a
-// miss (warm pass runs, entry written), a hit (warm pass skipped,
-// bit-identical estimate), and the invalidation rules (layout change
-// keys a different entry; a corrupt entry is a clean miss that gets
-// rewritten).
+// miss (warm pass runs, .warmset and .stride entries written), a hit
+// (warm pass skipped, bit-identical estimate), and the invalidation
+// rules: a layout change keys a different .warmset entry but reuses the
+// layout-independent .stride entry (so the rebuild shards from cached
+// snapshots), and a corrupt entry is a clean miss that gets rewritten.
 func TestWarmCacheRoundTrip(t *testing.T) {
 	ctx := context.Background()
 	bw := buildBench(t, "gzip")
@@ -151,18 +152,35 @@ func TestWarmCacheRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var hits, writes int
-	var entry string
+	// Hits and writes, tallied separately per entry kind; lastWarm is
+	// the most recently written .warmset path.
+	var wsHits, wsWrites, stHits, stWrites int
+	var lastWarm string
+	reset := func() { wsHits, wsWrites, stHits, stWrites = 0, 0, 0, 0 }
 	sc := sample.Config{CacheDir: dir, Windows: 2, Hooks: sample.Hooks{
-		CacheHit:     func(path string) { hits++; entry = path },
-		CacheWritten: func(path string) { writes++; entry = path },
+		CacheHit: func(path string) {
+			if filepath.Ext(path) == ".stride" {
+				stHits++
+			} else {
+				wsHits++
+			}
+		},
+		CacheWritten: func(path string) {
+			if filepath.Ext(path) == ".stride" {
+				stWrites++
+			} else {
+				wsWrites++
+				lastWarm = path
+			}
+		},
 	}}
 	first, err := sample.Run(ctx, bw.Prog, bw.DynLen, cfg, sc)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hits != 0 || writes != 1 {
-		t.Fatalf("cold run: %d hits, %d writes; want 0/1", hits, writes)
+	if wsHits != 0 || wsWrites != 1 || stHits != 0 || stWrites != 1 {
+		t.Fatalf("cold run: warmset %d/%d, stride %d/%d hits/writes; want 0/1 and 0/1",
+			wsHits, wsWrites, stHits, stWrites)
 	}
 	if !reflect.DeepEqual(first, seq) {
 		t.Error("cached-miss run diverges from sequential")
@@ -172,46 +190,53 @@ func TestWarmCacheRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hits != 1 || writes != 1 {
-		t.Fatalf("warm run: %d hits, %d writes; want 1/1", hits, writes)
+	if wsHits != 1 || wsWrites != 1 || stHits != 0 || stWrites != 1 {
+		t.Fatalf("warm run: warmset %d/%d, stride %d/%d hits/writes; want 1/1 and 0/1",
+			wsHits, wsWrites, stHits, stWrites)
 	}
 	if !reflect.DeepEqual(second, seq) {
 		t.Error("cache-hit run diverges from sequential")
 	}
 
-	// A different window layout must key a different entry, not reuse
-	// this one.
+	// A different window layout must key a different .warmset entry —
+	// but the stride entry is layout-independent, so the rebuild hits
+	// it and shards instead of rescanning from the trace head.
 	spp := sample.Sampling{Interval: 8000, Window: 400, Warmup: 200}
 	scLayout := sc
 	scLayout.Sampling = spp
 	if _, err := sample.Run(ctx, bw.Prog, bw.DynLen, cfg, scLayout); err != nil {
 		t.Fatal(err)
 	}
-	if hits != 1 || writes != 2 {
-		t.Fatalf("layout change: %d hits, %d writes; want 1/2 (distinct key)", hits, writes)
+	if wsHits != 1 || wsWrites != 2 || stHits != 1 || stWrites != 1 {
+		t.Fatalf("layout change: warmset %d/%d, stride %d/%d hits/writes; want 1/2 and 1/1",
+			wsHits, wsWrites, stHits, stWrites)
 	}
 
 	// A corrupt entry is a miss: the run still succeeds, rewrites the
 	// entry, and a following run hits it again.
-	if err := os.WriteFile(entry, []byte("garbage"), 0o644); err != nil {
+	if err := os.WriteFile(lastWarm, []byte("garbage"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	entries, _ := filepath.Glob(filepath.Join(dir, "*.warmset"))
 	if len(entries) != 2 {
-		t.Fatalf("%d cache entries; want 2", len(entries))
+		t.Fatalf("%d warmset entries; want 2", len(entries))
 	}
-	hits, writes = 0, 0
+	strides, _ := filepath.Glob(filepath.Join(dir, "*.stride"))
+	if len(strides) != 1 {
+		t.Fatalf("%d stride entries; want 1", len(strides))
+	}
+	reset()
 	if _, err := sample.Run(ctx, bw.Prog, bw.DynLen, cfg, scLayout); err != nil {
 		t.Fatal(err)
 	}
-	if hits != 0 || writes != 1 {
-		t.Fatalf("corrupt entry: %d hits, %d writes; want 0/1", hits, writes)
+	if wsHits != 0 || wsWrites != 1 || stHits != 1 {
+		t.Fatalf("corrupt entry: warmset %d/%d, stride hits %d; want 0/1 and 1", wsHits, wsWrites, stHits)
 	}
 	if _, err := sample.Run(ctx, bw.Prog, bw.DynLen, cfg, scLayout); err != nil {
 		t.Fatal(err)
 	}
-	if hits != 1 {
-		t.Fatalf("rewritten entry: %d hits; want 1", hits)
+	if wsHits != 1 {
+		t.Fatalf("rewritten entry: %d warmset hits; want 1", wsHits)
 	}
 }
 

@@ -137,6 +137,18 @@ type Hooks struct {
 	// in-flight set, releasing a pool slot to cells still dispatching.
 	// Fires from the coordinating goroutine, deterministically.
 	SlotReturned func(index int)
+	// WarmShardStarted fires when a sharded warm pass hands one trace
+	// span to a warm worker: shard is the span's ordinal, start the
+	// dynamic instruction count the worker resumes from (its nearest
+	// preceding stride snapshot, 0 for a fresh boot), and end the last
+	// window boundary inside the span. Fires from the worker goroutines,
+	// so calls are concurrent; the set of (shard, start, end) triples is
+	// deterministic, their order is not.
+	WarmShardStarted func(shard int, start, end uint64)
+	// WarmShardDone fires when that worker has snapshotted every
+	// boundary in its span. Same concurrency contract as
+	// WarmShardStarted.
+	WarmShardDone func(shard int, start, end uint64)
 	// CheckpointWritten fires after each checkpoint lands on disk.
 	CheckpointWritten func(path string, index int)
 	// CacheHit fires when a warm pass is skipped because the
@@ -195,6 +207,30 @@ type Config struct {
 	// the run and may be shared by concurrent runs.
 	Warm *WarmSet
 
+	// WarmJobs bounds concurrent warm-pass shard workers (default 1).
+	// Any value above 1 selects the two-phase engine and shards the
+	// warm pass across disjoint trace spans when stride snapshots are
+	// available — injected via Strides or loaded from CacheDir's
+	// .stride entry. Without snapshots the pass runs sequentially and,
+	// when CacheDir is set, records a stride set as a byproduct so the
+	// next build shards.
+	WarmJobs int
+
+	// WarmStride is the spacing, in dynamic instructions, of the
+	// emulator snapshots the stride pass captures (and the sharded warm
+	// pass resumes from). 0 selects the sampling interval — one
+	// resumable point per window, the finest stride that is ever
+	// useful. Coarser strides shrink the cache entry at the cost of
+	// longer per-shard resume distances.
+	WarmStride uint64
+
+	// Strides injects a pre-built stride set (PrepareStrides), skipping
+	// both the stride pass and the cache probe and selecting the
+	// sharded warm-pass build. The set is validated against the
+	// program and machine geometry by its content-addressed key, is
+	// read-only during the run, and may be shared by concurrent runs.
+	Strides *StrideSet
+
 	// Scheduler, when non-nil, selects the two-phase engine and runs
 	// the detail-window phase on this shared work-stealing pool instead
 	// of an ephemeral per-run pool; the run's speculation depth is the
@@ -225,6 +261,12 @@ func (c Config) normalized() (Config, error) {
 	if c.Windows < 1 {
 		c.Windows = 1
 	}
+	if c.WarmJobs < 1 {
+		c.WarmJobs = 1
+	}
+	if c.WarmStride == 0 {
+		c.WarmStride = c.Sampling.Interval
+	}
 	if c.MaxInstrs == 0 {
 		c.MaxInstrs = DefaultMaxInstrs
 	}
@@ -246,7 +288,8 @@ func Run(ctx context.Context, p *prog.Program, dynLen int, cfg pipeline.Config, 
 	if err != nil {
 		return nil, err
 	}
-	if sc.Windows > 1 || sc.CacheDir != "" || sc.Warm != nil || sc.Scheduler != nil {
+	if sc.Windows > 1 || sc.CacheDir != "" || sc.Warm != nil || sc.Scheduler != nil ||
+		sc.Strides != nil || sc.WarmJobs > 1 {
 		return runTwoPhase(ctx, p, dynLen, cfg, sc)
 	}
 	e := emu.New(p)

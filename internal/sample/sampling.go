@@ -11,7 +11,7 @@ import (
 // functionally (warming caches, TLBs and branch predictors along the
 // way) and drops into the detailed pipeline only for periodic
 // measurement windows. This package implements the engine; sim.Options
-// carries the knobs (as the alias sim.Sampling) so experiment specs,
+// carries the knobs (referenced from sim.Options) so experiment specs,
 // run.Requests and CLIs can declare sampled variants.
 //
 // Window layout, in dynamic instructions: a detailed run starts every

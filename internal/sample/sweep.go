@@ -7,18 +7,21 @@ import (
 	"time"
 )
 
-// This file bounds the warm-set cache directory. Every (program,
-// layout, geometry) key writes one .warmset entry and nothing ever
-// rewrote or removed them, so a long-lived cache dir grew forever; the
-// sweep runs best-effort after each save and evicts least-recently-used
-// entries over the configured size and age bounds. Recency is the
-// file's modification time: saves stamp it by writing, and cache hits
-// re-stamp it (touchWarmSet), so eviction order is true LRU over both
-// writers and readers. See doc/FORMATS.md for the on-disk layout.
+// This file bounds the warm cache directory — both the per-layout
+// .warmset entries and the layout-independent .stride entries. Every
+// key writes one entry and nothing ever rewrote or removed them, so a
+// long-lived cache dir grew forever; the sweep runs best-effort after
+// each save and evicts least-recently-used entries over the configured
+// size and age bounds. Recency is the file's modification time: saves
+// stamp it by writing, and cache hits re-stamp it (touchWarmSet), so
+// eviction order is true LRU over both writers and readers — and one
+// LRU over both entry kinds, so a hot stride set outlives cold warm
+// sets and vice versa. See doc/FORMATS.md for the on-disk layout.
 
 // sweepWarmCache enforces Config.CacheMaxBytes / CacheMaxAge over dir:
 // entries older than maxAge go first, then least-recently-used entries
-// until the directory's .warmset total fits maxBytes. A zero bound
+// until the directory's combined .warmset + .stride total fits
+// maxBytes. A zero bound
 // disables that check. keep names the entry just written, which is
 // never evicted — the run that wrote it must find it on its next probe
 // even under a bound smaller than one entry. All failures are silently
@@ -42,7 +45,10 @@ func sweepWarmCache(dir string, maxBytes int64, maxAge time.Duration, keep strin
 	var total int64
 	now := time.Now()
 	for _, de := range ents {
-		if de.IsDir() || filepath.Ext(de.Name()) != ".warmset" {
+		if de.IsDir() {
+			continue
+		}
+		if ext := filepath.Ext(de.Name()); ext != ".warmset" && ext != ".stride" {
 			continue
 		}
 		info, err := de.Info()

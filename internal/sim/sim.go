@@ -1,18 +1,17 @@
-// Package sim is the user-facing facade: named configuration presets for
-// every machine the paper evaluates, and a Run entry point that wires a
-// program and its golden trace into the pipeline.
+// Package sim is the pure configuration facade: named presets for every
+// machine the paper evaluates, rendered into pipeline.Config by
+// Options.Config. Execution lives elsewhere — describe a run as a
+// run.Request and execute it with run.Do (cancellable, observable,
+// resumable), or drive pipeline.New directly for low-level control.
 package sim
 
 import (
-	"context"
 	"fmt"
 	"strings"
 
 	"rix/internal/core"
-	"rix/internal/emu"
 	"rix/internal/memsys"
 	"rix/internal/pipeline"
-	"rix/internal/prog"
 	"rix/internal/sample"
 )
 
@@ -70,7 +69,7 @@ type Options struct {
 	// Sampling switches the run to checkpointed interval sampling
 	// (internal/sample). nil means full-detail simulation; the machine
 	// configuration (Config) is unaffected by this field.
-	Sampling *Sampling `json:"sampling,omitempty"`
+	Sampling *sample.Sampling `json:"sampling,omitempty"`
 }
 
 // Label renders a short canonical name for the option set, suitable as a
@@ -224,39 +223,4 @@ func (o Options) Config() (pipeline.Config, error) {
 		cfg.Mem = memsys.PerfectConfig()
 	}
 	return cfg, nil
-}
-
-// Run simulates the program under the options, consuming the golden
-// trace source incrementally, and returns its stats. Sources are
-// single-consumer: mint a fresh one (workload.Built.Source, emu.Stream)
-// or Rewind between runs.
-//
-// Sampled options are honored: the run routes through the
-// interval-sampling engine and returns the aggregated window Stats
-// (ratios estimate the full run; absolute counters cover the measured
-// windows). In that mode src contributes only its SizeHint — the
-// sampled run re-executes the program from its entry point.
-//
-// Deprecated: Run survives as a thin shim for existing callers. New
-// code should describe the run as a run.Request and execute it with
-// run.Do, which adds cancellation, progress observation, and
-// checkpoint resume.
-func Run(p *prog.Program, src emu.TraceSource, o Options) (*pipeline.Stats, error) {
-	cfg, err := o.Config()
-	if err != nil {
-		return nil, err
-	}
-	if o.Sampling != nil {
-		est, err := sample.Run(context.Background(), p, src.SizeHint(), cfg, sample.Config{Sampling: *o.Sampling})
-		if err != nil {
-			return nil, err
-		}
-		return est.StatsEstimate(), nil
-	}
-	return pipeline.New(cfg, p, src).Run()
-}
-
-// RunConfig simulates with an explicit pipeline configuration.
-func RunConfig(p *prog.Program, src emu.TraceSource, cfg pipeline.Config) (*pipeline.Stats, error) {
-	return pipeline.New(cfg, p, src).Run()
 }

@@ -3,8 +3,27 @@ package sim
 import (
 	"testing"
 
+	"rix/internal/emu"
+	"rix/internal/pipeline"
+	"rix/internal/prog"
 	"rix/internal/workload"
 )
+
+// runDetail renders the options into a pipeline.Config and runs the
+// full-detail simulation — the execution path the deleted sim.Run shim
+// wrapped; tests exercise Options.Config through it end to end.
+func runDetail(t *testing.T, p *prog.Program, src emu.TraceSource, o Options) *pipeline.Stats {
+	t.Helper()
+	cfg, err := o.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := pipeline.New(cfg, p, src).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
 
 func TestPolicyPresets(t *testing.T) {
 	cases := []struct {
@@ -93,17 +112,14 @@ func TestPerfectMemoryOption(t *testing.T) {
 	}
 }
 
-func TestRunEndToEnd(t *testing.T) {
+func TestOptionsEndToEnd(t *testing.T) {
 	b := workload.Synth(workload.SynthParams{Seed: 99, Iters: 300, CallEvery: 4, MemFrac: 0.2})
 	bw, err := b.Build()
 	if err != nil {
 		t.Fatal(err)
 	}
 	p := bw.Prog
-	st, err := Run(p, bw.Source(), Options{Integration: IntReverse})
-	if err != nil {
-		t.Fatal(err)
-	}
+	st := runDetail(t, p, bw.Source(), Options{Integration: IntReverse})
 	if st.Retired != uint64(bw.DynLen) {
 		t.Errorf("retired %d != %d", st.Retired, bw.DynLen)
 	}
@@ -111,18 +127,9 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Error("call-dense synth workload produced no reverse integrations")
 	}
 	// Perfect memory must never be slower than the real hierarchy.
-	real := st
-	perf, err := Run(p, bw.Source(), Options{Integration: IntReverse, PerfectMemory: true})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if perf.Cycles > real.Cycles {
-		t.Errorf("perfect memory slower: %d > %d", perf.Cycles, real.Cycles)
-	}
-	// RunConfig path.
-	cfg, _ := Options{}.Config()
-	if _, err := RunConfig(p, bw.Source(), cfg); err != nil {
-		t.Fatal(err)
+	perf := runDetail(t, p, bw.Source(), Options{Integration: IntReverse, PerfectMemory: true})
+	if perf.Cycles > st.Cycles {
+		t.Errorf("perfect memory slower: %d > %d", perf.Cycles, st.Cycles)
 	}
 }
 

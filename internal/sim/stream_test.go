@@ -50,14 +50,8 @@ func TestStreamingMatchesMaterialized(t *testing.T) {
 		preset := preset
 		t.Run(preset, func(t *testing.T) {
 			o := Options{Integration: preset}
-			streamed, err := Run(bw.Prog, bw.Source(), o)
-			if err != nil {
-				t.Fatalf("streaming run: %v", err)
-			}
-			materialized, err := Run(bw.Prog, emu.FromSlice(trace), o)
-			if err != nil {
-				t.Fatalf("materialized run: %v", err)
-			}
+			streamed := runDetail(t, bw.Prog, bw.Source(), o)
+			materialized := runDetail(t, bw.Prog, emu.FromSlice(trace), o)
 			if !reflect.DeepEqual(streamed, materialized) {
 				t.Errorf("stats diverge between streaming and materialized sources:\nstream: %+v\nslice:  %+v",
 					streamed, materialized)
@@ -109,17 +103,11 @@ func TestRewindReplaysIdentically(t *testing.T) {
 		t.Fatal(err)
 	}
 	src := bw.Source()
-	first, err := Run(bw.Prog, src, Options{Integration: IntReverse})
-	if err != nil {
-		t.Fatal(err)
-	}
+	first := runDetail(t, bw.Prog, src, Options{Integration: IntReverse})
 	if err := src.Rewind(); err != nil {
 		t.Fatal(err)
 	}
-	second, err := Run(bw.Prog, src, Options{Integration: IntReverse})
-	if err != nil {
-		t.Fatal(err)
-	}
+	second := runDetail(t, bw.Prog, src, Options{Integration: IntReverse})
 	if !reflect.DeepEqual(first, second) {
 		t.Errorf("rewound source diverged:\nfirst:  %+v\nsecond: %+v", first, second)
 	}
