@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
 # lint_docs.sh — keep the user-facing docs honest about the CLIs.
 #
-# Fails if README.md or EXPERIMENTS.md reference a `-flag` that no
-# command under cmd/ actually defines, the way the docs drifted when
-# the static per-cell window split was retired. Flag definitions are
-# discovered by grepping cmd/ for flag.<Type>("name", ...) calls and
-# for fs.<Type>Var(...) registrations on a FlagSet (how the shared
-# cmdutil.SampledFlags group installs its flags), so a renamed or
-# deleted flag fails this lint until every doc mention is updated.
+# Fails if README.md, EXPERIMENTS.md, doc/ARCHITECTURE.md, or
+# doc/FORMATS.md reference a `-flag` that no command under cmd/
+# actually defines, the way the docs drifted when the static per-cell
+# window split was retired. Flag definitions are discovered by
+# grepping cmd/ for flag.<Type>("name", ...) calls and for
+# fs.<Type>Var(...) registrations on a FlagSet (how the shared
+# cmdutil.SampledFlags group installs its flags, and how rixvet builds
+# its standalone FlagSet), so a renamed or deleted flag fails this
+# lint until every doc mention is updated.
 # Go-toolchain flags that legitimately appear in doc command lines
 # (go test -bench, gofmt -l, ...) are allowlisted.
 set -euo pipefail
@@ -20,11 +22,12 @@ if [ -z "$defined" ]; then
   exit 1
 fi
 
-# go test / gofmt / go vet flags quoted in CI and benchmarking docs.
-toolchain="bench benchmem benchtime race run count cover l"
+# go test / gofmt / go vet flags quoted in CI and benchmarking docs
+# (vettool is go vet's own flag, quoted in the rixvet instructions).
+toolchain="bench benchmem benchtime race run count cover l vettool"
 
 fail=0
-for doc in README.md EXPERIMENTS.md; do
+for doc in README.md EXPERIMENTS.md doc/ARCHITECTURE.md doc/FORMATS.md; do
   # A doc flag reference is `-name` at a word start: preceded by a
   # space, backtick, or parenthesis so hyphenated prose (two-phase,
   # best-effort) and numeric ranges (2-5x) never match.

@@ -175,6 +175,7 @@ type cellLogger struct {
 func newCellLogger() *cellLogger { return &cellLogger{} }
 
 func (l *cellLogger) Observe(e run.Event) {
+	//rix:partial — only cell lifecycle matters in a matrix run
 	switch e.Kind {
 	case run.CellStarted, run.CellFinished:
 	default:

@@ -182,6 +182,8 @@ func printEvent(e run.Event) {
 		fmt.Fprintf(os.Stderr, "[%s] %s [%s] window %d done (%d measured)\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Window, e.Instrs)
 	case run.WindowDiscarded:
 		fmt.Fprintf(os.Stderr, "[%s] %s [%s] window %d discarded (feedback misspeculation)\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Window)
+	case run.WindowScheduled:
+		fmt.Fprintf(os.Stderr, "[%s] %s [%s] window %d scheduled\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Window)
 	case run.WarmShardStarted:
 		fmt.Fprintf(os.Stderr, "[%s] %s [%s] warm shard %d started (instrs %d-%d)\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Shard, e.SpanStart, e.SpanEnd)
 	case run.WarmShardDone:

@@ -56,6 +56,7 @@ func main() {
 	}
 
 	obs := run.ObserverFunc(func(e run.Event) {
+		//rix:partial — the example prints just two illustrative kinds
 		switch e.Kind {
 		case run.WindowDone:
 			fmt.Printf("  event: window %2d done (%d instructions measured)\n", e.Window, e.Instrs)

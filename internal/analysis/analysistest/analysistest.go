@@ -1,0 +1,155 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against expectations written in the fixture
+// source, mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixture layout: <testdata>/src/<pkg>/... — plain-root packages whose
+// import path is their directory name. An expectation is a trailing
+// line comment of the form
+//
+//	x := leak() // want "regexp matching the diagnostic"
+//
+// Each line with a `// want` comment must receive at least one
+// diagnostic matching the regexp, every diagnostic must land on a line
+// that expects it, and a fixture with zero wants asserts the analyzer
+// is silent there.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"rix/internal/analysis"
+	"rix/internal/analysis/load"
+)
+
+// wantRe extracts the quoted pattern of a // want comment. Patterns are
+// double-quoted Go-style strings without escapes — fixtures keep them
+// simple.
+var wantRe = regexp.MustCompile(`//\s*want\s+"((?:[^"\\]|\\.)*)"`)
+
+// Run loads each fixture package from <testdata>/src/<pkg>, applies the
+// analyzer, and reports mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader := load.New(testdata+"/src", "")
+	loaded, err := loader.Load(pkgs...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	for _, pkg := range loaded {
+		runPackage(t, a, loader, pkg)
+	}
+}
+
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+func runPackage(t *testing.T, a *analysis.Analyzer, loader *load.Loader, pkg *load.Package) {
+	t.Helper()
+	var got []finding
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report: func(d analysis.Diagnostic) {
+			got = append(got, finding{pos: pkg.Fset.Position(d.Pos), msg: d.Message})
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: analyzer %s failed: %v", pkg.PkgPath, a.Name, err)
+	}
+	sort.Slice(got, func(i, j int) bool {
+		if got[i].pos.Filename != got[j].pos.Filename {
+			return got[i].pos.Filename < got[j].pos.Filename
+		}
+		return got[i].pos.Line < got[j].pos.Line
+	})
+
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(got))
+	for _, w := range wants {
+		found := false
+		for i, g := range got {
+			if matched[i] || g.pos.Filename != w.file || g.pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(g.msg) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none",
+				w.file, w.line, w.re)
+		}
+	}
+	for i, g := range got {
+		if !matched[i] {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", g.pos.Filename, g.pos.Line, g.msg)
+		}
+	}
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// collectWants scans every fixture file for // want comments.
+func collectWants(t *testing.T, pkg *load.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "want ") && strings.Contains(c.Text, "\"") {
+						t.Fatalf("%s: malformed want comment: %s",
+							pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				re, err := regexp.Compile(strings.ReplaceAll(m[1], `\"`, `"`))
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+				}
+				wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// RunAnalyzer applies a to one already-loaded package and returns the
+// diagnostics as "file:line: message" strings — the hook the driver
+// tests use.
+func RunAnalyzer(a *analysis.Analyzer, pkg *load.Package) ([]string, error) {
+	var out []string
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      pkg.Fset,
+		Files:     pkg.Syntax,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Report: func(d analysis.Diagnostic) {
+			p := pkg.Fset.Position(d.Pos)
+			out = append(out, fmt.Sprintf("%s:%d: %s", p.Filename, p.Line, d.Message))
+		},
+	}
+	if _, err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,16 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"rix/internal/analysis/analysistest"
+	"rix/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "a")
+}
+
+func TestCmdExempt(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxflow.Analyzer, "cmd/tool")
+}

@@ -1,0 +1,53 @@
+// Package a seeds root-context creation below cmd/ and dropped-context
+// calls where a Context-aware sibling exists.
+package a
+
+import "context"
+
+func root() {
+	ctx := context.Background() // want "detaches this call tree"
+	_ = ctx
+}
+
+func todo() {
+	_ = context.TODO() // want "detaches this call tree"
+}
+
+// shim is a documented compatibility wrapper.
+func shim() {
+	//rix:ctx-ok
+	_ = context.Background()
+}
+
+func Run() {}
+
+// RunContext is the context-aware sibling of Run.
+func RunContext(ctx context.Context) { _ = ctx }
+
+func drop(ctx context.Context) {
+	Run() // want "dropping cancellation"
+}
+
+func threaded(ctx context.Context) {
+	RunContext(ctx)
+}
+
+// noCtx holds no context, so calling the blind variant is fine.
+func noCtx() {
+	Run()
+}
+
+type T struct{}
+
+func (T) Step() {}
+
+// StepContext is the context-aware sibling of Step.
+func (T) StepContext(ctx context.Context) { _ = ctx }
+
+func dropMethod(ctx context.Context, t T) {
+	t.Step() // want "call StepContext"
+}
+
+func deliberate(ctx context.Context) {
+	Run() //rix:ctx-ok
+}

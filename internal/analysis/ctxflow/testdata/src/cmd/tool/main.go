@@ -1,0 +1,10 @@
+// Command tool is exempt: cmd/ binaries own the root context, so no
+// diagnostics are expected in this file.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,128 @@
+// Package eventenum enforces exhaustive switches over the project's
+// closed enums — named types whose defining package also declares a
+// <Type>s() []<Type> enumerator, the convention run.EventKind
+// established with EventKinds(). The enum being closed is a documented
+// API promise ("a JSON consumer may treat an unknown string as a
+// protocol error"), so every switch over it must either handle every
+// declared constant or explicitly opt out: adding a warm-shard-style
+// event kind then fails the build at each consumer that has not chosen.
+//
+// A switch that deliberately handles a subset (a filter that only cares
+// about two kinds and discards the rest) opts out with //rix:partial on
+// the switch line or the line above; a default case alone does NOT
+// silence the check — defaults are how missed events rot unnoticed.
+package eventenum
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"rix/internal/analysis"
+)
+
+// Marker opts a deliberately partial switch out of the check.
+const Marker = "rix:partial"
+
+// Analyzer is the eventenum check.
+var Analyzer = &analysis.Analyzer{
+	Name: "eventenum",
+	Doc:  "require switches over closed enums (types with a <Type>s() enumerator) to cover every constant",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkSwitch(pass, sw)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkSwitch(pass *analysis.Pass, sw *ast.SwitchStmt) {
+	tv, ok := pass.TypesInfo.Types[sw.Tag]
+	if !ok {
+		return
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return
+	}
+	consts := closedEnumConsts(named)
+	if consts == nil {
+		return
+	}
+	if pass.HasAnnotation(sw.Pos(), Marker) {
+		return
+	}
+	covered := map[string]bool{}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if etv, ok := pass.TypesInfo.Types[e]; ok && etv.Value != nil {
+				covered[etv.Value.ExactString()] = true
+			}
+		}
+	}
+	var missing []string
+	for val, name := range consts {
+		if !covered[val] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Pos(),
+		"switch over closed enum %s is missing cases %s; handle them or mark the switch //rix:partial",
+		named.Obj().Name(), strings.Join(missing, ", "))
+}
+
+// closedEnumConsts returns value→name for every constant of the named
+// type declared in its defining package, or nil when the type is not a
+// closed enum (no <Type>s() []<Type> enumerator).
+func closedEnumConsts(named *types.Named) map[string]string {
+	obj := named.Obj()
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return nil
+	}
+	enum, ok := pkg.Scope().Lookup(obj.Name() + "s").(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig, ok := enum.Type().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return nil
+	}
+	slice, ok := sig.Results().At(0).Type().Underlying().(*types.Slice)
+	if !ok || !types.Identical(slice.Elem(), named) {
+		return nil
+	}
+	consts := map[string]string{}
+	for _, name := range pkg.Scope().Names() {
+		c, ok := pkg.Scope().Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), named) {
+			continue
+		}
+		val := c.Val().ExactString()
+		if prev, ok := consts[val]; !ok || name < prev {
+			consts[val] = name // aliases for one value count once
+		}
+	}
+	if len(consts) == 0 {
+		return nil
+	}
+	return consts
+}

@@ -1,0 +1,12 @@
+package eventenum_test
+
+import (
+	"testing"
+
+	"rix/internal/analysis/analysistest"
+	"rix/internal/analysis/eventenum"
+)
+
+func TestEventenum(t *testing.T) {
+	analysistest.Run(t, "testdata", eventenum.Analyzer, "a")
+}

@@ -1,0 +1,58 @@
+// Package a declares one closed enum (Kind, with the Kinds enumerator)
+// and one open type (Other, no enumerator) and switches over both.
+package a
+
+type Kind int
+
+const (
+	KA Kind = iota
+	KB
+	KC
+)
+
+// Kinds marks Kind as a closed enum.
+func Kinds() []Kind { return []Kind{KA, KB, KC} }
+
+func full(k Kind) int {
+	switch k {
+	case KA:
+		return 1
+	case KB, KC:
+		return 2
+	}
+	return 0
+}
+
+func missing(k Kind) int {
+	switch k { // want "missing cases KC"
+	case KA, KB:
+		return 1
+	default: // a default does not excuse the missing case
+		return 0
+	}
+}
+
+func filtered(k Kind) bool {
+	//rix:partial
+	switch k {
+	case KA:
+		return true
+	}
+	return false
+}
+
+type Other int
+
+const (
+	OA Other = iota
+	OB
+)
+
+// Other has no enumerator, so partial switches over it are fine.
+func open(o Other) bool {
+	switch o {
+	case OA:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,300 @@
+// Package gobversion guards the on-disk compatibility of the gob
+// artifacts doc/FORMATS.md specifies: checkpoints, warm caches, and
+// stride caches. Gob is structurally tolerant — adding, removing, or
+// retyping a field usually still *decodes*, silently producing zero
+// values where data used to be. FORMATS.md therefore requires any
+// structural change to a persisted type to bump the owning format
+// constant so stale artifacts are rejected rather than misread.
+//
+// The analyzer hashes the exported-field structure (field name + fully
+// qualified type, in declaration order) of every tracked type and
+// compares it, along with the tracked format-constant values, against
+// the committed golden file (golden.json next to this package). A
+// mismatch is a diagnostic at the type's declaration:
+//
+//   - structure changed, format consts unchanged → the dangerous case:
+//     bump the format const, then refresh the golden;
+//   - structure or const changed and the golden is stale → refresh
+//     with `rixvet -update-gob-golden`.
+//
+// Update mode (the driver's -update-gob-golden flag sets Update)
+// rewrites the golden entries for the analyzed package instead of
+// reporting.
+package gobversion
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rix/internal/analysis"
+)
+
+// Tracked maps package path → gob-serialized struct types whose
+// exported-field structure is pinned by the golden.
+var Tracked = map[string][]string{
+	"rix/internal/sample": {
+		"Checkpoint", "WarmSnapshot", "WarmSet", "Boundary",
+		"StrideSet", "Stride", "Sampling",
+	},
+	"rix/internal/emu":      {"State", "MemState"},
+	"rix/internal/bpred":    {"PredictorState", "BTBState", "RASState", "CHTState"},
+	"rix/internal/memsys":   {"WarmState", "CacheState", "CacheLineState"},
+	"rix/internal/core":     {"TableState", "EntryState", "LISPState", "LISPEntryState"},
+	"rix/internal/pipeline": {"Stats"},
+}
+
+// TrackedConsts maps package path → format constants whose values are
+// recorded so the analyzer can tell "changed with a bump" from
+// "changed silently".
+var TrackedConsts = map[string][]string{
+	"rix/internal/sample": {"CheckpointFormat", "WarmCacheFormat", "StrideCacheFormat"},
+}
+
+// GoldenPath locates the golden file: absolute paths are used as-is
+// (tests point it at a temp file), relative paths resolve against the
+// module root of the analyzed package.
+var GoldenPath = "internal/analysis/gobversion/golden.json"
+
+// Update switches the analyzer from compare mode to regenerate mode.
+var Update = false
+
+// Analyzer is the gobversion check.
+var Analyzer = &analysis.Analyzer{
+	Name: "gobversion",
+	Doc:  "pin the field structure of gob-serialized types; structural drift without a format-const bump fails the build",
+	Run:  run,
+}
+
+// Golden is the committed structure record.
+type Golden struct {
+	Types  map[string]GoldenType `json:"types"`
+	Consts map[string]string     `json:"consts"`
+}
+
+// GoldenType records one type: the hash that is compared and the field
+// lines that make review diffs readable.
+type GoldenType struct {
+	Hash   string   `json:"hash"`
+	Fields []string `json:"fields"`
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	pkgPath := pass.Pkg.Path()
+	typeNames := Tracked[pkgPath]
+	constNames := TrackedConsts[pkgPath]
+	if len(typeNames) == 0 && len(constNames) == 0 {
+		return nil, nil
+	}
+	goldenFile, err := resolveGoldenPath(pass)
+	if err != nil {
+		return nil, err
+	}
+	golden, err := readGolden(goldenFile)
+	if err != nil {
+		return nil, err
+	}
+
+	types_ := map[string]GoldenType{}
+	for _, name := range typeNames {
+		obj, ok := pass.Pkg.Scope().Lookup(name).(*types.TypeName)
+		if !ok {
+			pass.Reportf(pass.Files[0].Pos(),
+				"gobversion tracks %s.%s but the type does not exist; update gobversion.Tracked alongside the rename", pkgPath, name)
+			continue
+		}
+		st, ok := obj.Type().Underlying().(*types.Struct)
+		if !ok {
+			pass.Reportf(obj.Pos(), "gobversion tracks %s.%s but it is not a struct", pkgPath, name)
+			continue
+		}
+		fields := fieldLines(st)
+		types_[pkgPath+"."+name] = GoldenType{Hash: hashFields(fields), Fields: fields}
+	}
+	consts := map[string]string{}
+	for _, name := range constNames {
+		obj, ok := pass.Pkg.Scope().Lookup(name).(*types.Const)
+		if !ok {
+			pass.Reportf(pass.Files[0].Pos(),
+				"gobversion tracks const %s.%s but it does not exist; update gobversion.TrackedConsts", pkgPath, name)
+			continue
+		}
+		consts[pkgPath+"."+name] = obj.Val().ExactString()
+	}
+
+	if Update {
+		return nil, writeGolden(goldenFile, golden, types_, consts)
+	}
+
+	constsBumped := false
+	for key, val := range consts {
+		if old, ok := golden.Consts[key]; ok && old != val {
+			constsBumped = true
+		}
+	}
+	var typeKeys []string
+	for key := range types_ {
+		typeKeys = append(typeKeys, key)
+	}
+	sort.Strings(typeKeys)
+	for _, key := range typeKeys {
+		cur := types_[key]
+		old, ok := golden.Types[key]
+		pos := declPos(pass, key)
+		switch {
+		case !ok:
+			pass.Reportf(pos, "gob-serialized type %s has no golden entry; run `rixvet -update-gob-golden` to pin its structure", key)
+		case old.Hash != cur.Hash && !constsBumped:
+			pass.Reportf(pos,
+				"gob-serialized type %s changed structure (%s) without a format-const bump; bump the owning format const in doc/FORMATS.md's table, then run `rixvet -update-gob-golden`",
+				key, diffFields(old.Fields, cur.Fields))
+		case old.Hash != cur.Hash:
+			pass.Reportf(pos,
+				"gob-serialized type %s changed structure (%s); format const is bumped — refresh the golden with `rixvet -update-gob-golden`",
+				key, diffFields(old.Fields, cur.Fields))
+		}
+	}
+	var constKeys []string
+	for key := range consts {
+		constKeys = append(constKeys, key)
+	}
+	sort.Strings(constKeys)
+	for _, key := range constKeys {
+		if _, ok := golden.Consts[key]; !ok {
+			pass.Reportf(pass.Files[0].Pos(),
+				"format const %s has no golden entry; run `rixvet -update-gob-golden`", key)
+		} else if golden.Consts[key] != consts[key] {
+			pass.Reportf(pass.Files[0].Pos(),
+				"format const %s changed (%s -> %s); refresh the golden with `rixvet -update-gob-golden`",
+				key, golden.Consts[key], consts[key])
+		}
+	}
+	return nil, nil
+}
+
+// fieldLines renders the exported fields gob would encode, one
+// "Name fully/qualified.Type" line per field, in declaration order.
+// Unexported fields are invisible to gob and excluded.
+func fieldLines(st *types.Struct) []string {
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() {
+			continue
+		}
+		out = append(out, f.Name()+" "+types.TypeString(f.Type(), nil))
+	}
+	return out
+}
+
+func hashFields(fields []string) string {
+	sum := sha256.Sum256([]byte(strings.Join(fields, "\n")))
+	return hex.EncodeToString(sum[:])
+}
+
+// diffFields summarizes what changed between two field lists.
+func diffFields(old, cur []string) string {
+	oldSet := map[string]bool{}
+	for _, f := range old {
+		oldSet[f] = true
+	}
+	curSet := map[string]bool{}
+	for _, f := range cur {
+		curSet[f] = true
+	}
+	var added, removed []string
+	for _, f := range cur {
+		if !oldSet[f] {
+			added = append(added, f)
+		}
+	}
+	for _, f := range old {
+		if !curSet[f] {
+			removed = append(removed, f)
+		}
+	}
+	var parts []string
+	if len(added) > 0 {
+		parts = append(parts, "added: "+strings.Join(added, ", "))
+	}
+	if len(removed) > 0 {
+		parts = append(parts, "removed: "+strings.Join(removed, ", "))
+	}
+	if len(parts) == 0 {
+		return "fields reordered"
+	}
+	return strings.Join(parts, "; ")
+}
+
+func declPos(pass *analysis.Pass, key string) token.Pos {
+	name := key[strings.LastIndex(key, ".")+1:]
+	if obj := pass.Pkg.Scope().Lookup(name); obj != nil && obj.Pos().IsValid() {
+		return obj.Pos()
+	}
+	return pass.Files[0].Pos()
+}
+
+// resolveGoldenPath returns the absolute golden-file path for the
+// analyzed package: GoldenPath as-is when absolute, else joined to the
+// module root found by walking up from the package's source files.
+func resolveGoldenPath(pass *analysis.Pass) (string, error) {
+	if filepath.IsAbs(GoldenPath) {
+		return GoldenPath, nil
+	}
+	dir := filepath.Dir(pass.Fset.Position(pass.Files[0].Pos()).Filename)
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return filepath.Join(dir, filepath.FromSlash(GoldenPath)), nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("gobversion: no go.mod above %s and GoldenPath is relative", dir)
+		}
+		dir = parent
+	}
+}
+
+func readGolden(path string) (*Golden, error) {
+	g := &Golden{Types: map[string]GoldenType{}, Consts: map[string]string{}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return g, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, g); err != nil {
+		return nil, fmt.Errorf("gobversion: parsing %s: %w", path, err)
+	}
+	if g.Types == nil {
+		g.Types = map[string]GoldenType{}
+	}
+	if g.Consts == nil {
+		g.Consts = map[string]string{}
+	}
+	return g, nil
+}
+
+// writeGolden merges this package's entries into the golden and writes
+// it back. Merging keeps update mode package-at-a-time safe: the driver
+// runs packages sequentially.
+func writeGolden(path string, golden *Golden, types_ map[string]GoldenType, consts map[string]string) error {
+	for k, v := range types_ {
+		golden.Types[k] = v
+	}
+	for k, v := range consts {
+		golden.Consts[k] = v
+	}
+	data, err := json.MarshalIndent(golden, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,87 @@
+package gobversion_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rix/internal/analysis/analysistest"
+	"rix/internal/analysis/gobversion"
+	"rix/internal/analysis/load"
+)
+
+// withFixtureConfig points the analyzer at a temp golden and the
+// fixture package's tracked names, restoring the real configuration
+// afterwards.
+func withFixtureConfig(t *testing.T) {
+	t.Helper()
+	oldPath, oldTracked, oldConsts, oldUpdate :=
+		gobversion.GoldenPath, gobversion.Tracked, gobversion.TrackedConsts, gobversion.Update
+	t.Cleanup(func() {
+		gobversion.GoldenPath, gobversion.Tracked, gobversion.TrackedConsts, gobversion.Update =
+			oldPath, oldTracked, oldConsts, oldUpdate
+	})
+	gobversion.GoldenPath = filepath.Join(t.TempDir(), "golden.json")
+	gobversion.Tracked = map[string][]string{"a": {"Blob"}}
+	gobversion.TrackedConsts = map[string][]string{"a": {"BlobFormat"}}
+	gobversion.Update = false
+}
+
+func findings(t *testing.T, testdata string) []string {
+	t.Helper()
+	loader := load.New(testdata+"/src", "")
+	pkgs, err := loader.Load("a")
+	if err != nil {
+		t.Fatalf("loading %s: %v", testdata, err)
+	}
+	out, err := analysistest.RunAnalyzer(gobversion.Analyzer, pkgs[0])
+	if err != nil {
+		t.Fatalf("analyzer failed: %v", err)
+	}
+	return out
+}
+
+func TestGobversionLifecycle(t *testing.T) {
+	withFixtureConfig(t)
+
+	// No golden yet: every tracked name reports a missing entry.
+	got := findings(t, "testdata")
+	if len(got) != 2 {
+		t.Fatalf("expected 2 missing-entry findings, got %v", got)
+	}
+	for _, f := range got {
+		if !strings.Contains(f, "no golden entry") {
+			t.Errorf("expected missing-entry finding, got %q", f)
+		}
+	}
+
+	// Update mode records the structure and reports nothing.
+	gobversion.Update = true
+	if got := findings(t, "testdata"); len(got) != 0 {
+		t.Fatalf("update mode reported findings: %v", got)
+	}
+	gobversion.Update = false
+	if _, err := os.Stat(gobversion.GoldenPath); err != nil {
+		t.Fatalf("update mode did not write the golden: %v", err)
+	}
+
+	// Unchanged structure: clean.
+	if got := findings(t, "testdata"); len(got) != 0 {
+		t.Fatalf("clean compare reported findings: %v", got)
+	}
+
+	// Drifted structure without a const bump, then with one — the want
+	// comments in the fixtures assert the message flavor.
+	analysistest.Run(t, "testdata/drift", gobversion.Analyzer, "a")
+	analysistest.Run(t, "testdata/bump", gobversion.Analyzer, "a")
+}
+
+func TestGobversionUntrackedPackageIsIgnored(t *testing.T) {
+	withFixtureConfig(t)
+	gobversion.Tracked = map[string][]string{}
+	gobversion.TrackedConsts = map[string][]string{}
+	if got := findings(t, "testdata"); len(got) != 0 {
+		t.Fatalf("untracked package reported findings: %v", got)
+	}
+}

@@ -1,0 +1,13 @@
+// Package a is the baseline structure the gobversion test pins.
+package a
+
+// BlobFormat is the format constant guarding Blob's gob layout.
+const BlobFormat = 1
+
+// Blob stands in for a gob-serialized artifact type.
+type Blob struct {
+	A uint64
+	B []byte
+
+	scratch int // unexported: invisible to gob, excluded from the hash
+}

@@ -1,0 +1,18 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"rix/internal/analysis/analysistest"
+	"rix/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "a")
+}
+
+func TestRequiredAnnotations(t *testing.T) {
+	hotalloc.Required["b"] = []string{"P.step", "Gone"}
+	defer delete(hotalloc.Required, "b")
+	analysistest.Run(t, "testdata", hotalloc.Analyzer, "b")
+}

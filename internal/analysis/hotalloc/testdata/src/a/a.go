@@ -1,0 +1,48 @@
+// Package a seeds one of every construct hotalloc flags, plus the
+// allowed idioms, inside an annotated function.
+package a
+
+import "fmt"
+
+type T struct{ N int }
+
+func sink(v interface{}) { _ = v }
+
+func worker() {}
+
+//rix:hotpath
+func hot(buf []int, n int) []int {
+	m := make([]int, n) // want "make allocates"
+	_ = m
+	p := new(int) // want "new allocates"
+	_ = p
+	s := []int{1, 2} // want "slice literal allocates"
+	_ = s
+	mm := map[int]int{} // want "map literal allocates"
+	_ = mm
+	t := &T{N: n} // want "composite literal escapes"
+	_ = t
+	f := func() int { return n } // want "closure allocates"
+	_ = f
+	go worker()                         // want "spawns a goroutine"
+	fmt.Println(n)                      // want "fmt.Println formats and allocates"
+	sink(n)                             // want "boxes it on the heap"
+	sink(42)                            // constants intern: allowed
+	fresh := append([]int(nil), buf...) // want "fresh slice"
+	_ = fresh
+	b := []byte("xyz") // want "conversion copies"
+	_ = b
+	buf = append(buf, n) // growing an existing slice: the pool idiom, allowed
+	//rix:alloc-ok
+	cold := make([]int, 1) // suppressed: documented cold path
+	_ = cold
+	if n < 0 {
+		panic(n) // panic boxing is exempt
+	}
+	return buf
+}
+
+// unannotated allocates freely without complaint.
+func unannotated(n int) []int {
+	return make([]int, n)
+}

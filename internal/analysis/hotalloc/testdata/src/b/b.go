@@ -1,0 +1,7 @@
+package b // want "required hot path b.Gone not found"
+
+type P struct{}
+
+// step is a known hot path (registered by the test) but lacks the
+// annotation.
+func (p *P) step() {} // want "must be annotated"

@@ -1,0 +1,294 @@
+// Package load parses and type-checks the packages rixvet analyzes.
+// It is the offline, dependency-free stand-in for go/packages: module
+// packages are resolved by path arithmetic against go.mod (module path
+// prefix → directory under the module root), standard-library imports
+// are type-checked from GOROOT source via go/importer's source
+// importer, and test files are excluded — rixvet checks shipped code.
+//
+// Two layouts are supported, selected by ModulePath:
+//
+//   - module mode (ModulePath "rix"): import "rix/internal/x" resolves
+//     to <Dir>/internal/x. This is how cmd/rixvet loads the repository.
+//   - plain-root mode (ModulePath ""): import "a" resolves to <Dir>/a
+//     when that directory exists, else to the standard library. This is
+//     the analysistest fixture layout (testdata/src/a/...).
+package load
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	GoFiles   []string
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader resolves, parses, and type-checks packages. One Loader owns
+// one FileSet; load every package you intend to cross-reference through
+// the same Loader.
+type Loader struct {
+	Dir        string // module root (or fixture src root)
+	ModulePath string // module path from go.mod; "" = plain-root mode
+
+	fset  *token.FileSet
+	std   types.Importer
+	cache map[string]*Package
+}
+
+// New returns a Loader rooted at dir. modulePath may be "" for
+// plain-root (fixture) layouts.
+func New(dir, modulePath string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Dir:        dir,
+		ModulePath: modulePath,
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil),
+		cache:      map[string]*Package{},
+	}
+}
+
+// ModuleRoot walks up from dir to the nearest directory containing
+// go.mod and returns it with the declared module path. It is how the
+// driver finds what to load from an arbitrary working directory.
+func ModuleRoot(dir string) (root, modulePath string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("load: %s/go.mod has no module line", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("load: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Fset returns the loader's shared FileSet.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load resolves patterns to import paths and returns the loaded
+// packages in deterministic (sorted) order. Supported patterns: "./..."
+// (every package under the root), "./relative/dir", and explicit import
+// paths.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	paths, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.loadPackage(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// expand turns CLI patterns into a sorted import-path list.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			paths, err := l.walkAll()
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range paths {
+				add(p)
+			}
+		case strings.HasPrefix(pat, "./"):
+			rel := filepath.Clean(strings.TrimPrefix(pat, "./"))
+			if rel == "." {
+				add(l.ModulePath)
+			} else {
+				add(l.importPathFor(rel))
+			}
+		default:
+			add(pat)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func (l *Loader) importPathFor(rel string) string {
+	if l.ModulePath == "" {
+		return filepath.ToSlash(rel)
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel)
+}
+
+// walkAll finds every directory under the root containing non-test Go
+// files, skipping testdata, hidden directories, and examples of other
+// modules (nested go.mod).
+func (l *Loader) walkAll() ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(l.Dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.Dir {
+			if name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return filepath.SkipDir
+			}
+			if _, err := os.Stat(filepath.Join(path, "go.mod")); err == nil {
+				return filepath.SkipDir // nested module
+			}
+		}
+		if !l.hasGoFiles(path) {
+			return nil
+		}
+		rel, err := filepath.Rel(l.Dir, path)
+		if err != nil {
+			return err
+		}
+		if rel == "." {
+			if l.ModulePath != "" {
+				out = append(out, l.ModulePath)
+			}
+			return nil
+		}
+		out = append(out, l.importPathFor(rel))
+		return nil
+	})
+	return out, err
+}
+
+func (l *Loader) hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// dirFor maps an import path to a local directory, or "" when the path
+// is not local (standard library).
+func (l *Loader) dirFor(path string) string {
+	if l.ModulePath != "" {
+		if path == l.ModulePath {
+			return l.Dir
+		}
+		if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+			return filepath.Join(l.Dir, filepath.FromSlash(rest))
+		}
+		return ""
+	}
+	dir := filepath.Join(l.Dir, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		return dir
+	}
+	return ""
+}
+
+// loadPackage parses and type-checks one local package (memoized).
+func (l *Loader) loadPackage(path string) (*Package, error) {
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("load: %s is not under %s", path, l.Dir)
+	}
+	bp, err := build.ImportDir(dir, 0)
+	if err != nil {
+		return nil, fmt.Errorf("load: %s: %w", path, err)
+	}
+	pkg := &Package{PkgPath: path, Dir: dir, Fset: l.fset}
+	for _, name := range bp.GoFiles {
+		full := filepath.Join(dir, name)
+		f, err := parser.ParseFile(l.fset, full, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		pkg.GoFiles = append(pkg.GoFiles, full)
+		pkg.Syntax = append(pkg.Syntax, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+	conf := types.Config{Importer: (*loaderImporter)(l)}
+	tpkg, err := conf.Check(path, l.fset, pkg.Syntax, info)
+	if err != nil {
+		return nil, fmt.Errorf("load: type-checking %s: %w", path, err)
+	}
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// loaderImporter resolves imports during type checking: local packages
+// recurse through the loader, everything else goes to the stdlib source
+// importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir := l.dirFor(path); dir != "" {
+		pkg, err := l.loadPackage(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}

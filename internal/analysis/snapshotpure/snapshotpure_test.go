@@ -1,0 +1,12 @@
+package snapshotpure_test
+
+import (
+	"testing"
+
+	"rix/internal/analysis/analysistest"
+	"rix/internal/analysis/snapshotpure"
+)
+
+func TestSnapshotpure(t *testing.T) {
+	analysistest.Run(t, "testdata", snapshotpure.Analyzer, "a")
+}

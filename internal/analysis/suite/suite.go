@@ -1,0 +1,33 @@
+// Package suite registers the rixvet analyzers in the order the driver
+// runs them. cmd/rixvet and the suite-level tests both consume this
+// list, so adding an analyzer here is the single step that wires it
+// into CI.
+package suite
+
+import (
+	"rix/internal/analysis"
+	"rix/internal/analysis/ctxflow"
+	"rix/internal/analysis/eventenum"
+	"rix/internal/analysis/gobversion"
+	"rix/internal/analysis/hotalloc"
+	"rix/internal/analysis/snapshotpure"
+)
+
+// Analyzers is the full rixvet suite in execution order.
+var Analyzers = []*analysis.Analyzer{
+	hotalloc.Analyzer,
+	snapshotpure.Analyzer,
+	eventenum.Analyzer,
+	ctxflow.Analyzer,
+	gobversion.Analyzer,
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -64,13 +64,15 @@ func (e *ErrBadPC) Error() string {
 }
 
 // Step executes one instruction and returns its trace record.
+//
+//rix:hotpath
 func (e *Emulator) Step() (TraceRec, error) {
 	if e.Halted {
-		return TraceRec{}, fmt.Errorf("emu: step after halt")
+		return TraceRec{}, fmt.Errorf("emu: step after halt") //rix:alloc-ok — terminal error path
 	}
 	idx, ok := e.Prog.CodeIndex(e.PC)
 	if !ok {
-		return TraceRec{}, &ErrBadPC{e.PC}
+		return TraceRec{}, &ErrBadPC{e.PC} //rix:alloc-ok — terminal error path
 	}
 	in := e.Prog.Code[idx]
 	rec := TraceRec{CodeIdx: uint32(idx)}

@@ -176,7 +176,7 @@ func (m *Memory) Clone() *Memory {
 		epoch:  1,
 	}
 	for pn, p := range m.pages {
-		c.pages[pn] = p
+		c.pages[pn] = p //rix:shared — copy-on-write: either side clones the page before its next write
 	}
 	return c
 }

@@ -99,6 +99,8 @@ func (s *Streamer) SetSizeHint(n int) {
 }
 
 // Next executes one instruction and returns its trace record.
+//
+//rix:hotpath
 func (s *Streamer) Next() (TraceRec, bool) {
 	if s.err != nil || s.e.Halted {
 		return TraceRec{}, false
@@ -107,7 +109,7 @@ func (s *Streamer) Next() (TraceRec, bool) {
 		return TraceRec{}, false
 	}
 	if s.e.Count >= s.maxInstrs {
-		s.err = fmt.Errorf("emu: %s did not halt within %d instructions", s.p.Name, s.maxInstrs)
+		s.err = fmt.Errorf("emu: %s did not halt within %d instructions", s.p.Name, s.maxInstrs) //rix:alloc-ok — terminal error path
 		return TraceRec{}, false
 	}
 	rec, err := s.e.Step()

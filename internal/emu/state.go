@@ -46,7 +46,7 @@ type MemState struct {
 func (m *Memory) State() MemState {
 	st := MemState{Pages: make(map[uint64][]byte, len(m.pages))}
 	for pn, p := range m.pages {
-		st.Pages[pn] = p[:]
+		st.Pages[pn] = p[:] //rix:shared — copy-on-write: the memory clones a captured page before writing to it
 	}
 	m.epoch++
 	m.lastWPN, m.lastW = 0, nil

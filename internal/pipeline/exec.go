@@ -9,6 +9,8 @@ import (
 // slot's buffer to the reuse pool; schedule can never append to the
 // current slot mid-drain because events always land at least one cycle
 // out.
+//
+//rix:hotpath
 func (pl *Pipeline) completeStage() {
 	slot := pl.now % eventHorizon
 	evs := pl.events[slot]

@@ -9,6 +9,8 @@ func isaReg(l int) isa.Reg { return isa.Reg(l) }
 // fetchStage fetches up to FetchWidth instructions along the predicted
 // path, charging the I-cache and maintaining the golden-trace cursor that
 // labels correct-path instructions.
+//
+//rix:hotpath
 func (pl *Pipeline) fetchStage() {
 	if pl.fetchPC == 0 || pl.now < pl.fetchReadyAt {
 		return

@@ -76,6 +76,8 @@ func (pl *Pipeline) lsqIndexOf(u *uop) int {
 
 // issueStage selects up to IssueWidth ready instructions under the
 // per-class port constraints and dispatches them to execution.
+//
+//rix:hotpath
 func (pl *Pipeline) issueStage() {
 	intPorts := pl.cfg.IntPorts
 	fpPorts := pl.cfg.FPPorts

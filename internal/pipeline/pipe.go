@@ -504,7 +504,7 @@ func chtSize(c bpred.Config) int {
 // Run simulates to completion (all golden-trace instructions retired) and
 // returns the statistics.
 func (pl *Pipeline) Run() (*Stats, error) {
-	return pl.RunContext(context.Background())
+	return pl.RunContext(context.Background()) //rix:ctx-ok — compatibility shim; RunContext is the real entry point
 }
 
 // RunContext is Run with cancellation: ctx is polled every pollInterval
@@ -562,7 +562,7 @@ func (pl *Pipeline) Integrator() *core.Integrator { return pl.integ }
 // Stats.TraceWindowPeak reports the whole run's peak, warmup included —
 // it is a memory bound, not a windowed counter.
 func (pl *Pipeline) RunWindow(warmup, measure uint64) (*Stats, error) {
-	return pl.RunWindowContext(context.Background(), warmup, measure)
+	return pl.RunWindowContext(context.Background(), warmup, measure) //rix:ctx-ok — compatibility shim; RunWindowContext is the real entry point
 }
 
 // RunWindowContext is RunWindow with cancellation, polled on the same
@@ -614,10 +614,12 @@ func (pl *Pipeline) RunWindowContext(ctx context.Context, warmup, measure uint64
 // newUop returns a zeroed uop, recycling from the free list. Steady-state
 // fetch allocates nothing: the pool is bounded by the in-flight window
 // (ROB + fetch queue).
+//
+//rix:hotpath
 func (pl *Pipeline) newUop() *uop {
 	n := len(pl.uopFree)
 	if n == 0 {
-		return &uop{}
+		return &uop{} //rix:alloc-ok — pool refill, bounded by the in-flight window
 	}
 	u := pl.uopFree[n-1]
 	pl.uopFree = pl.uopFree[:n-1]
@@ -669,6 +671,8 @@ func (pl *Pipeline) fqDrain() *uop {
 
 // step advances one cycle. Stages run back-to-front so that same-cycle
 // structural hazards resolve like hardware latches.
+//
+//rix:hotpath
 func (pl *Pipeline) step() {
 	pl.retireStage()
 	if !pl.halted {
@@ -686,6 +690,8 @@ func (pl *Pipeline) step() {
 // sequence number so stale events for recycled uops are discarded at
 // dispatch. Empty slots draw a reusable buffer from the pool instead of
 // growing a fresh slice, so steady state schedules allocation-free.
+//
+//rix:hotpath
 func (pl *Pipeline) schedule(at uint64, ev event) {
 	if at <= pl.now {
 		at = pl.now + 1

@@ -63,6 +63,8 @@ func needsExecution(in isa.Instr) bool {
 
 // renameStage renames and dispatches up to RenameWidth instructions,
 // running the integration logic on each (the paper's critical loop).
+//
+//rix:hotpath
 func (pl *Pipeline) renameStage() {
 	for n := 0; n < pl.cfg.RenameWidth; n++ {
 		if pl.fqLen == 0 {

@@ -15,6 +15,8 @@ import (
 // is a fault. Integrated instructions faulting this way are
 // mis-integrations; speculative loads faulting are late-caught ordering
 // violations; anything else is a simulator bug.
+//
+//rix:hotpath
 func (pl *Pipeline) retireStage() {
 	if pl.now < pl.retireStall {
 		return
@@ -25,6 +27,7 @@ func (pl *Pipeline) retireStage() {
 			return
 		}
 		if u.traceIdx != int64(pl.Stats.Retired) {
+			//rix:alloc-ok — divergence panic: simulator-bug path
 			panic(fmt.Sprintf("pipeline: retirement stream diverged at %d: uop trace %d pc %#x",
 				pl.Stats.Retired, u.traceIdx, u.pc))
 		}

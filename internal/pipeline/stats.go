@@ -76,21 +76,42 @@ func (s *Stats) Delta(base *Stats) Stats {
 	sv := reflect.ValueOf(s).Elem()
 	bv := reflect.ValueOf(base).Elem()
 	ov := reflect.ValueOf(&out).Elem()
-	for i := 0; i < sv.NumField(); i++ {
-		f := sv.Field(i)
-		switch f.Kind() {
-		case reflect.Uint64:
-			ov.Field(i).SetUint(f.Uint() - bv.Field(i).Uint())
-		case reflect.Array:
-			for j := 0; j < f.Len(); j++ {
-				ov.Field(i).Index(j).SetUint(f.Index(j).Uint() - bv.Field(i).Index(j).Uint())
-			}
-		default:
-			panic("pipeline: Stats field " + sv.Type().Field(i).Name + " has no Delta rule")
+	visitCounters(sv.Type(), "Delta", func(i, j int) {
+		f, b, o := sv.Field(i), bv.Field(i), ov.Field(i)
+		if j >= 0 {
+			f, b, o = f.Index(j), b.Index(j), o.Index(j)
 		}
-	}
+		o.SetUint(f.Uint() - b.Uint())
+	})
 	out.TraceWindowPeak = s.TraceWindowPeak
 	return out
+}
+
+// visitCounters walks every uint64 counter of a stats-shaped struct
+// type, calling visit(fieldIndex, elemIndex) for each scalar counter
+// (elemIndex -1) and each element of a uint64-array counter. Any other
+// field shape panics with the field's name: Stats grows by counters,
+// and a non-counter field must be given an explicit rule in Delta and
+// Add (like TraceWindowPeak's max/latch rule) before it can land.
+func visitCounters(t reflect.Type, rule string, visit func(field, elem int)) {
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		switch f.Type.Kind() {
+		case reflect.Uint64:
+			visit(i, -1)
+		case reflect.Array:
+			if f.Type.Elem().Kind() != reflect.Uint64 {
+				panic("pipeline: " + t.Name() + " field " + f.Name + " is a " +
+					f.Type.String() + ", not a uint64 array, and has no " + rule + " rule")
+			}
+			for j := 0; j < f.Type.Len(); j++ {
+				visit(i, j)
+			}
+		default:
+			panic("pipeline: " + t.Name() + " field " + f.Name + " (" +
+				f.Type.String() + ") has no " + rule + " rule")
+		}
+	}
 }
 
 // Add accumulates other into s component-wise; TraceWindowPeak takes the
@@ -103,19 +124,13 @@ func (s *Stats) Add(other *Stats) {
 	}
 	sv := reflect.ValueOf(s).Elem()
 	tv := reflect.ValueOf(other).Elem()
-	for i := 0; i < sv.NumField(); i++ {
-		f := sv.Field(i)
-		switch f.Kind() {
-		case reflect.Uint64:
-			f.SetUint(f.Uint() + tv.Field(i).Uint())
-		case reflect.Array:
-			for j := 0; j < f.Len(); j++ {
-				f.Index(j).SetUint(f.Index(j).Uint() + tv.Field(i).Index(j).Uint())
-			}
-		default:
-			panic("pipeline: Stats field " + sv.Type().Field(i).Name + " has no Add rule")
+	visitCounters(sv.Type(), "Add", func(i, j int) {
+		f, o := sv.Field(i), tv.Field(i)
+		if j >= 0 {
+			f, o = f.Index(j), o.Index(j)
 		}
-	}
+		f.SetUint(f.Uint() + o.Uint())
+	})
 	s.TraceWindowPeak = peak
 }
 

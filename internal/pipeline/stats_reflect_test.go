@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestVisitCountersCoversStats pins the invariant the reflection in
+// Delta/Add relies on: every Stats field is a uint64 counter or a
+// uint64 array, so visitCounters walks the whole struct without
+// panicking and visits at least one element per field.
+func TestVisitCountersCoversStats(t *testing.T) {
+	st := reflect.TypeOf(Stats{})
+	seen := make(map[int]bool)
+	visitCounters(st, "Delta", func(field, elem int) {
+		seen[field] = true
+	})
+	if len(seen) != st.NumField() {
+		t.Fatalf("visitCounters visited %d of %d Stats fields", len(seen), st.NumField())
+	}
+}
+
+func expectPanicNaming(t *testing.T, wantSubstrings ...string) {
+	t.Helper()
+	r := recover()
+	if r == nil {
+		t.Fatal("expected a panic, got none")
+	}
+	msg, ok := r.(string)
+	if !ok {
+		t.Fatalf("panic value is %T, want the descriptive string", r)
+	}
+	for _, want := range wantSubstrings {
+		if !strings.Contains(msg, want) {
+			t.Errorf("panic %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// TestVisitCountersRejectsNonNumericField checks the descriptive panic:
+// a field that is neither uint64 nor a uint64 array must be named in
+// the message, so whoever adds it knows to write a Delta/Add rule.
+func TestVisitCountersRejectsNonNumericField(t *testing.T) {
+	type badStats struct {
+		Cycles uint64
+		Label  string
+	}
+	defer expectPanicNaming(t, "Label", "string", "Delta rule")
+	visitCounters(reflect.TypeOf(badStats{}), "Delta", func(int, int) {})
+}
+
+// TestVisitCountersRejectsNonNumericArray checks that an array of a
+// non-counter element type fails descriptively too, instead of the
+// opaque reflect.Value.Uint panic the old per-method loops produced.
+func TestVisitCountersRejectsNonNumericArray(t *testing.T) {
+	type badStats struct {
+		Names [3]string
+	}
+	defer expectPanicNaming(t, "Names", "[3]string", "Add rule")
+	visitCounters(reflect.TypeOf(badStats{}), "Add", func(int, int) {})
+}
+
+// TestDeltaAddRoundTrip checks the two reflection walks stay duals:
+// base.Add(total.Delta(base)) reproduces total for counters, with
+// TraceWindowPeak following its max/latch rule.
+func TestDeltaAddRoundTrip(t *testing.T) {
+	var base, total Stats
+	base.Retired, total.Retired = 100, 350
+	base.IntType[1], total.IntType[1] = 7, 30
+	base.IntDistance[3], total.IntDistance[3] = 2, 12
+	base.TraceWindowPeak, total.TraceWindowPeak = 40, 64
+
+	d := total.Delta(&base)
+	if d.Retired != 250 || d.IntType[1] != 23 || d.IntDistance[3] != 10 {
+		t.Fatalf("Delta got Retired=%d IntType[1]=%d IntDistance[3]=%d", d.Retired, d.IntType[1], d.IntDistance[3])
+	}
+	if d.TraceWindowPeak != 64 {
+		t.Fatalf("Delta TraceWindowPeak = %d, want the whole-run value 64", d.TraceWindowPeak)
+	}
+	sum := base
+	sum.Add(&d)
+	if sum.Retired != total.Retired || sum.IntType[1] != total.IntType[1] ||
+		sum.TraceWindowPeak != 64 {
+		t.Fatalf("Add after Delta: got %+v, want counters of %+v", sum, total)
+	}
+}

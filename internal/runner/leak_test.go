@@ -1,0 +1,13 @@
+package runner
+
+import (
+	"testing"
+
+	"rix/internal/testutil"
+)
+
+// TestMain fails the package if the parallel cell tests leave worker
+// goroutines behind — Run's workers must all exit before it returns.
+func TestMain(m *testing.M) {
+	testutil.VerifyNoLeaks(m)
+}

@@ -1,0 +1,14 @@
+package sample
+
+import (
+	"testing"
+
+	"rix/internal/testutil"
+)
+
+// TestMain fails the package if the parallel window tests leak
+// goroutines — Scheduler.Close must stop every pool worker, and
+// EstimateParallel must reap its own workers even on error paths.
+func TestMain(m *testing.M) {
+	testutil.VerifyNoLeaks(m)
+}

@@ -71,6 +71,8 @@ func newWarmer(cfg pipeline.Config) *warmer {
 // state. pc is the instruction's PC, rec its trace record, and nextPC the
 // architectural successor (the emulator's PC after the step), which
 // trains the BTB for indirect transfers.
+//
+//rix:hotpath
 func (w *warmer) observe(in isa.Instr, pc uint64, rec emu.TraceRec, nextPC uint64) {
 	// One I-side tag touch per fetch line, mirroring the front end's one
 	// I-cache access per fetch group.

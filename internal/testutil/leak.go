@@ -1,0 +1,48 @@
+// Package testutil holds shared test harness helpers. It may be
+// imported only from _test.go files.
+package testutil
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// VerifyNoLeaks wraps a package's tests with a goroutine-leak check —
+// call it from TestMain:
+//
+//	func TestMain(m *testing.M) { testutil.VerifyNoLeaks(m) }
+//
+// It snapshots the goroutine count before the tests, runs them, and
+// fails the package if the count has not settled back down afterwards.
+// Workers with graceful shutdown (the sample scheduler's pool, the
+// runner's parallel cells) need a settle window, so the check retries
+// before declaring a leak and dumps all goroutine stacks when it does.
+func VerifyNoLeaks(m interface{ Run() int }) {
+	before := runtime.NumGoroutine()
+	code := m.Run()
+	if code == 0 {
+		if leaked, stacks := settle(before); leaked {
+			fmt.Fprintf(os.Stderr,
+				"testutil: goroutine leak: %d goroutines before the tests, %d after settling\n\n%s\n",
+				before, runtime.NumGoroutine(), stacks)
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// settle polls until the goroutine count returns to the baseline or the
+// retry budget runs out, returning the final verdict and, on a leak,
+// every goroutine stack.
+func settle(baseline int) (leaked bool, stacks []byte) {
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= baseline {
+			return false, nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<20)
+	return true, buf[:runtime.Stack(buf, true)]
+}

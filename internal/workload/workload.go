@@ -84,7 +84,7 @@ const MaxInstrs = 1 << 24
 // trace sources on demand; Materialize is the adapter for consumers that
 // still want the full slice.
 func (b Benchmark) Build() (Built, error) {
-	return b.BuildContext(context.Background())
+	return b.BuildContext(context.Background()) //rix:ctx-ok — compatibility shim; BuildContext is the real entry point
 }
 
 // BuildContext is Build with cancellation: the validation pass polls ctx
