@@ -22,6 +22,18 @@ if [ -z "$defined" ]; then
   exit 1
 fi
 
+# The cross-process flag group (-worker, -worker-idle, -coordinator)
+# registers through cmdutil.SampledFlags like the other sampled knobs,
+# and the distributed-windows docs lean on it heavily. Its absence
+# from the discovered set means the registration moved or the grep
+# broke — fail fast instead of silently passing stale doc mentions.
+for f in worker worker-idle coordinator; do
+  if ! grep -qx "$f" <<<"$defined"; then
+    echo "lint_docs: cross-process flag -$f not discovered under cmd/ — registration or the grep broke" >&2
+    exit 1
+  fi
+done
+
 # go test / gofmt / go vet flags quoted in CI and benchmarking docs
 # (vettool is go vet's own flag, quoted in the rixvet instructions).
 toolchain="bench benchmem benchtime race run count cover l vettool"

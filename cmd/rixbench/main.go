@@ -20,6 +20,13 @@
 //	rixbench -suite all -sample default         # interval-sampled matrix (fast)
 //	rixbench -suite fig4 -sample 16000/600/300  # explicit interval/window/warmup
 //	rixbench -suite all -timeout 10m -v         # deadline + per-cell events
+//
+// Cross-process sampled matrices: window jobs execute on `-worker`
+// processes (rixbench or rixsim, any machine sharing the directory),
+// with estimates bit-identical to the in-process pool:
+//
+//	rixbench -worker /shared/cache &
+//	rixbench -suite fig4 -sample default -coordinator -ckpt-cache /shared/cache
 package main
 
 import (
@@ -70,6 +77,13 @@ func body(ctx context.Context) error {
 	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = none)")
 	verbose := flag.Bool("v", false, "stream per-cell progress events to stderr")
 	flag.Parse()
+
+	if err := sampled.Check(); err != nil {
+		return err
+	}
+	if sampled.WorkerMode() {
+		return sampled.RunWorker(ctx, *verbose)
+	}
 
 	var sampling *sample.Sampling
 	if *sampleSpec != "" {

@@ -24,6 +24,14 @@
 //
 //	rixsim -bench gcc -int +reverse -sample default -dump-req > run.json
 //	rixsim -req run.json -json
+//
+// Cross-process sampled windows (the procexec executor): workers claim
+// window jobs from a shared cache directory, a coordinator run collects
+// the results — bit-identical to the in-process scheduler:
+//
+//	rixsim -worker /shared/cache &                # any number, any machine
+//	rixsim -worker /shared/cache -worker-idle 30s # exit when drained
+//	rixsim -bench gcc -int +reverse -sample default -coordinator -ckpt-cache /shared/cache
 package main
 
 import (
@@ -65,6 +73,13 @@ func body(ctx context.Context) error {
 	dumpReq := flag.Bool("dump-req", false, "print the assembled run.Request as JSON and exit without running")
 	list := flag.Bool("list", false, "list workloads and exit")
 	flag.Parse()
+
+	if err := sampled.Check(); err != nil {
+		return err
+	}
+	if sampled.WorkerMode() {
+		return sampled.RunWorker(ctx, *verbose)
+	}
 
 	if *list {
 		for _, b := range workload.All() {
@@ -184,6 +199,12 @@ func printEvent(e run.Event) {
 		fmt.Fprintf(os.Stderr, "[%s] %s [%s] window %d discarded (feedback misspeculation)\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Window)
 	case run.WindowScheduled:
 		fmt.Fprintf(os.Stderr, "[%s] %s [%s] window %d scheduled\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Window)
+	case run.WorkerJoined:
+		fmt.Fprintf(os.Stderr, "[%s] %s [%s] worker %s joined\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Worker)
+	case run.LeaseClaimed:
+		fmt.Fprintf(os.Stderr, "[%s] %s [%s] window %d claimed by worker %s\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Window, e.Worker)
+	case run.ResultCollected:
+		fmt.Fprintf(os.Stderr, "[%s] %s [%s] window %d result collected (%s)\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Window, e.Path)
 	case run.WarmShardStarted:
 		fmt.Fprintf(os.Stderr, "[%s] %s [%s] warm shard %d started (instrs %d-%d)\n", time.Now().Format("15:04:05"), e.Workload, e.Label, e.Shard, e.SpanStart, e.SpanEnd)
 	case run.WarmShardDone:

@@ -44,18 +44,20 @@ var Tracked = map[string][]string{
 		"Checkpoint", "WarmSnapshot", "WarmSet", "Boundary",
 		"StrideSet", "Stride", "Sampling",
 	},
-	"rix/internal/emu":      {"State", "MemState"},
-	"rix/internal/bpred":    {"PredictorState", "BTBState", "RASState", "CHTState"},
-	"rix/internal/memsys":   {"WarmState", "CacheState", "CacheLineState"},
-	"rix/internal/core":     {"TableState", "EntryState", "LISPState", "LISPEntryState"},
-	"rix/internal/pipeline": {"Stats"},
+	"rix/internal/sample/procexec": {"Manifest", "Lease", "Result"},
+	"rix/internal/emu":             {"State", "MemState"},
+	"rix/internal/bpred":           {"PredictorState", "BTBState", "RASState", "CHTState"},
+	"rix/internal/memsys":          {"WarmState", "CacheState", "CacheLineState"},
+	"rix/internal/core":            {"TableState", "EntryState", "LISPState", "LISPEntryState"},
+	"rix/internal/pipeline":        {"Stats"},
 }
 
 // TrackedConsts maps package path → format constants whose values are
 // recorded so the analyzer can tell "changed with a bump" from
 // "changed silently".
 var TrackedConsts = map[string][]string{
-	"rix/internal/sample": {"CheckpointFormat", "WarmCacheFormat", "StrideCacheFormat"},
+	"rix/internal/sample":          {"CheckpointFormat", "WarmCacheFormat", "StrideCacheFormat"},
+	"rix/internal/sample/procexec": {"ManifestFormat", "LeaseFormat", "ResultFormat"},
 }
 
 // GoldenPath locates the golden file: absolute paths are used as-is

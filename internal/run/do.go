@@ -11,6 +11,7 @@ import (
 	"rix/internal/pipeline"
 	"rix/internal/prog"
 	"rix/internal/sample"
+	"rix/internal/sample/procexec"
 	"rix/internal/workload"
 )
 
@@ -64,6 +65,14 @@ type Options struct {
 	// caller (e.g. the runner engine) owns the scheduler's lifecycle.
 	// Ignored for detail runs.
 	Scheduler *sample.Scheduler
+
+	// Executor runs a sampled request's detail-window phase through a
+	// caller-supplied sample.Executor — a live resource like Scheduler,
+	// taking precedence over both it and the request's Executor/
+	// WorkerDir fields (from which Do would otherwise construct a
+	// cross-process coordinator itself). The caller owns its lifecycle.
+	// Ignored for detail and resume runs.
+	Executor sample.Executor
 }
 
 // Option customizes one Do call.
@@ -87,6 +96,9 @@ func WithOptions(o Options) Option {
 		}
 		if o.Scheduler != nil {
 			c.Scheduler = o.Scheduler
+		}
+		if o.Executor != nil {
+			c.Executor = o.Executor
 		}
 	}
 }
@@ -125,6 +137,16 @@ func WithScheduler(s *sample.Scheduler) Option {
 	return func(c *Options) {
 		if s != nil {
 			c.Scheduler = s
+		}
+	}
+}
+
+// WithExecutor sets Options.Executor; see that field for the
+// precedence and ownership contract.
+func WithExecutor(e sample.Executor) Option {
+	return func(c *Options) {
+		if e != nil {
+			c.Executor = e
 		}
 	}
 }
@@ -260,6 +282,19 @@ func execute(ctx context.Context, c *config, req *Request, bw workload.Built, re
 	if c.hasObs {
 		sc.Hooks = sampleHooks(c, ev)
 	}
+	sc.Executor = c.Executor
+	if sc.Executor == nil && req.Executor == ExecProc {
+		// Construct the cross-process coordinator from the request's own
+		// fields: window jobs travel through WorkerDir's windows/
+		// subdirectory for `rixsim -worker` processes to claim. Jobs
+		// bounds the in-flight dispatches (the coordinator's default
+		// otherwise).
+		coord, err := procexec.New(req.WorkerDir, procConfig(c, req, ev))
+		if err != nil {
+			return err
+		}
+		sc.Executor = coord
+	}
 	// Wave telemetry is part of the Result, observer or not: count
 	// dispatches and discards on top of whatever event hooks are
 	// installed. Both fire from the coordinating goroutine, but WindowDone
@@ -291,6 +326,39 @@ func execute(ctx context.Context, c *config, req *Request, bw workload.Built, re
 	res.Stats = est.Agg
 	res.Sampled = summarize(est, dispatched.Load(), discarded.Load())
 	return nil
+}
+
+// procConfig builds the cross-process coordinator configuration for an
+// ExecProc request, adapting its worker-lifecycle callbacks to the
+// typed event stream. The callbacks fire from the coordinator's
+// per-window collection goroutines — concurrently, like WindowDone in
+// resume mode — so each builds its Event as a local value.
+func procConfig(c *config, req *Request, ev Event) procexec.Config {
+	pc := procexec.Config{Width: req.Jobs}
+	if !c.hasObs {
+		return pc
+	}
+	pc.OnWorkerJoined = func(worker string) {
+		e := ev
+		e.Kind = WorkerJoined
+		e.Worker = worker
+		c.Observer.Observe(e)
+	}
+	pc.OnLeaseClaimed = func(job, worker string, window int) {
+		e := ev
+		e.Kind = LeaseClaimed
+		e.Worker = worker
+		e.Window = window
+		c.Observer.Observe(e)
+	}
+	pc.OnResultCollected = func(job string, window int, path string) {
+		e := ev
+		e.Kind = ResultCollected
+		e.Window = window
+		e.Path = path
+		c.Observer.Observe(e)
+	}
+	return pc
 }
 
 // sampleHooks adapts the sampling engine's callbacks to the typed event

@@ -29,6 +29,22 @@ const (
 	// the corrected chain. Window is its index. Dispatch, settle, and
 	// discard events follow a deterministic sequence for a given run.
 	WindowDiscarded EventKind = "window-discarded"
+	// WorkerJoined fires the first time a cross-process run (Request.
+	// Executor == ExecProc) observes a given worker's lease — once per
+	// worker ID for the run's lifetime. Worker is its ID. Emitted from
+	// the coordinator's per-window collection goroutines; concurrent,
+	// and ordering against other windows' events is not deterministic.
+	WorkerJoined EventKind = "worker-joined"
+	// LeaseClaimed fires when a cross-process run observes a worker's
+	// exclusive claim on a dispatched window: Worker is the claimant
+	// and Window the index. A window re-dispatched after a crashed
+	// worker's lease goes stale fires again for the new claimant. Same
+	// concurrency contract as WorkerJoined.
+	LeaseClaimed EventKind = "lease-claimed"
+	// ResultCollected fires when a cross-process run collects one
+	// window's result file: Window is the index and Path the result
+	// entry. Same concurrency contract as WorkerJoined.
+	ResultCollected EventKind = "result-collected"
 	// SlotStolen fires when a shared window-scheduler slot that last
 	// served another cell picks up one of this run's windows — the
 	// work-stealing handoff. Slot is the pool slot index. Emitted from
@@ -75,7 +91,8 @@ func EventKinds() []EventKind {
 		CellStarted, Progress,
 		WarmShardStarted, WarmShardDone,
 		CacheHit, CacheWritten,
-		WindowScheduled, WindowDone, WindowDiscarded,
+		WindowScheduled, WorkerJoined, LeaseClaimed, ResultCollected,
+		WindowDone, WindowDiscarded,
 		SlotStolen, SlotReturned,
 		CheckpointWritten, CellFinished,
 	}
@@ -91,12 +108,13 @@ type Event struct {
 	Mode     Mode      `json:"mode"`
 
 	Instrs    uint64 `json:"instrs,omitempty"`     // Progress, WindowDone
-	Window    int    `json:"window,omitempty"`     // WindowDone, WindowScheduled, WindowDiscarded, SlotReturned, CheckpointWritten
+	Window    int    `json:"window,omitempty"`     // WindowDone, WindowScheduled, WindowDiscarded, SlotReturned, CheckpointWritten, LeaseClaimed, ResultCollected
 	Slot      int    `json:"slot,omitempty"`       // SlotStolen
 	Shard     int    `json:"shard,omitempty"`      // WarmShardStarted, WarmShardDone
 	SpanStart uint64 `json:"span_start,omitempty"` // WarmShardStarted, WarmShardDone
 	SpanEnd   uint64 `json:"span_end,omitempty"`   // WarmShardStarted, WarmShardDone
-	Path      string `json:"path,omitempty"`       // CheckpointWritten, CacheHit, CacheWritten
+	Path      string `json:"path,omitempty"`       // CheckpointWritten, CacheHit, CacheWritten, ResultCollected
+	Worker    string `json:"worker,omitempty"`     // WorkerJoined, LeaseClaimed
 	Err       string `json:"err,omitempty"`        // CellFinished on failure
 }
 

@@ -13,6 +13,7 @@ import (
 	"rix/internal/pipeline"
 	"rix/internal/run"
 	"rix/internal/sample"
+	"rix/internal/sample/procexec"
 	"rix/internal/sim"
 	"rix/internal/workload"
 )
@@ -67,8 +68,19 @@ func TestRequestValidation(t *testing.T) {
 		{"resume without dir", run.Request{Workload: "gzip", Resume: true,
 			Options: sim.Options{Sampling: &sp}}, "needs CheckpointDir"},
 		{"ckpt without sampling", run.Request{Workload: "gzip", CheckpointDir: "/tmp/x"}, "only meaningful for sampled"},
+		{"unknown executor", run.Request{Workload: "gzip", Options: sim.Options{Sampling: &sp},
+			Executor: "threads"}, "unknown Executor"},
+		{"executor without sampling", run.Request{Workload: "gzip", Executor: run.ExecPool}, "only meaningful for sampled"},
+		{"executor with resume", run.Request{Workload: "gzip", Resume: true, CheckpointDir: "/tmp/x",
+			Options: sim.Options{Sampling: &sp}, Executor: run.ExecPool}, "Executor does not apply"},
+		{"proc without worker dir", run.Request{Workload: "gzip", Options: sim.Options{Sampling: &sp},
+			Executor: run.ExecProc}, "needs WorkerDir"},
+		{"worker dir without proc", run.Request{Workload: "gzip", Options: sim.Options{Sampling: &sp},
+			WorkerDir: "/tmp/x"}, `WorkerDir needs Executor "proc"`},
 		{"valid detail", run.Request{Workload: "gzip", Options: sim.Options{Integration: sim.IntReverse}}, ""},
 		{"valid sampled", run.Request{Workload: "gzip", Options: sim.Options{Sampling: &sp}}, ""},
+		{"valid proc", run.Request{Workload: "gzip", Options: sim.Options{Sampling: &sp},
+			Executor: run.ExecProc, WorkerDir: "/tmp/x"}, ""},
 	}
 	for _, c := range cases {
 		err := c.req.Validate()
@@ -103,6 +115,8 @@ func TestRequestJSONRoundTrip(t *testing.T) {
 		CheckpointDir: "/tmp/ck",
 		Parallel:      4,
 		MaxInstrs:     1 << 22,
+		Executor:      run.ExecProc,
+		WorkerDir:     "/tmp/wd",
 	}
 	data, err := run.MarshalRequest(req)
 	if err != nil {
@@ -269,6 +283,54 @@ func TestObserverEventStream(t *testing.T) {
 	}
 	if first.Workload != "gzip" || first.Label != o.Label() || first.Mode != run.ModeSampled {
 		t.Errorf("event identity: %+v", first)
+	}
+}
+
+// TestDoCrossProcess: an ExecProc request reproduces the plain sampled
+// run's statistics exactly while executing its windows on worker loops
+// over the shared directory, and the observer sees the cross-process
+// event vocabulary (worker-joined, lease-claimed, result-collected).
+func TestDoCrossProcess(t *testing.T) {
+	defer leakCheck(t)()
+	sp := sample.DefaultSampling()
+	o := sim.Options{Integration: sim.IntReverse, Sampling: &sp}
+
+	want, err := run.Do(context.Background(), run.Request{Workload: "gzip", Options: o})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	wctx, stop := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			procexec.Work(wctx, dir, procexec.WorkerConfig{Poll: 2 * time.Millisecond}) //nolint:errcheck
+		}()
+	}
+	defer func() { stop(); wg.Wait() }()
+
+	log := &eventLog{}
+	res, err := run.Do(context.Background(),
+		run.Request{Workload: "gzip", Options: o, Executor: run.ExecProc, WorkerDir: dir},
+		run.WithObserver(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Stats, want.Stats) {
+		t.Errorf("cross-process aggregate differs from in-process:\nproc: %+v\npool: %+v", res.Stats, want.Stats)
+	}
+	if !reflect.DeepEqual(res.Sampled.Windows, want.Sampled.Windows) {
+		t.Error("cross-process window summaries differ from in-process")
+	}
+	k := log.kinds()
+	if k[run.WorkerJoined] == 0 || k[run.LeaseClaimed] == 0 || k[run.ResultCollected] == 0 {
+		t.Errorf("missing cross-process events: %v", k)
+	}
+	if got, want := k[run.ResultCollected], len(res.Sampled.Windows); got != want {
+		t.Errorf("%d result-collected events for %d settled windows", got, want)
 	}
 }
 

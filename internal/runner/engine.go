@@ -85,6 +85,19 @@ type Engine struct {
 	CacheMaxMB     int
 	CacheMaxAgeSec int
 
+	// Executor selects how sampled cells execute their detail windows:
+	// empty or run.ExecPool keeps them on the shared in-process
+	// scheduler pool above; run.ExecProc dispatches every cell's
+	// windows as job manifests under WorkerDir for `rixsim -worker`
+	// processes to claim (each cell gets its own coordinator, all
+	// sharing the directory and the worker fleet; no in-process pool is
+	// created). Estimates are bit-identical either way.
+	Executor string
+
+	// WorkerDir is the cache directory shared with the worker processes
+	// when Executor is run.ExecProc.
+	WorkerDir string
+
 	names    []string
 	src      WorkloadSource
 	simulate run.DetailRunner // test seam; nil = run.Do's real pipeline
@@ -164,6 +177,11 @@ func (e *Engine) schedSlots() int {
 // settled.
 func (e *Engine) scheduler() (*sample.Scheduler, int, func()) {
 	slots := e.schedSlots()
+	if e.Executor == run.ExecProc {
+		// Cross-process cells execute nothing locally: skip the pool and
+		// let the slot budget size each coordinator's speculation depth.
+		return nil, slots, func() {}
+	}
 	if slots <= 1 {
 		return nil, 1, func() {}
 	}
@@ -211,6 +229,8 @@ func (e *Engine) cell(ctx context.Context, bench string, c Config, sched *sample
 			req.CacheMaxMB = e.CacheMaxMB
 			req.CacheMaxAgeSec = e.CacheMaxAgeSec
 		}
+		req.Executor = e.Executor
+		req.WorkerDir = e.WorkerDir
 		if sched != nil {
 			opts = append(opts, run.WithScheduler(sched))
 		}

@@ -1,12 +1,15 @@
 package runner
 
 import (
+	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"rix/internal/pipeline"
 	"rix/internal/run"
 	"rix/internal/sample"
+	"rix/internal/sample/procexec"
 	"rix/internal/sim"
 )
 
@@ -78,6 +81,83 @@ func TestSampledWindowParallelStress(t *testing.T) {
 	for k, sst := range seq {
 		if pst, ok := par[k]; !ok || pst != sst {
 			t.Errorf("cell %s: window-parallel stats diverge from sequential", k)
+		}
+	}
+}
+
+// TestCrossProcessEngineParity is the acceptance gate for the
+// cross-process executor: a fig4-shaped sampled matrix (baseline plus
+// the full-extension preset under realistic-LISP and oracle
+// suppression, over gzip and crafty) run through an Executor=proc
+// engine — every cell's windows claimed and executed by two worker
+// loops over a shared directory — must be bit-identical, cell for cell,
+// to the in-process scheduler engine. ci/smoke_worker.sh repeats the
+// same comparison across real process boundaries.
+func TestCrossProcessEngineParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("twelve sampled cells, six of them cross-process (~20s)")
+	}
+	layout := &sample.Sampling{Interval: 4000, Window: 300, Warmup: 150}
+	sp := &Spec{ID: "fig4-proc"}
+	for _, o := range []sim.Options{
+		{Integration: sim.IntNone, Sampling: layout},
+		{Integration: sim.IntReverse, Suppression: sim.SuppressLISP, Sampling: layout},
+		{Integration: sim.IntReverse, Suppression: sim.SuppressOracle, Sampling: layout},
+	} {
+		sp.Configs = append(sp.Configs, Config{Label: o.Label(), Opt: o})
+	}
+
+	gather := func(e *Engine) map[string]pipeline.Stats {
+		t.Helper()
+		rs, err := e.Gather(bg, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]pipeline.Stats)
+		for _, b := range rs.Benches() {
+			for _, l := range rs.Labels() {
+				out[b+"/"+l] = *rs.Get(b, l)
+			}
+		}
+		return out
+	}
+
+	inEng, err := NewEngine([]string{"gzip", "crafty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inEng.Parallel = 2
+	inEng.WindowJobs = 3
+	want := gather(inEng)
+
+	dir := t.TempDir()
+	wctx, stopWorkers := context.WithCancel(bg)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			procexec.Work(wctx, dir, procexec.WorkerConfig{Poll: 2 * time.Millisecond}) //nolint:errcheck
+		}()
+	}
+	defer func() { stopWorkers(); wg.Wait() }()
+
+	procEng, err := NewEngine([]string{"gzip", "crafty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	procEng.Parallel = 2
+	procEng.WindowJobs = 3
+	procEng.Executor = run.ExecProc
+	procEng.WorkerDir = dir
+	got := gather(procEng)
+
+	if len(got) != len(want) {
+		t.Fatalf("%d cross-process cells vs %d in-process", len(got), len(want))
+	}
+	for k, w := range want {
+		if g, ok := got[k]; !ok || g != w {
+			t.Errorf("cell %s: cross-process stats diverge from in-process scheduler", k)
 		}
 	}
 }

@@ -11,16 +11,17 @@ import (
 )
 
 // This file is the second phase of the two-phase engine: the cell-side
-// coordinator that drives a detail-window run on the work-stealing
-// scheduler (scheduler.go).
+// coordinator that schedules a detail-window run onto an Executor
+// (executor.go) — the in-process work-stealing pool by default, a
+// cross-process worker fleet (procexec) when configured.
 //
 // The only cross-window dependency is the DIVA feedback chain: window
 // j+1 must boot with window j's final LISP state. The coordinator runs
-// the chain speculatively — it keeps up to the pool's width of windows
-// in flight, each dispatched with the feedback known at its dispatch
-// time, and settles strictly in index order; a settled window whose
-// actual feedback diverges from the next window's speculative boot
-// cancels every in-flight successor, which re-dispatch under the
+// the chain speculatively — it keeps up to the executor's width of
+// windows in flight, each dispatched with the feedback known at its
+// dispatch time, and settles strictly in index order; a settled window
+// whose actual feedback diverges from the next window's speculative
+// boot cancels every in-flight successor, which re-dispatch under the
 // corrected chain. The window right after a settle always boots with
 // validated feedback, so the coordinator always makes progress,
 // degrades to sequential execution under a feedback chain that mutates
@@ -32,7 +33,8 @@ import (
 // goroutine and window results depend only on their boot inputs, the
 // dispatch/settle interleaving — and with it the dispatched and
 // discarded counts — is deterministic for a given run, regardless of
-// how many pools, slots, or competing cells execute the windows.
+// which executor, how many slots, or how many competing cells execute
+// the windows.
 
 // runTwoPhase is Run's two-phase path: warm pass (or cache hit /
 // injected warm set), then the scheduled window phase, then the same
@@ -59,43 +61,66 @@ func runTwoPhase(ctx context.Context, p *prog.Program, dynLen int, cfg pipeline.
 	return aggregate(sc.Sampling, detailPad(cfg), windows, total), nil
 }
 
-// winOut is one speculatively executed window's result.
+// winOut is one speculatively executed window's result, as delivered by
+// a scheduler pool slot.
 type winOut struct {
-	stat  pipeline.Stats
-	fb    core.LISPState // window's final LISP: the next window's requirement
-	guess core.LISPState // LISP this window booted with (for validation)
-	err   error
+	stat pipeline.Stats
+	fb   core.LISPState // window's final LISP: the next window's requirement
+	err  error
 }
 
-// runParallel executes every boundary's detail window on a scheduler
-// pool — the run's own Config.Scheduler when set, otherwise an
-// ephemeral pool of sc.Windows slots — returning WindowStats in index
-// order.
+// outcome is one in-flight window's delivery from its executor
+// goroutine.
+type outcome struct {
+	res WindowResult
+	err error
+}
+
+// inflight tracks one dispatched window on the coordinator: the LISP
+// guess it booted with (for feedback validation and the checkpoint
+// rewrite), the cancel releasing its job context, and the buffered
+// delivery channel its executor goroutine writes exactly once.
+type inflight struct {
+	guess  core.LISPState
+	cancel context.CancelFunc
+	out    chan outcome
+}
+
+// runParallel schedules every boundary's detail window onto an Executor
+// — sc.Executor when set, otherwise the in-process pool (the run's own
+// Config.Scheduler, or an ephemeral pool of sc.Windows slots) —
+// returning WindowStats in index order.
 func runParallel(ctx context.Context, p *prog.Program, cfg pipeline.Config, sc Config, set *WarmSet) ([]WindowStat, error) {
 	sp := sc.Sampling
 	nb := len(set.Boundaries)
-	sched := sc.Scheduler
-	if sched == nil {
-		width := sc.Windows
-		if width > nb {
-			width = nb
+	exec := sc.Executor
+	if exec == nil {
+		sched := sc.Scheduler
+		if sched == nil {
+			width := sc.Windows
+			if width > nb {
+				width = nb
+			}
+			sched = NewScheduler(width)
+			defer sched.Close()
 		}
-		sched = NewScheduler(width)
-		defer sched.Close()
+		exec = newPoolExecutor(sched, &sc.Hooks)
 	}
-	depth := sched.Size()
+	depth := exec.Width()
+	if depth < 1 {
+		depth = 1
+	}
 	if depth > nb {
 		depth = nb
 	}
-	cell := &cellTag{hooks: &sc.Hooks}
-	tasks := make([]*schedTask, nb)
-	// Cancel whatever is still queued on every exit path, so an error
+	flights := make([]*inflight, nb)
+	// Cancel whatever is still in flight on every exit path, so an error
 	// (or ctx cancellation) never leaves this run's jobs occupying a
-	// shared pool.
+	// shared executor.
 	defer func() {
-		for _, t := range tasks {
-			if t != nil {
-				t.cancelled.Store(true)
+		for _, f := range flights {
+			if f != nil {
+				f.cancel()
 			}
 		}
 	}()
@@ -118,41 +143,40 @@ func runParallel(ctx context.Context, p *prog.Program, cfg pipeline.Config, sc C
 		if sc.Hooks.WindowScheduled != nil {
 			sc.Hooks.WindowScheduled(b.Index)
 		}
-		t := &schedTask{
-			cell:  cell,
-			guess: guess,
-			out:   make(chan *winOut, 1),
-		}
-		t.run = func(sl *slot) *winOut {
-			return runWindowJob(ctx, p, cfg, sp, b, guess, sl)
-		}
-		tasks[j] = t
-		sched.submit(t)
+		jctx, cancel := context.WithCancel(ctx)
+		fl := &inflight{guess: guess, cancel: cancel, out: make(chan outcome, 1)}
+		job := WindowJob{Prog: p, Config: cfg, Sampling: sp, Boundary: *b, Feedback: guess}
+		go func() {
+			res, err := exec.Run(jctx, job)
+			fl.out <- outcome{res: res, err: err}
+		}()
+		flights[j] = fl
 	}
 
 	next := 0 // next window index to dispatch
 	for i := 0; i < nb; i++ {
 		// Keep the speculation window full: everything from the settle
-		// cursor out to the pool's width is in flight.
+		// cursor out to the executor's width is in flight.
 		for next < nb && next < i+depth {
 			dispatch(next)
 			next++
 		}
-		t := tasks[i]
-		tasks[i] = nil
-		r := <-t.out
+		fl := flights[i]
+		flights[i] = nil
+		o := <-fl.out
+		fl.cancel() // settled: release the job context
 		b := &set.Boundaries[i]
-		if r.err != nil {
-			if ctx.Err() != nil && r.err == ctx.Err() {
-				return windows, r.err
+		if o.err != nil {
+			if ctx.Err() != nil && o.err == ctx.Err() {
+				return windows, o.err
 			}
-			return windows, fmt.Errorf("sample: window %d of %s: %w", b.Index, p.Name, r.err)
+			return windows, fmt.Errorf("sample: window %d of %s: %w", b.Index, p.Name, o.err)
 		}
 		ws := WindowStat{
 			Index:        b.Index,
 			Start:        b.Start,
 			MeasuredFrom: b.Start + sp.Warmup,
-			Stats:        r.stat,
+			Stats:        o.res.Stats,
 		}
 		windows = append(windows, ws)
 		if sc.Hooks.WindowDone != nil {
@@ -160,8 +184,8 @@ func runParallel(ctx context.Context, p *prog.Program, cfg pipeline.Config, sc C
 		}
 		if next == nb && sc.Hooks.SlotReturned != nil {
 			// The run has dispatched its last window: each settle from
-			// here on shrinks its in-flight set, releasing one pool slot
-			// to whatever cells are still dispatching.
+			// here on shrinks its in-flight set, releasing one executor
+			// slot to whatever cells are still dispatching.
 			sc.Hooks.SlotReturned(b.Index)
 		}
 		if sc.CheckpointDir != "" {
@@ -170,7 +194,7 @@ func runParallel(ctx context.Context, p *prog.Program, cfg pipeline.Config, sc C
 			// LISP, converging on the exact bytes the sequential
 			// engine writes for this boundary.
 			warm := b.Warm
-			warm.LISP = r.guess
+			warm.LISP = fl.guess
 			ck := &Checkpoint{
 				Format:   CheckpointFormat,
 				Program:  p.Name,
@@ -191,16 +215,16 @@ func runParallel(ctx context.Context, p *prog.Program, cfg pipeline.Config, sc C
 		if !chain {
 			continue
 		}
-		fbNext := r.fb
+		fbNext := o.res.Feedback
 		fb = &fbNext
-		if i+1 < next && !lispStateEqual(fbNext, tasks[i+1].guess) {
+		if i+1 < next && !lispStateEqual(fbNext, flights[i+1].guess) {
 			// Misspeculation: every in-flight successor booted with a
 			// chain this settle just invalidated. Cancel them and pull
 			// the dispatch cursor back, so the next settle iteration
 			// re-dispatches under the corrected feedback.
 			for k := i + 1; k < next; k++ {
-				tasks[k].cancelled.Store(true)
-				tasks[k] = nil
+				flights[k].cancel()
+				flights[k] = nil
 				if sc.Hooks.WindowDiscarded != nil {
 					sc.Hooks.WindowDiscarded(set.Boundaries[k].Index)
 				}
@@ -211,23 +235,21 @@ func runParallel(ctx context.Context, p *prog.Program, cfg pipeline.Config, sc C
 	return windows, nil
 }
 
-// runWindowJob executes one detail window from its boundary snapshot
-// with the given boot feedback, on the worker slot's pooled boot
-// structures and recycled pipeline scratch. The window span is
-// re-derived from the emulator checkpoint (emu.ResumeStream) — the path
-// the checkpoint-equivalence tests prove bit-identical to the
+// runWindowJob executes one detail window job on a pool worker slot's
+// pooled boot structures and recycled pipeline scratch. The window span
+// is re-derived from the emulator checkpoint (emu.ResumeStream) — the
+// path the checkpoint-equivalence tests prove bit-identical to the
 // sequential engine's in-memory record replay.
-func runWindowJob(ctx context.Context, p *prog.Program, cfg pipeline.Config, sp Sampling,
-	b *Boundary, guess core.LISPState, sl *slot) *winOut {
-
-	warm := b.Warm
-	warm.LISP = guess
-	boot, err := sl.bootFrom(cfg, p, b.Emu, warm)
+func runWindowJob(ctx context.Context, job WindowJob, sl *slot) *winOut {
+	p, cfg, sp := job.Prog, job.Config, job.Sampling
+	warm := job.Boundary.Warm
+	warm.LISP = job.Feedback
+	boot, err := sl.bootFrom(cfg, p, job.Boundary.Emu, warm)
 	if err != nil {
 		return &winOut{err: err}
 	}
 	n := sp.Warmup + sp.Window + detailPad(cfg)
-	src, err := emu.ResumeStream(p, b.Emu, b.Emu.Count+n+1)
+	src, err := emu.ResumeStream(p, job.Boundary.Emu, job.Boundary.Emu.Count+n+1)
 	if err != nil {
 		return &winOut{err: err}
 	}
@@ -236,7 +258,7 @@ func runWindowJob(ctx context.Context, p *prog.Program, cfg pipeline.Config, sp 
 	if err != nil {
 		return &winOut{err: err}
 	}
-	out := &winOut{stat: *stats, fb: pl.Integrator().LISP.State(), guess: guess}
+	out := &winOut{stat: *stats, fb: pl.Integrator().LISP.State()}
 	sl.scratch = pl.Recycle()
 	return out
 }

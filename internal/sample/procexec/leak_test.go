@@ -1,0 +1,14 @@
+package procexec_test
+
+import (
+	"testing"
+
+	"rix/internal/testutil"
+)
+
+// TestMain fails the package if any test leaks a goroutine — worker
+// loops, heartbeat tickers, and coordinator poll loops must all be
+// joined by the time their test returns.
+func TestMain(m *testing.M) {
+	testutil.VerifyNoLeaks(m)
+}

@@ -241,6 +241,15 @@ type Config struct {
 	// has returned.
 	Scheduler *Scheduler
 
+	// Executor, when non-nil, selects the two-phase engine and executes
+	// the detail-window phase through this executor instead of an
+	// in-process scheduler pool (Scheduler and Windows are then
+	// ignored); its Width is the run's speculation depth. The estimate
+	// is bit-identical whichever executor runs the windows — see
+	// Executor's determinism contract. The caller owns the executor's
+	// lifecycle (e.g. procexec.Coordinator's cleanup).
+	Executor Executor
+
 	// MaxInstrs bounds functional execution (default DefaultMaxInstrs).
 	MaxInstrs uint64
 
@@ -289,7 +298,7 @@ func Run(ctx context.Context, p *prog.Program, dynLen int, cfg pipeline.Config, 
 		return nil, err
 	}
 	if sc.Windows > 1 || sc.CacheDir != "" || sc.Warm != nil || sc.Scheduler != nil ||
-		sc.Strides != nil || sc.WarmJobs > 1 {
+		sc.Executor != nil || sc.Strides != nil || sc.WarmJobs > 1 {
 		return runTwoPhase(ctx, p, dynLen, cfg, sc)
 	}
 	e := emu.New(p)

@@ -48,9 +48,8 @@ type Scheduler struct {
 // schedTask is one speculatively dispatched detail window in the shared
 // queue.
 type schedTask struct {
-	cell      *cellTag       // owning run, for steal detection
-	guess     core.LISPState // boot feedback this dispatch speculated on
-	cancelled atomic.Bool    // set when the owning wave misspeculates
+	cell      *cellTag    // owning run, for steal detection
+	cancelled atomic.Bool // set when the owning wave misspeculates
 	run       func(*slot) *winOut
 	out       chan *winOut // buffered 1: workers never block on delivery
 }
